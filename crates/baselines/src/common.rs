@@ -1,0 +1,806 @@
+//! Shared machinery of the two baseline protocols.
+//!
+//! Both fault-tolerant Skeen and FastCast have the same overall structure —
+//! each group is a multi-Paxos replicated state machine whose commands are
+//! "assign local timestamp" and "record global timestamp", and group leaders
+//! exchange timestamp proposals — and differ only in *when* things happen:
+//! FastCast forwards proposals and starts the second consensus speculatively
+//! and compensates with an extra confirmation exchange. [`BaselineReplica`]
+//! implements both behaviours, selected by [`Mode`]; the `ftskeen` and
+//! `fastcast` modules wrap it in protocol-specific types.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+use wbam_consensus::{PaxosConfig, PaxosMsg, PaxosOutput, PaxosReplica};
+use wbam_types::{
+    Action, AppMessage, ClusterConfig, DeliveredMessage, Event, GroupId, MsgId, Node, Phase,
+    ProcessId, Timestamp,
+};
+
+/// Commands replicated within a group by the baselines' consensus layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Command {
+    /// Persist the local timestamp this group assigns to a message
+    /// (the consensus-wrapped version of Figure 1 lines 9–10).
+    AssignLocal {
+        /// The application message.
+        msg: AppMessage,
+        /// The local timestamp assigned by this group's leader.
+        local_ts: Timestamp,
+    },
+    /// Persist the message's global timestamp and the clock advance
+    /// (the consensus-wrapped version of Figure 1 lines 14–15).
+    CommitGlobal {
+        /// The message.
+        msg_id: MsgId,
+        /// The global timestamp.
+        global_ts: Timestamp,
+    },
+}
+
+/// Wire messages of the baseline protocols.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BaselineMsg {
+    /// A client submits a message to a group leader.
+    Multicast {
+        /// The application message.
+        msg: AppMessage,
+    },
+    /// Leader-to-leader exchange of a local timestamp proposal
+    /// (the `PROPOSE` message of Skeen's protocol).
+    Propose {
+        /// The application message (carried so the remote group learns it even
+        /// if the client's `MULTICAST` to it was lost).
+        msg: AppMessage,
+        /// The proposing group.
+        group: GroupId,
+        /// The proposed local timestamp.
+        local_ts: Timestamp,
+    },
+    /// FastCast only: group `group` confirms that consensus on its local
+    /// timestamp for `msg_id` has completed.
+    Confirm {
+        /// The message.
+        msg_id: MsgId,
+        /// The confirming group.
+        group: GroupId,
+    },
+    /// The group leader instructs its followers to deliver a committed
+    /// message (delivery is leader-driven so that every member of a group
+    /// delivers in exactly the order the leader decided).
+    Deliver {
+        /// The message to deliver.
+        msg_id: MsgId,
+        /// Its global timestamp.
+        global_ts: Timestamp,
+    },
+    /// An intra-group consensus message.
+    Paxos(PaxosMsg<Command>),
+    /// Reply to the message's original sender after delivery.
+    ClientReply {
+        /// The delivered message.
+        msg_id: MsgId,
+        /// The replying replica's group.
+        group: GroupId,
+        /// The global timestamp the message was delivered with.
+        global_ts: Timestamp,
+    },
+}
+
+/// Which baseline behaviour a [`BaselineReplica`] implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mode {
+    /// Fault-tolerant Skeen: proposals are exchanged only after the first
+    /// consensus completes; no confirmation round (6δ collision-free).
+    FtSkeen,
+    /// FastCast: proposals are forwarded and the second consensus started
+    /// speculatively; leaders additionally exchange confirmations once the
+    /// first consensus completes (4δ collision-free).
+    FastCast,
+}
+
+/// Per-message state at a baseline replica.
+#[derive(Debug, Clone)]
+struct BaselineRecord {
+    msg: AppMessage,
+    phase: Phase,
+    local_ts: Timestamp,
+    global_ts: Timestamp,
+    delivered: bool,
+    /// Local-timestamp proposals received from destination groups (leader only).
+    proposals: BTreeMap<GroupId, Timestamp>,
+    /// Groups whose first consensus is confirmed (FastCast leader only).
+    confirms: BTreeSet<GroupId>,
+    /// Whether this leader has already proposed `AssignLocal` for the message.
+    assign_proposed: bool,
+    /// The tentative local timestamp chosen by the leader when it proposed
+    /// `AssignLocal` (before the command is decided). Needed so the leader
+    /// treats the message as pending for the delivery rule straight away.
+    tentative_lts: Timestamp,
+    /// Whether this leader has already proposed `CommitGlobal` for the message.
+    commit_proposed: bool,
+    /// Whether `CommitGlobal` has been decided locally.
+    commit_decided: bool,
+}
+
+impl BaselineRecord {
+    fn new(msg: AppMessage) -> Self {
+        BaselineRecord {
+            msg,
+            phase: Phase::Start,
+            local_ts: Timestamp::BOTTOM,
+            global_ts: Timestamp::BOTTOM,
+            delivered: false,
+            proposals: BTreeMap::new(),
+            confirms: BTreeSet::new(),
+            assign_proposed: false,
+            tentative_lts: Timestamp::BOTTOM,
+            commit_proposed: false,
+            commit_decided: false,
+        }
+    }
+}
+
+/// A replica of one of the baseline protocols (see [`Mode`]).
+pub struct BaselineReplica {
+    id: ProcessId,
+    group: GroupId,
+    cluster: ClusterConfig,
+    mode: Mode,
+    paxos: PaxosReplica<Command>,
+    group_members: Vec<ProcessId>,
+    /// Clock used by the leader to assign fresh local timestamps. Crucially,
+    /// it is advanced past a message's *global* timestamp only when the second
+    /// consensus (`CommitGlobal`) completes — this is what gives both
+    /// baselines their ~2× failure-free latency degradation (paper §VI).
+    clock: u64,
+    records: BTreeMap<MsgId, BaselineRecord>,
+    notify_sender: bool,
+    delivered_count: u64,
+    /// Highest global timestamp delivered at this replica (duplicate filter
+    /// for leader-driven delivery).
+    max_delivered_gts: Timestamp,
+    /// FastCast confirmations that arrived before this leader had heard of the
+    /// message itself (possible with jittery links); merged into the record as
+    /// soon as it is created.
+    pending_confirms: BTreeMap<MsgId, BTreeSet<GroupId>>,
+}
+
+impl BaselineReplica {
+    /// Creates a baseline replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group does not exist in the cluster or does not contain
+    /// the replica.
+    pub fn new(id: ProcessId, group: GroupId, cluster: ClusterConfig, mode: Mode) -> Self {
+        let gc = cluster
+            .group(group)
+            .unwrap_or_else(|| panic!("group {group} not in cluster configuration"));
+        assert!(gc.contains(id), "replica {id} is not a member of {group}");
+        let members = gc.members().to_vec();
+        BaselineReplica {
+            id,
+            group,
+            mode,
+            paxos: PaxosReplica::new(PaxosConfig::new(id, members.clone())),
+            group_members: members,
+            clock: 0,
+            records: BTreeMap::new(),
+            notify_sender: true,
+            delivered_count: 0,
+            max_delivered_gts: Timestamp::BOTTOM,
+            pending_confirms: BTreeMap::new(),
+            cluster,
+        }
+    }
+
+    /// Disables delivery replies to message senders.
+    pub fn without_sender_notification(mut self) -> Self {
+        self.notify_sender = false;
+        self
+    }
+
+    /// Whether this replica is its group's (consensus) leader.
+    pub fn is_leader(&self) -> bool {
+        self.paxos.is_leader()
+    }
+
+    /// The baseline behaviour this replica implements.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Number of application messages delivered so far.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered_count
+    }
+
+    /// The phase of a message at this replica, if known.
+    pub fn phase_of(&self, m: MsgId) -> Option<Phase> {
+        self.records.get(&m).map(|r| r.phase)
+    }
+
+    /// The replica's timestamp-assignment clock.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    fn leader_of(&self, g: GroupId) -> Option<ProcessId> {
+        self.cluster.group(g).map(|gc| gc.initial_leader())
+    }
+
+    fn record_entry(&mut self, msg: &AppMessage) -> &mut BaselineRecord {
+        self.records
+            .entry(msg.id)
+            .or_insert_with(|| BaselineRecord::new(msg.clone()))
+    }
+
+    fn convert_paxos(&mut self, out: PaxosOutput<Command>) -> Vec<Action<BaselineMsg>> {
+        let mut actions = Vec::new();
+        for (to, msg) in out.outgoing {
+            actions.push(Action::send(to, BaselineMsg::Paxos(msg)));
+        }
+        for (_, cmd) in out.decided {
+            actions.extend(self.apply(cmd));
+        }
+        actions
+    }
+
+    /// Leader entry point: a client (or remote leader) submitted `m`.
+    fn handle_multicast(&mut self, msg: AppMessage) -> Vec<Action<BaselineMsg>> {
+        let mut actions = Vec::new();
+        if !msg.is_addressed_to(self.group) {
+            return actions;
+        }
+        if !self.paxos.is_leader() {
+            // Forward to the group's leader.
+            if let Some(leader) = self.leader_of(self.group) {
+                if leader != self.id {
+                    actions.push(Action::send(leader, BaselineMsg::Multicast { msg }));
+                }
+            }
+            return actions;
+        }
+        let group = self.group;
+        let stashed_confirms = self.pending_confirms.remove(&msg.id);
+        let clock = &mut self.clock;
+        let record = self
+            .records
+            .entry(msg.id)
+            .or_insert_with(|| BaselineRecord::new(msg.clone()));
+        if let Some(confirms) = stashed_confirms {
+            record.confirms.extend(confirms);
+        }
+        if record.assign_proposed {
+            return actions;
+        }
+        record.assign_proposed = true;
+        *clock += 1;
+        let local_ts = Timestamp::new(*clock, group);
+        record.tentative_lts = local_ts;
+        // Persist the assignment through consensus.
+        let out = self.paxos.propose(Command::AssignLocal {
+            msg: msg.clone(),
+            local_ts,
+        });
+        actions.extend(self.convert_paxos(out));
+        if self.mode == Mode::FastCast {
+            // Speculation: forward the (not yet durable) proposal right away.
+            actions.extend(self.send_proposals(&msg, local_ts));
+            actions.extend(self.note_proposal(&msg, self.group, local_ts));
+        }
+        actions
+    }
+
+    /// Sends this group's local-timestamp proposal to the other destination
+    /// groups' leaders.
+    fn send_proposals(&self, msg: &AppMessage, local_ts: Timestamp) -> Vec<Action<BaselineMsg>> {
+        let mut actions = Vec::new();
+        for g in msg.dest.iter() {
+            if g == self.group {
+                continue;
+            }
+            if let Some(leader) = self.leader_of(g) {
+                actions.push(Action::send(
+                    leader,
+                    BaselineMsg::Propose {
+                        msg: msg.clone(),
+                        group: self.group,
+                        local_ts,
+                    },
+                ));
+            }
+        }
+        actions
+    }
+
+    /// Records a proposal (own or remote) at the leader and, once proposals
+    /// from every destination group are known, starts the second consensus.
+    fn note_proposal(
+        &mut self,
+        msg: &AppMessage,
+        group: GroupId,
+        local_ts: Timestamp,
+    ) -> Vec<Action<BaselineMsg>> {
+        let mut actions = Vec::new();
+        if !self.paxos.is_leader() {
+            return actions;
+        }
+        let mode = self.mode;
+        let record = self.record_entry(msg);
+        record.proposals.insert(group, local_ts);
+        let complete = msg.dest.iter().all(|g| record.proposals.contains_key(&g));
+        if !complete || record.commit_proposed {
+            return actions;
+        }
+        // Fault-tolerant Skeen additionally waits for its own assignment to be
+        // durable (the first consensus) before computing the global timestamp;
+        // FastCast computes it speculatively.
+        if mode == Mode::FtSkeen && record.phase == Phase::Start {
+            return actions;
+        }
+        record.commit_proposed = true;
+        let gts = Timestamp::global_of(record.proposals.values().copied());
+        let msg_id = msg.id;
+        let out = self.paxos.propose(Command::CommitGlobal {
+            msg_id,
+            global_ts: gts,
+        });
+        actions.extend(self.convert_paxos(out));
+        actions
+    }
+
+    /// Applies a decided command to the group's replicated state.
+    fn apply(&mut self, cmd: Command) -> Vec<Action<BaselineMsg>> {
+        let mut actions = Vec::new();
+        match cmd {
+            Command::AssignLocal { msg, local_ts } => {
+                let is_leader = self.paxos.is_leader();
+                let group = self.group;
+                {
+                    let record = self.record_entry(&msg);
+                    if record.phase == Phase::Start {
+                        record.phase = Phase::Proposed;
+                        record.local_ts = local_ts;
+                    }
+                }
+                self.clock = self.clock.max(local_ts.time());
+                if is_leader {
+                    match self.mode {
+                        Mode::FtSkeen => {
+                            // Only now is the proposal durable; exchange it.
+                            actions.extend(self.send_proposals(&msg, local_ts));
+                            actions.extend(self.note_proposal(&msg, group, local_ts));
+                        }
+                        Mode::FastCast => {
+                            // The proposal went out speculatively; confirm that
+                            // consensus on it has now completed.
+                            for g in msg.dest.iter() {
+                                if g == group {
+                                    actions.extend(self.note_confirm(msg.id, group));
+                                } else if let Some(leader) = self.leader_of(g) {
+                                    actions.push(Action::send(
+                                        leader,
+                                        BaselineMsg::Confirm {
+                                            msg_id: msg.id,
+                                            group,
+                                        },
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Command::CommitGlobal { msg_id, global_ts } => {
+                if let Some(record) = self.records.get_mut(&msg_id) {
+                    record.commit_decided = true;
+                    record.global_ts = global_ts;
+                    if record.phase < Phase::Committed {
+                        record.phase = Phase::Committed;
+                    }
+                }
+                // The clock advances past the global timestamp only here, i.e.
+                // only after the second consensus — the source of the 2×
+                // failure-free latency degradation of the baselines.
+                self.clock = self.clock.max(global_ts.time());
+                actions.extend(self.try_deliver());
+            }
+        }
+        actions
+    }
+
+    /// Records a FastCast confirmation at the leader.
+    fn note_confirm(&mut self, msg_id: MsgId, group: GroupId) -> Vec<Action<BaselineMsg>> {
+        match self.records.get_mut(&msg_id) {
+            Some(record) => {
+                record.confirms.insert(group);
+            }
+            None => {
+                // The confirmation outran the message itself; remember it.
+                self.pending_confirms.entry(msg_id).or_default().insert(group);
+            }
+        }
+        self.try_deliver()
+    }
+
+    /// Skeen's delivery rule over the leader's state: deliver committed
+    /// messages in global-timestamp order once no pending message can be
+    /// ordered before them. FastCast leaders additionally wait for
+    /// confirmations from every destination group. Delivery is leader-driven:
+    /// the leader delivers locally and instructs its followers with
+    /// [`BaselineMsg::Deliver`], which guarantees that every member of the
+    /// group delivers in exactly the leader's order.
+    fn try_deliver(&mut self) -> Vec<Action<BaselineMsg>> {
+        let mut actions = Vec::new();
+        if !self.paxos.is_leader() {
+            return actions;
+        }
+        // A message is "pending" — and thus blocks the delivery of committed
+        // messages with higher global timestamps — from the moment the leader
+        // assigns it a (tentative) local timestamp, not only once consensus on
+        // that assignment completes.
+        let min_pending = self
+            .records
+            .values()
+            .filter_map(|r| {
+                if r.phase == Phase::Proposed {
+                    Some(r.local_ts)
+                } else if r.phase == Phase::Start && r.assign_proposed {
+                    Some(r.tentative_lts)
+                } else {
+                    None
+                }
+            })
+            .min();
+        let mode = self.mode;
+        let mut candidates: Vec<(Timestamp, MsgId)> = self
+            .records
+            .values()
+            .filter(|r| r.phase == Phase::Committed && r.commit_decided && !r.delivered)
+            .map(|r| (r.global_ts, r.msg.id))
+            .collect();
+        candidates.sort();
+        for (gts, id) in candidates {
+            if let Some(pending) = min_pending {
+                if pending <= gts {
+                    break;
+                }
+            }
+            // FastCast: the leader must also have confirmations from every
+            // destination group before acting on the speculative order. An
+            // unconfirmed message also blocks everything ordered after it —
+            // otherwise a higher-timestamped message could overtake it and the
+            // group would deliver out of timestamp order.
+            if mode == Mode::FastCast {
+                let confirmed = {
+                    let r = &self.records[&id];
+                    r.msg.dest.iter().all(|g| r.confirms.contains(&g))
+                };
+                if !confirmed {
+                    break;
+                }
+            }
+            actions.extend(self.deliver_one(id, gts));
+            // Tell the followers.
+            for member in self.group_members.clone() {
+                if member != self.id {
+                    actions.push(Action::send(
+                        member,
+                        BaselineMsg::Deliver {
+                            msg_id: id,
+                            global_ts: gts,
+                        },
+                    ));
+                }
+            }
+        }
+        actions
+    }
+
+    /// Delivers one message locally (leader on its own decision, follower on a
+    /// `Deliver` instruction), filtering duplicates via `max_delivered_gts`.
+    fn deliver_one(&mut self, id: MsgId, gts: Timestamp) -> Vec<Action<BaselineMsg>> {
+        let mut actions = Vec::new();
+        if gts <= self.max_delivered_gts {
+            return actions;
+        }
+        let notify = self.notify_sender;
+        let group = self.group;
+        let Some(record) = self.records.get_mut(&id) else {
+            return actions;
+        };
+        if record.delivered {
+            return actions;
+        }
+        record.delivered = true;
+        record.phase = Phase::Committed;
+        record.global_ts = gts;
+        self.max_delivered_gts = gts;
+        self.delivered_count += 1;
+        actions.push(Action::Deliver(DeliveredMessage::with_timestamp(
+            record.msg.clone(),
+            gts,
+        )));
+        let sender = record.msg.id.sender;
+        if notify && !self.group_members.contains(&sender) {
+            actions.push(Action::send(
+                sender,
+                BaselineMsg::ClientReply {
+                    msg_id: id,
+                    group,
+                    global_ts: gts,
+                },
+            ));
+        }
+        actions
+    }
+}
+
+impl Node for BaselineReplica {
+    type Msg = BaselineMsg;
+
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn on_event(&mut self, _now: Duration, event: Event<BaselineMsg>) -> Vec<Action<BaselineMsg>> {
+        match event {
+            Event::Multicast(msg) => self.handle_multicast(msg),
+            Event::BecomeLeader => {
+                let out = self.paxos.campaign();
+                self.convert_paxos(out)
+            }
+            Event::Message { from, msg } => match msg {
+                BaselineMsg::Multicast { msg } => self.handle_multicast(msg),
+                BaselineMsg::Propose {
+                    msg,
+                    group,
+                    local_ts,
+                } => {
+                    // Make sure we are ordering the message ourselves too (the
+                    // client's MULTICAST to us may still be in flight or lost).
+                    let mut actions = self.handle_multicast(msg.clone());
+                    actions.extend(self.note_proposal(&msg, group, local_ts));
+                    actions
+                }
+                BaselineMsg::Confirm { msg_id, group } => self.note_confirm(msg_id, group),
+                BaselineMsg::Deliver { msg_id, global_ts } => self.deliver_one(msg_id, global_ts),
+                BaselineMsg::Paxos(m) => {
+                    let out = self.paxos.handle(from, m);
+                    self.convert_paxos(out)
+                }
+                BaselineMsg::ClientReply { .. } => Vec::new(),
+            },
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// A client for the baseline protocols: submits messages to the destination
+/// groups' leaders, collects the first delivery reply per message and retries
+/// on a timeout.
+pub struct BaselineClient {
+    id: ProcessId,
+    cluster: ClusterConfig,
+    retry_timeout: Duration,
+    pending: BTreeMap<MsgId, (AppMessage, Duration)>,
+    completed: Vec<(MsgId, Timestamp, Duration)>,
+}
+
+impl BaselineClient {
+    /// Creates a client with the given retry timeout.
+    pub fn new(id: ProcessId, cluster: ClusterConfig, retry_timeout: Duration) -> Self {
+        BaselineClient {
+            id,
+            cluster,
+            retry_timeout,
+            pending: BTreeMap::new(),
+            completed: Vec::new(),
+        }
+    }
+
+    /// Completed multicasts: message, global timestamp, client-side latency.
+    pub fn completed(&self) -> &[(MsgId, Timestamp, Duration)] {
+        &self.completed
+    }
+
+    /// Number of in-flight multicasts.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn send_to_leaders(&self, msg: &AppMessage) -> Vec<Action<BaselineMsg>> {
+        msg.dest
+            .iter()
+            .filter_map(|g| self.cluster.group(g).map(|gc| gc.initial_leader()))
+            .map(|leader| Action::send(leader, BaselineMsg::Multicast { msg: msg.clone() }))
+            .collect()
+    }
+}
+
+impl Node for BaselineClient {
+    type Msg = BaselineMsg;
+
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn on_event(&mut self, now: Duration, event: Event<BaselineMsg>) -> Vec<Action<BaselineMsg>> {
+        match event {
+            Event::Multicast(msg) => {
+                let mut actions = self.send_to_leaders(&msg);
+                actions.push(Action::SetTimer {
+                    id: wbam_types::TimerId(msg.id.seq),
+                    delay: self.retry_timeout,
+                });
+                self.pending.insert(msg.id, (msg, now));
+                actions
+            }
+            Event::Timer { id, .. } => {
+                let msg = self
+                    .pending
+                    .values()
+                    .find(|(m, _)| m.id.seq == id.0)
+                    .map(|(m, _)| m.clone());
+                match msg {
+                    Some(m) => {
+                        let mut actions = self.send_to_leaders(&m);
+                        actions.push(Action::SetTimer {
+                            id,
+                            delay: self.retry_timeout,
+                        });
+                        actions
+                    }
+                    None => Vec::new(),
+                }
+            }
+            Event::Message {
+                msg: BaselineMsg::ClientReply {
+                    msg_id, global_ts, ..
+                },
+                ..
+            } => {
+                if let Some((msg, submitted)) = self.pending.remove(&msg_id) {
+                    let latency = now.saturating_sub(submitted);
+                    self.completed.push((msg_id, global_ts, latency));
+                    return vec![
+                        Action::CancelTimer(wbam_types::TimerId(msg_id.seq)),
+                        Action::Deliver(DeliveredMessage::with_timestamp(msg, global_ts)),
+                    ];
+                }
+                Vec::new()
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbam_types::{Destination, Payload};
+
+    fn cluster() -> ClusterConfig {
+        ClusterConfig::builder().groups(2, 3).clients(1).build()
+    }
+
+    fn msg(seq: u64, dest: &[u32]) -> AppMessage {
+        AppMessage::new(
+            MsgId::new(ProcessId(6), seq),
+            Destination::new(dest.iter().map(|g| GroupId(*g))).unwrap(),
+            Payload::from("x"),
+        )
+    }
+
+    #[test]
+    fn leader_proposes_assignment_through_consensus() {
+        let mut leader = BaselineReplica::new(ProcessId(0), GroupId(0), cluster(), Mode::FtSkeen);
+        let actions = leader.on_event(
+            Duration::ZERO,
+            Event::message(ProcessId(6), BaselineMsg::Multicast { msg: msg(0, &[0, 1]) }),
+        );
+        // Three Paxos ACCEPTs, no cross-group traffic yet (FT-Skeen waits for
+        // consensus to complete before exchanging proposals).
+        let paxos_msgs = actions
+            .iter()
+            .filter(|a| matches!(a, Action::Send { msg: BaselineMsg::Paxos(_), .. }))
+            .count();
+        let proposes = actions
+            .iter()
+            .filter(|a| matches!(a, Action::Send { msg: BaselineMsg::Propose { .. }, .. }))
+            .count();
+        assert_eq!(paxos_msgs, 3);
+        assert_eq!(proposes, 0);
+    }
+
+    #[test]
+    fn fastcast_sends_proposals_speculatively() {
+        let mut leader = BaselineReplica::new(ProcessId(0), GroupId(0), cluster(), Mode::FastCast);
+        let actions = leader.on_event(
+            Duration::ZERO,
+            Event::message(ProcessId(6), BaselineMsg::Multicast { msg: msg(0, &[0, 1]) }),
+        );
+        let proposes = actions
+            .iter()
+            .filter(|a| matches!(a, Action::Send { msg: BaselineMsg::Propose { .. }, .. }))
+            .count();
+        assert_eq!(proposes, 1, "the proposal to g1's leader goes out immediately");
+    }
+
+    #[test]
+    fn follower_forwards_multicast_to_leader() {
+        let mut follower = BaselineReplica::new(ProcessId(1), GroupId(0), cluster(), Mode::FtSkeen);
+        let actions = follower.on_event(
+            Duration::ZERO,
+            Event::message(ProcessId(6), BaselineMsg::Multicast { msg: msg(0, &[0]) }),
+        );
+        assert!(matches!(
+            &actions[0],
+            Action::Send { to, msg: BaselineMsg::Multicast { .. } } if *to == ProcessId(0)
+        ));
+    }
+
+    #[test]
+    fn duplicate_multicast_is_proposed_once() {
+        let mut leader = BaselineReplica::new(ProcessId(0), GroupId(0), cluster(), Mode::FtSkeen);
+        let m = msg(0, &[0]);
+        leader.on_event(
+            Duration::ZERO,
+            Event::message(ProcessId(6), BaselineMsg::Multicast { msg: m.clone() }),
+        );
+        let second = leader.on_event(
+            Duration::ZERO,
+            Event::message(ProcessId(6), BaselineMsg::Multicast { msg: m }),
+        );
+        assert!(second.is_empty());
+        assert_eq!(leader.clock(), 1);
+    }
+
+    #[test]
+    fn client_sends_to_destination_leaders_and_records_reply() {
+        let mut c = BaselineClient::new(ProcessId(6), cluster(), Duration::from_millis(200));
+        let m = msg(0, &[0, 1]);
+        let actions = c.on_event(Duration::ZERO, Event::Multicast(m.clone()));
+        let targets: Vec<_> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send { to, .. } => Some(*to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(targets, vec![ProcessId(0), ProcessId(3)]);
+        let reply = BaselineMsg::ClientReply {
+            msg_id: m.id,
+            group: GroupId(1),
+            global_ts: Timestamp::new(2, GroupId(1)),
+        };
+        let actions = c.on_event(Duration::from_millis(9), Event::message(ProcessId(3), reply));
+        assert!(actions.iter().any(Action::is_delivery));
+        assert_eq!(c.completed().len(), 1);
+        assert_eq!(c.completed()[0].2, Duration::from_millis(9));
+        assert_eq!(c.pending_count(), 0);
+    }
+
+    #[test]
+    fn client_retry_resends_to_leaders() {
+        let mut c = BaselineClient::new(ProcessId(6), cluster(), Duration::from_millis(50));
+        let m = msg(3, &[1]);
+        c.on_event(Duration::ZERO, Event::Multicast(m));
+        let actions = c.on_event(
+            Duration::from_millis(50),
+            Event::Timer {
+                id: wbam_types::TimerId(3),
+                now: Duration::from_millis(50),
+            },
+        );
+        let resends = actions
+            .iter()
+            .filter(|a| matches!(a, Action::Send { msg: BaselineMsg::Multicast { .. }, .. }))
+            .count();
+        assert_eq!(resends, 1);
+    }
+}

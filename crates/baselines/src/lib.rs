@@ -1,0 +1,33 @@
+//! Baseline genuine atomic multicast protocols used in the paper's evaluation
+//! (§VI, "Competitor protocols"):
+//!
+//! * [`FtSkeenReplica`] — the classical **fault-tolerant Skeen** protocol
+//!   [Fritzke et al., 2001]: each group is replicated with black-box consensus
+//!   (our `wbam-consensus` multi-Paxos). Every Skeen step at a group — the
+//!   assignment of a local timestamp, and the recording of the global
+//!   timestamp with the accompanying clock advance — is first agreed by the
+//!   group through a consensus instance. Collision-free latency **6δ**,
+//!   failure-free latency ~**12δ**.
+//! * [`FastCastReplica`] — **FastCast** [Coelho et al., DSN 2017]: the same
+//!   structure, but the leader *speculatively* forwards its local timestamp to
+//!   the other destination groups before consensus on it finishes, and
+//!   speculatively starts the second consensus; leaders exchange confirmations
+//!   once the first consensus completes. Collision-free latency **4δ**,
+//!   failure-free latency ~**8δ**.
+//!
+//! Both baselines share the wire message type [`BaselineMsg`] and the
+//! replicated command type [`Command`], and are sans-IO [`Node`]s runnable on
+//! the simulator or the threaded runtime, so the three protocols (these two
+//! plus the white-box protocol in `wbam-core`) can be compared on an identical
+//! substrate — this is what the Figure 7 / Figure 8 benchmarks do.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod common;
+pub mod fastcast;
+pub mod ftskeen;
+
+pub use common::{BaselineClient, BaselineMsg, Command};
+pub use fastcast::FastCastReplica;
+pub use ftskeen::FtSkeenReplica;

@@ -1,0 +1,51 @@
+//! Criterion benchmark: a miniature version of the Figure 7 LAN experiment —
+//! closed-loop clients over 4 groups — comparing the three fault-tolerant
+//! protocols. Wall-clock time per iteration tracks the number of simulated
+//! protocol messages, so the relative cost of the protocols is visible
+//! directly in the benchmark results.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wbam_harness::{run_closed_loop, ClosedLoopWorkload, ClusterSpec, Protocol, ProtocolSim};
+use wbam_simnet::LatencyModel;
+
+fn bench_lan_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lan_closed_loop");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for protocol in Protocol::evaluated() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(protocol.label()),
+            &protocol,
+            |b, protocol| {
+                b.iter(|| {
+                    let spec = ClusterSpec {
+                        num_groups: 4,
+                        group_size: 3,
+                        num_clients: 8,
+                        num_sites: 1,
+                        latency: LatencyModel::constant(Duration::from_micros(100)),
+                        service_time: Duration::from_micros(10),
+                        seed: 11,
+                    };
+                    let mut sim = ProtocolSim::build(*protocol, &spec);
+                    let workload = ClosedLoopWorkload {
+                        dest_groups: 2,
+                        duration: Duration::from_millis(100),
+                        warmup: Duration::from_millis(20),
+                        ..ClosedLoopWorkload::default()
+                    };
+                    let result = run_closed_loop(&mut sim, &workload);
+                    assert!(result.latency.count > 0);
+                    result
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lan_throughput);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benchmark: single-message delivery latency of every protocol
+//! under a constant one-way delay (the simulated counterpart of "Table 1" and
+//! Figure 5). The measured quantity is wall-clock time to *simulate* the
+//! delivery, but the reported auxiliary output is the simulated latency in δ.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wbam_harness::{latency_probe, Protocol};
+
+fn bench_delivery_latency(c: &mut Criterion) {
+    let delta = Duration::from_millis(10);
+    let mut group = c.benchmark_group("collision_free_delivery");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for protocol in [
+        Protocol::Skeen,
+        Protocol::WhiteBox,
+        Protocol::FastCast,
+        Protocol::FtSkeen,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(protocol.label()),
+            &protocol,
+            |b, protocol| {
+                b.iter(|| {
+                    let r = latency_probe(*protocol, 2, delta);
+                    assert!(r.delta_multiples > 1.0);
+                    r
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_delivery_latency);
+criterion_main!(benches);

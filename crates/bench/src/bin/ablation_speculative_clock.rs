@@ -1,0 +1,83 @@
+//! Ablation A1: the speculative clock update (Figure 4, line 14).
+//!
+//! The white-box protocol advances a replica's clock past a message's future
+//! global timestamp as soon as the full set of `ACCEPT`s is received — before
+//! the timestamps are durable. Disabling that update makes newly arriving
+//! conflicting messages receive low local timestamps for longer, recreating
+//! the convoy-induced latency degradation that black-box designs suffer.
+
+use std::time::Duration;
+
+use wbam_bench::header;
+use wbam_core::{ClientConfig, MulticastClient, ReplicaConfig, WhiteBoxReplica};
+use wbam_simnet::{LatencyModel, SimConfig, Simulation};
+use wbam_types::{AppMessage, ClusterConfig, Destination, GroupId, MsgId, Payload};
+
+fn run(speculative: bool, delta: Duration) -> f64 {
+    let cluster = ClusterConfig::builder().groups(2, 3).clients(2).build();
+    let mut sim = Simulation::new(SimConfig {
+        latency: LatencyModel::constant(delta),
+        ..SimConfig::default()
+    });
+    for gc in cluster.groups() {
+        for member in gc.members() {
+            let mut cfg =
+                ReplicaConfig::new(*member, gc.id(), cluster.clone()).without_auto_election();
+            if !speculative {
+                cfg = cfg.without_speculative_clock_update();
+            }
+            sim.add_replica(
+                Box::new(WhiteBoxReplica::new(cfg)),
+                gc.id(),
+                cluster.site_of(*member),
+            );
+        }
+    }
+    for client in cluster.clients() {
+        sim.add_client(Box::new(MulticastClient::new(ClientConfig::new(
+            *client,
+            cluster.clone(),
+        ))));
+    }
+    let c0 = cluster.clients()[0];
+    let c1 = cluster.clients()[1];
+    let dest = Destination::new(vec![GroupId(0), GroupId(1)]).unwrap();
+    // Prime group 1's clock so the probed message's global timestamp is high.
+    for seq in 0..4u64 {
+        sim.schedule_multicast(
+            Duration::ZERO,
+            c1,
+            AppMessage::new(
+                MsgId::new(c1, seq),
+                Destination::single(GroupId(1)),
+                Payload::zeros(20),
+            ),
+        );
+    }
+    let start = delta * 40;
+    let probe = AppMessage::new(MsgId::new(c0, 0), dest.clone(), Payload::zeros(20));
+    sim.schedule_multicast(start, c0, probe.clone());
+    // Conflicting message timed to arrive at group 0's leader ~3δ after the
+    // probe was multicast: with the speculative update the leader's clock has
+    // already passed the probe's global timestamp (at 2δ) and nothing blocks;
+    // without it the clock only advances at commit/delivery time and the
+    // conflicting message blocks the probe.
+    let conflict = AppMessage::new(MsgId::new(c1, 10), dest, Payload::zeros(20));
+    sim.schedule_multicast(start + delta + delta / 2, c1, conflict);
+    sim.run_until_quiescent(Duration::from_secs(600));
+    let latency = sim.metrics().latency(probe.id).expect("probe delivered");
+    latency.as_secs_f64() / delta.as_secs_f64()
+}
+
+fn main() {
+    header("Ablation A1 — speculative clock update (Figure 4, line 14)");
+    let delta = Duration::from_millis(10);
+    let with = run(true, delta);
+    let without = run(false, delta);
+    println!("probe-message latency with a conflicting arrival at ~2.5δ (after multicast):");
+    println!("  speculative clock update ON  : {with:.2}δ (paper bound: 5δ failure-free)");
+    println!("  speculative clock update OFF : {without:.2}δ (degrades towards 2× behaviour)");
+    println!();
+    println!("The speculative update is what keeps the white-box protocol's failure-free");
+    println!("latency at 5δ instead of ~2× its collision-free latency.");
+}

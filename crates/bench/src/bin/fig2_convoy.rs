@@ -1,0 +1,28 @@
+//! Figure 2: the convoy effect in Skeen's protocol — a conflicting message
+//! arriving just before a committed message is delivered blocks it, pushing
+//! the failure-free latency towards 2× the collision-free latency.
+
+use std::time::Duration;
+
+use wbam_bench::header;
+use wbam_harness::{convoy_probe, latency_probe, Protocol};
+
+fn main() {
+    header("Figure 2 — convoy effect in Skeen's protocol");
+    let delta = Duration::from_millis(10);
+    let collision_free = latency_probe(Protocol::Skeen, 2, delta);
+    let convoy = convoy_probe(Protocol::Skeen, delta);
+    println!("one-way delay δ                   : {:?}", delta);
+    println!(
+        "collision-free delivery latency   : {:.2}δ (paper: 2δ)",
+        collision_free.delta_multiples
+    );
+    println!(
+        "latency under the convoy schedule : {:.2}δ (paper worst case: 4δ)",
+        convoy.delta_multiples
+    );
+    println!();
+    println!("The conflicting multicast received just before commit receives a local");
+    println!("timestamp below the first message's global timestamp and therefore blocks");
+    println!("its delivery until the conflicting message itself commits.");
+}

@@ -1,0 +1,39 @@
+//! "Table 1": collision-free and failure-free delivery latencies of every
+//! protocol, in multiples of the one-way delay δ, compared against the paper's
+//! analytical claims (§I, §V, §VI).
+
+use std::time::Duration;
+
+use wbam_bench::header;
+use wbam_harness::{convoy_probe, latency_probe, Protocol};
+
+fn main() {
+    header("Table 1 — delivery latency in message delays (δ)");
+    let delta = Duration::from_millis(10);
+    println!(
+        "{:<10} {:>18} {:>12} {:>18} {:>12}",
+        "protocol", "collision-free", "paper", "failure-free*", "paper"
+    );
+    let rows = [
+        (Protocol::Skeen, "2δ", "4δ"),
+        (Protocol::WhiteBox, "3δ", "5δ"),
+        (Protocol::FastCast, "4δ", "8δ"),
+        (Protocol::FtSkeen, "6δ", "12δ"),
+    ];
+    for (protocol, cf_paper, ff_paper) in rows {
+        let cf = latency_probe(protocol, 2, delta);
+        let ff = convoy_probe(protocol, delta);
+        println!(
+            "{:<10} {:>17.2}δ {:>12} {:>17.2}δ {:>12}",
+            protocol.label(),
+            cf.delta_multiples,
+            cf_paper,
+            ff.delta_multiples,
+            ff_paper
+        );
+    }
+    println!();
+    println!("* measured under the adversarial collision schedule of the convoy probe;");
+    println!("  the simulated client cannot reproduce the paper's worst-case asymmetric");
+    println!("  MULTICAST delivery, so measured values sit ~1δ below the analytical bound.");
+}

@@ -1,0 +1,58 @@
+//! Shared helpers for the figure-reproduction binaries and Criterion benches.
+//!
+//! Every table and figure of the paper's evaluation has a corresponding binary
+//! in `src/bin/` (see `DESIGN.md` for the experiment index and
+//! `EXPERIMENTS.md` for recorded results):
+//!
+//! | experiment | binary |
+//! |---|---|
+//! | "Table 1" — collision-free / failure-free latencies | `table1_latency` |
+//! | Figure 2 — convoy effect in Skeen's protocol | `fig2_convoy` |
+//! | Figure 5 — white-box message flow (3δ / 4δ) | `fig5_flow` |
+//! | Figure 7 — LAN latency & throughput sweep | `fig7_lan` |
+//! | Figure 8 — WAN latency & throughput sweep | `fig8_wan` |
+//! | Ablation A1 — speculative clock update | `ablation_speculative_clock` |
+//! | Ablation A2 — genuine scalability | `ablation_genuine_scaling` |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::Duration;
+
+/// Returns the experiment scale factor from the `WBAM_SCALE` environment
+/// variable (default 1). The Figure 7/8 sweeps multiply their client counts
+/// and run durations by this factor, so `WBAM_SCALE=5` approaches the paper's
+/// client counts at the cost of much longer simulations.
+pub fn scale() -> u64 {
+    std::env::var("WBAM_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|v| *v >= 1)
+        .unwrap_or(1)
+}
+
+/// Formats a duration as fractional milliseconds.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Prints a section header in the style used by all experiment binaries.
+pub fn header(title: &str) {
+    println!("{title}");
+    println!("{}", "=".repeat(title.len()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_defaults_to_one() {
+        assert!(scale() >= 1);
+    }
+
+    #[test]
+    fn ms_formats_two_decimals() {
+        assert_eq!(ms(Duration::from_micros(1500)), "1.50");
+    }
+}

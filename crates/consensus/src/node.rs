@@ -1,0 +1,183 @@
+//! A standalone atomic-broadcast node built on [`PaxosReplica`].
+//!
+//! [`PaxosNode`] wraps the embeddable Paxos core into a self-contained sans-IO
+//! [`Node`]: applications submit commands via [`Event::Multicast`] (the
+//! payload is the command), followers forward submissions to the leader, and
+//! decided commands are surfaced as [`Action::Deliver`]s in log order. Within
+//! a single group this is exactly atomic broadcast, the special case of atomic
+//! multicast with one group (§II of the paper).
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+use wbam_types::{
+    Action, AppMessage, DeliveredMessage, Event, GroupId, Node, ProcessId, Timestamp,
+};
+
+use crate::{PaxosConfig, PaxosMsg, PaxosOutput, PaxosReplica};
+
+/// Wire messages of the standalone Paxos node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PaxosNodeMsg {
+    /// A client or follower forwards a command (an application message) to the
+    /// leader for sequencing.
+    Submit {
+        /// The application message to order.
+        msg: AppMessage,
+    },
+    /// An embedded Paxos protocol message.
+    Paxos(PaxosMsg<AppMessage>),
+}
+
+/// A single-group atomic-broadcast node backed by multi-Paxos.
+pub struct PaxosNode {
+    id: ProcessId,
+    group: GroupId,
+    core: PaxosReplica<AppMessage>,
+    leader_hint: ProcessId,
+    delivered: u64,
+}
+
+impl PaxosNode {
+    /// Creates a node for the given group member set.
+    pub fn new(id: ProcessId, group: GroupId, members: Vec<ProcessId>) -> Self {
+        let leader_hint = members[0];
+        PaxosNode {
+            id,
+            group,
+            core: PaxosReplica::new(PaxosConfig::new(id, members)),
+            leader_hint,
+            delivered: 0,
+        }
+    }
+
+    /// Number of commands delivered so far.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Whether this node believes it leads the group.
+    pub fn is_leader(&self) -> bool {
+        self.core.is_leader()
+    }
+
+    fn convert(&mut self, out: PaxosOutput<AppMessage>) -> Vec<Action<PaxosNodeMsg>> {
+        let mut actions = Vec::new();
+        for (to, msg) in out.outgoing {
+            actions.push(Action::send(to, PaxosNodeMsg::Paxos(msg)));
+        }
+        for (slot, msg) in out.decided {
+            self.delivered += 1;
+            actions.push(Action::Deliver(DeliveredMessage::with_timestamp(
+                msg,
+                Timestamp::new(slot + 1, self.group),
+            )));
+        }
+        actions
+    }
+}
+
+impl Node for PaxosNode {
+    type Msg = PaxosNodeMsg;
+
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn on_event(&mut self, _now: Duration, event: Event<PaxosNodeMsg>) -> Vec<Action<PaxosNodeMsg>> {
+        match event {
+            Event::Multicast(msg) => {
+                if self.core.is_leader() {
+                    let out = self.core.propose(msg);
+                    self.convert(out)
+                } else {
+                    vec![Action::send(self.leader_hint, PaxosNodeMsg::Submit { msg })]
+                }
+            }
+            Event::BecomeLeader => {
+                let out = self.core.campaign();
+                self.convert(out)
+            }
+            Event::Message { from, msg } => match msg {
+                PaxosNodeMsg::Submit { msg } => {
+                    if self.core.is_leader() {
+                        let out = self.core.propose(msg);
+                        self.convert(out)
+                    } else {
+                        vec![Action::send(self.leader_hint, PaxosNodeMsg::Submit { msg })]
+                    }
+                }
+                PaxosNodeMsg::Paxos(m) => {
+                    let out = self.core.handle(from, m);
+                    let actions = self.convert(out);
+                    if self.core.is_leader() {
+                        self.leader_hint = self.id;
+                    }
+                    actions
+                }
+            },
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbam_simnet::{LatencyModel, SimConfig, Simulation};
+    use wbam_types::{Destination, MsgId, Payload};
+
+    fn app(seq: u64) -> AppMessage {
+        AppMessage::new(
+            MsgId::new(ProcessId(9), seq),
+            Destination::single(GroupId(0)),
+            Payload::from("cmd"),
+        )
+    }
+
+    fn build_sim() -> Simulation<PaxosNodeMsg> {
+        let mut sim = Simulation::new(SimConfig {
+            latency: LatencyModel::constant(Duration::from_millis(1)),
+            ..SimConfig::default()
+        });
+        let members = vec![ProcessId(0), ProcessId(1), ProcessId(2)];
+        for id in &members {
+            sim.add_replica(
+                Box::new(PaxosNode::new(*id, GroupId(0), members.clone())),
+                GroupId(0),
+                wbam_types::SiteId(0),
+            );
+        }
+        sim
+    }
+
+    #[test]
+    fn commands_are_delivered_in_the_same_order_everywhere() {
+        let mut sim = build_sim();
+        for seq in 0..10 {
+            sim.schedule_multicast(
+                Duration::from_millis(seq),
+                ProcessId(0),
+                app(seq),
+            );
+        }
+        sim.run_until_quiescent(Duration::from_secs(5));
+        let metrics = sim.metrics();
+        let order0 = metrics.delivery_order_at(ProcessId(0));
+        let order1 = metrics.delivery_order_at(ProcessId(1));
+        let order2 = metrics.delivery_order_at(ProcessId(2));
+        assert_eq!(order0.len(), 10);
+        assert_eq!(order0, order1);
+        assert_eq!(order1, order2);
+    }
+
+    #[test]
+    fn follower_forwards_submissions_to_the_leader() {
+        let mut sim = build_sim();
+        sim.schedule_multicast(Duration::ZERO, ProcessId(2), app(0));
+        sim.run_until_quiescent(Duration::from_secs(5));
+        let metrics = sim.metrics();
+        assert_eq!(metrics.delivery_order_at(ProcessId(0)).len(), 1);
+        assert_eq!(metrics.delivery_order_at(ProcessId(2)).len(), 1);
+    }
+}

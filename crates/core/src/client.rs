@@ -1,0 +1,365 @@
+//! A multicasting client for the white-box protocol.
+//!
+//! Clients are ordinary processes that submit application messages for
+//! multicast (Figure 4, lines 1–2) and, in a practical deployment, wait for a
+//! reply from the first replica that delivers the message. The client here
+//! implements the paper's message-recovery rule for multicaster failures from
+//! the other side: if no reply arrives within a timeout it re-sends the
+//! `MULTICAST` message, falling back to contacting *every* member of each
+//! destination group so that it also discovers new leaders (§IV, "Normal
+//! operation": "the multicasting process can always send the message to all
+//! the processes in a given group to find out who its leader is").
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use wbam_types::{
+    Action, AppMessage, DeliveredMessage, Event, GroupId, MsgId, Node, ProcessId, TimerId,
+    Timestamp,
+};
+
+use crate::config::ClientConfig;
+use crate::messages::WhiteBoxMsg;
+
+/// State of one in-flight multicast at the client.
+#[derive(Debug, Clone)]
+struct PendingMulticast {
+    msg: AppMessage,
+    attempts: u32,
+    submitted_at: Duration,
+}
+
+/// Record of a completed multicast, for inspection by tests and the harness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedMulticast {
+    /// The message identifier.
+    pub msg_id: MsgId,
+    /// The group of the first replica that replied.
+    pub first_reply_group: GroupId,
+    /// The global timestamp the message was delivered with.
+    pub global_ts: Timestamp,
+    /// Time from submission to the first reply, as observed by the client.
+    pub latency: Duration,
+}
+
+/// A client process that multicasts application messages and tracks replies.
+pub struct MulticastClient {
+    config: ClientConfig,
+    cur_leader: BTreeMap<GroupId, ProcessId>,
+    next_seq: u64,
+    pending: BTreeMap<MsgId, PendingMulticast>,
+    completed: Vec<CompletedMulticast>,
+}
+
+impl MulticastClient {
+    /// Creates a client from its configuration.
+    pub fn new(config: ClientConfig) -> Self {
+        let cur_leader = config.cluster.initial_leaders();
+        MulticastClient {
+            config,
+            cur_leader,
+            next_seq: 0,
+            pending: BTreeMap::new(),
+            completed: Vec::new(),
+        }
+    }
+
+    /// The next message identifier this client will use.
+    pub fn next_msg_id(&self) -> MsgId {
+        MsgId::new(self.config.id, self.next_seq)
+    }
+
+    /// Number of multicasts still awaiting a reply.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Multicasts completed so far (first reply received), in completion order.
+    pub fn completed(&self) -> &[CompletedMulticast] {
+        &self.completed
+    }
+
+    fn timer_for(msg_id: MsgId) -> TimerId {
+        TimerId(msg_id.seq)
+    }
+
+    fn send_to_leaders(&self, msg: &AppMessage) -> Vec<Action<WhiteBoxMsg>> {
+        msg.dest
+            .iter()
+            .filter_map(|g| self.cur_leader.get(&g).copied())
+            .map(|leader| {
+                Action::send(
+                    leader,
+                    WhiteBoxMsg::Multicast { msg: msg.clone() },
+                )
+            })
+            .collect()
+    }
+
+    fn send_to_all_members(&self, msg: &AppMessage) -> Vec<Action<WhiteBoxMsg>> {
+        let mut actions = Vec::new();
+        for g in msg.dest.iter() {
+            if let Some(gc) = self.config.cluster.group(g) {
+                for member in gc.members() {
+                    actions.push(Action::send(
+                        *member,
+                        WhiteBoxMsg::Multicast { msg: msg.clone() },
+                    ));
+                }
+            }
+        }
+        actions
+    }
+
+    fn handle_submit(&mut self, now: Duration, msg: AppMessage) -> Vec<Action<WhiteBoxMsg>> {
+        // Keep the per-client sequence counter ahead of any externally chosen id.
+        self.next_seq = self.next_seq.max(msg.id.seq + 1);
+        let mut actions = self.send_to_leaders(&msg);
+        actions.push(Action::SetTimer {
+            id: Self::timer_for(msg.id),
+            delay: self.config.retry_timeout,
+        });
+        self.pending.insert(
+            msg.id,
+            PendingMulticast {
+                msg,
+                attempts: 0,
+                submitted_at: now,
+            },
+        );
+        actions
+    }
+
+    fn handle_reply(
+        &mut self,
+        now: Duration,
+        msg_id: MsgId,
+        group: GroupId,
+        global_ts: Timestamp,
+    ) -> Vec<Action<WhiteBoxMsg>> {
+        let Some(pending) = self.pending.remove(&msg_id) else {
+            return Vec::new();
+        };
+        let latency = now.saturating_sub(pending.submitted_at);
+        self.completed.push(CompletedMulticast {
+            msg_id,
+            first_reply_group: group,
+            global_ts,
+            latency,
+        });
+        vec![
+            Action::CancelTimer(Self::timer_for(msg_id)),
+            // Surface the completion to the application driving this client.
+            Action::Deliver(DeliveredMessage::with_timestamp(pending.msg, global_ts)),
+        ]
+    }
+
+    fn handle_retry(&mut self, timer: TimerId) -> Vec<Action<WhiteBoxMsg>> {
+        let msg_id = self
+            .pending
+            .keys()
+            .copied()
+            .find(|id| Self::timer_for(*id) == timer);
+        let Some(msg_id) = msg_id else {
+            return Vec::new();
+        };
+        let (attempts, msg) = {
+            let pending = self.pending.get_mut(&msg_id).expect("pending entry exists");
+            pending.attempts += 1;
+            (pending.attempts, pending.msg.clone())
+        };
+        let mut actions = if attempts == 1 {
+            // First retry: the leaders may simply not have received it.
+            self.send_to_leaders(&msg)
+        } else {
+            // Later retries: contact every member to survive leader changes.
+            self.send_to_all_members(&msg)
+        };
+        actions.push(Action::SetTimer {
+            id: timer,
+            delay: self.config.retry_timeout,
+        });
+        actions
+    }
+}
+
+impl Node for MulticastClient {
+    type Msg = WhiteBoxMsg;
+
+    fn id(&self) -> ProcessId {
+        self.config.id
+    }
+
+    fn on_event(&mut self, now: Duration, event: Event<WhiteBoxMsg>) -> Vec<Action<WhiteBoxMsg>> {
+        match event {
+            Event::Multicast(msg) => self.handle_submit(now, msg),
+            Event::Timer { id, .. } => self.handle_retry(id),
+            Event::Message { msg, .. } => match msg {
+                WhiteBoxMsg::ClientReply {
+                    msg_id,
+                    group,
+                    global_ts,
+                } => self.handle_reply(now, msg_id, group, global_ts),
+                // Clients ignore protocol traffic that is not addressed to them
+                // semantically (e.g. a stray ACCEPT caused by misconfiguration).
+                _ => Vec::new(),
+            },
+            Event::Init | Event::BecomeLeader => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbam_types::{ClusterConfig, Destination, Payload};
+
+    fn cluster() -> ClusterConfig {
+        ClusterConfig::builder().groups(2, 3).clients(1).build()
+    }
+
+    fn client() -> MulticastClient {
+        MulticastClient::new(
+            ClientConfig::new(ProcessId(6), cluster())
+                .with_retry_timeout(Duration::from_millis(100)),
+        )
+    }
+
+    fn msg(seq: u64, groups: &[u32]) -> AppMessage {
+        AppMessage::new(
+            MsgId::new(ProcessId(6), seq),
+            Destination::new(groups.iter().map(|g| GroupId(*g))).unwrap(),
+            Payload::from("x"),
+        )
+    }
+
+    #[test]
+    fn submit_sends_to_destination_leaders() {
+        let mut c = client();
+        let actions = c.on_event(Duration::ZERO, Event::Multicast(msg(0, &[0, 1])));
+        let targets: Vec<_> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send { to, msg: WhiteBoxMsg::Multicast { .. } } => Some(*to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(targets, vec![ProcessId(0), ProcessId(3)]);
+        assert_eq!(c.pending_count(), 1);
+        assert_eq!(c.next_msg_id(), MsgId::new(ProcessId(6), 1));
+    }
+
+    #[test]
+    fn reply_completes_the_multicast_and_reports_latency() {
+        let mut c = client();
+        c.on_event(Duration::from_millis(5), Event::Multicast(msg(0, &[0])));
+        let actions = c.on_event(
+            Duration::from_millis(17),
+            Event::message(
+                ProcessId(0),
+                WhiteBoxMsg::ClientReply {
+                    msg_id: MsgId::new(ProcessId(6), 0),
+                    group: GroupId(0),
+                    global_ts: Timestamp::new(1, GroupId(0)),
+                },
+            ),
+        );
+        assert!(actions.iter().any(Action::is_delivery));
+        assert_eq!(c.pending_count(), 0);
+        assert_eq!(c.completed().len(), 1);
+        assert_eq!(c.completed()[0].latency, Duration::from_millis(12));
+        assert_eq!(c.completed()[0].first_reply_group, GroupId(0));
+    }
+
+    #[test]
+    fn duplicate_replies_are_ignored() {
+        let mut c = client();
+        c.on_event(Duration::ZERO, Event::Multicast(msg(0, &[0])));
+        let reply = WhiteBoxMsg::ClientReply {
+            msg_id: MsgId::new(ProcessId(6), 0),
+            group: GroupId(0),
+            global_ts: Timestamp::new(1, GroupId(0)),
+        };
+        c.on_event(Duration::from_millis(1), Event::message(ProcessId(0), reply.clone()));
+        let actions = c.on_event(Duration::from_millis(2), Event::message(ProcessId(1), reply));
+        assert!(actions.is_empty());
+        assert_eq!(c.completed().len(), 1);
+    }
+
+    #[test]
+    fn first_retry_targets_leaders_then_falls_back_to_all_members() {
+        let mut c = client();
+        c.on_event(Duration::ZERO, Event::Multicast(msg(0, &[1])));
+        let timer = TimerId(0);
+        let retry1 = c.on_event(
+            Duration::from_millis(100),
+            Event::Timer {
+                id: timer,
+                now: Duration::from_millis(100),
+            },
+        );
+        let targets1: Vec<_> = retry1
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send { to, .. } => Some(*to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(targets1, vec![ProcessId(3)]);
+        let retry2 = c.on_event(
+            Duration::from_millis(200),
+            Event::Timer {
+                id: timer,
+                now: Duration::from_millis(200),
+            },
+        );
+        let targets2: Vec<_> = retry2
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send { to, .. } => Some(*to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(targets2, vec![ProcessId(3), ProcessId(4), ProcessId(5)]);
+    }
+
+    #[test]
+    fn retry_timer_for_completed_message_is_a_no_op() {
+        let mut c = client();
+        c.on_event(Duration::ZERO, Event::Multicast(msg(0, &[0])));
+        c.on_event(
+            Duration::from_millis(1),
+            Event::message(
+                ProcessId(0),
+                WhiteBoxMsg::ClientReply {
+                    msg_id: MsgId::new(ProcessId(6), 0),
+                    group: GroupId(0),
+                    global_ts: Timestamp::new(1, GroupId(0)),
+                },
+            ),
+        );
+        let actions = c.on_event(
+            Duration::from_millis(100),
+            Event::Timer {
+                id: TimerId(0),
+                now: Duration::from_millis(100),
+            },
+        );
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn unrelated_protocol_messages_are_ignored() {
+        let mut c = client();
+        let actions = c.on_event(
+            Duration::ZERO,
+            Event::message(
+                ProcessId(0),
+                WhiteBoxMsg::Heartbeat {
+                    ballot: wbam_types::Ballot::BOTTOM,
+                },
+            ),
+        );
+        assert!(actions.is_empty());
+    }
+}

@@ -1,0 +1,178 @@
+//! Configuration of white-box multicast replicas and clients.
+
+use std::time::Duration;
+
+use wbam_types::{ClusterConfig, GroupId, ProcessId};
+
+/// Configuration of a [`WhiteBoxReplica`](crate::WhiteBoxReplica).
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// The identity of this replica.
+    pub id: ProcessId,
+    /// The group this replica belongs to (`g0` in the paper's pseudocode).
+    pub group: GroupId,
+    /// The static cluster topology.
+    pub cluster: ClusterConfig,
+    /// When a replica delivers an application message, send a
+    /// [`WhiteBoxMsg::ClientReply`](crate::messages::WhiteBoxMsg::ClientReply)
+    /// back to the message's original sender. Closed-loop clients use the
+    /// reply to submit their next request; open-loop workloads can disable it
+    /// to reduce message counts.
+    pub notify_sender: bool,
+    /// How long a leader waits for a pending (proposed/accepted) message to
+    /// commit before re-sending `MULTICAST` to all destination leaders
+    /// (the `retry(m)` function of Figure 4, line 32).
+    pub retry_timeout: Duration,
+    /// Interval at which a leader sends heartbeats to its followers; also the
+    /// granularity of follower-side leader monitoring. Set to zero to disable
+    /// the built-in leader-election oracle (tests then drive elections
+    /// explicitly via [`Event::BecomeLeader`](wbam_types::Event::BecomeLeader)).
+    pub heartbeat_interval: Duration,
+    /// How long a follower waits without hearing from its leader before it
+    /// suspects the leader and starts recovery. Followers further down the
+    /// group member list wait proportionally longer, so that a single
+    /// follower takes over first.
+    pub election_timeout: Duration,
+    /// Paper Figure 4, line 14: on receiving a full set of `ACCEPT`s, advance
+    /// the clock past the (future) global timestamp *speculatively*, before
+    /// the timestamps are known to be durable. Disabling this reproduces the
+    /// behaviour of black-box designs whose failure-free latency degrades to
+    /// roughly twice the collision-free latency; it exists only for the
+    /// ablation experiment A1 and must stay `true` in production use.
+    pub speculative_clock_update: bool,
+}
+
+impl ReplicaConfig {
+    /// Creates a replica configuration with sensible defaults for timeouts.
+    ///
+    /// Defaults: sender notification on, 100 ms retry timeout, 50 ms
+    /// heartbeats, 250 ms election timeout, speculative clock update enabled.
+    pub fn new(id: ProcessId, group: GroupId, cluster: ClusterConfig) -> Self {
+        ReplicaConfig {
+            id,
+            group,
+            cluster,
+            notify_sender: true,
+            retry_timeout: Duration::from_millis(100),
+            heartbeat_interval: Duration::from_millis(50),
+            election_timeout: Duration::from_millis(250),
+            speculative_clock_update: true,
+        }
+    }
+
+    /// Disables the built-in heartbeat/election machinery; leader changes then
+    /// only happen when the runtime injects
+    /// [`Event::BecomeLeader`](wbam_types::Event::BecomeLeader).
+    pub fn without_auto_election(mut self) -> Self {
+        self.heartbeat_interval = Duration::ZERO;
+        self
+    }
+
+    /// Disables delivery replies to message senders.
+    pub fn without_sender_notification(mut self) -> Self {
+        self.notify_sender = false;
+        self
+    }
+
+    /// Disables the speculative clock update of Figure 4 line 14 (ablation A1).
+    pub fn without_speculative_clock_update(mut self) -> Self {
+        self.speculative_clock_update = false;
+        self
+    }
+
+    /// Sets the retry timeout.
+    pub fn with_retry_timeout(mut self, timeout: Duration) -> Self {
+        self.retry_timeout = timeout;
+        self
+    }
+
+    /// Sets heartbeat interval and election timeout together.
+    pub fn with_election_timeouts(mut self, heartbeat: Duration, election: Duration) -> Self {
+        self.heartbeat_interval = heartbeat;
+        self.election_timeout = election;
+        self
+    }
+
+    /// Whether the automatic leader election machinery is enabled.
+    pub fn auto_election_enabled(&self) -> bool {
+        !self.heartbeat_interval.is_zero()
+    }
+}
+
+/// Configuration of a [`MulticastClient`](crate::MulticastClient).
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// The identity of this client.
+    pub id: ProcessId,
+    /// The static cluster topology.
+    pub cluster: ClusterConfig,
+    /// How long the client waits for a delivery reply before re-sending the
+    /// `MULTICAST` message. On the first retry the client falls back to
+    /// sending to *all* members of each destination group, which also handles
+    /// leader changes it has not heard about.
+    pub retry_timeout: Duration,
+}
+
+impl ClientConfig {
+    /// Creates a client configuration with a 500 ms retry timeout.
+    pub fn new(id: ProcessId, cluster: ClusterConfig) -> Self {
+        ClientConfig {
+            id,
+            cluster,
+            retry_timeout: Duration::from_millis(500),
+        }
+    }
+
+    /// Sets the retry timeout.
+    pub fn with_retry_timeout(mut self, timeout: Duration) -> Self {
+        self.retry_timeout = timeout;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> ClusterConfig {
+        ClusterConfig::builder().groups(2, 3).clients(1).build()
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = ReplicaConfig::new(ProcessId(0), GroupId(0), cluster());
+        assert!(cfg.notify_sender);
+        assert!(cfg.speculative_clock_update);
+        assert!(cfg.auto_election_enabled());
+        assert!(cfg.retry_timeout > Duration::ZERO);
+    }
+
+    #[test]
+    fn builder_style_modifiers() {
+        let cfg = ReplicaConfig::new(ProcessId(0), GroupId(0), cluster())
+            .without_auto_election()
+            .without_sender_notification()
+            .without_speculative_clock_update()
+            .with_retry_timeout(Duration::from_millis(7));
+        assert!(!cfg.auto_election_enabled());
+        assert!(!cfg.notify_sender);
+        assert!(!cfg.speculative_clock_update);
+        assert_eq!(cfg.retry_timeout, Duration::from_millis(7));
+    }
+
+    #[test]
+    fn election_timeouts_setter() {
+        let cfg = ReplicaConfig::new(ProcessId(0), GroupId(0), cluster())
+            .with_election_timeouts(Duration::from_millis(10), Duration::from_millis(40));
+        assert_eq!(cfg.heartbeat_interval, Duration::from_millis(10));
+        assert_eq!(cfg.election_timeout, Duration::from_millis(40));
+    }
+
+    #[test]
+    fn client_config_defaults() {
+        let cfg = ClientConfig::new(ProcessId(6), cluster())
+            .with_retry_timeout(Duration::from_millis(123));
+        assert_eq!(cfg.retry_timeout, Duration::from_millis(123));
+        assert_eq!(cfg.id, ProcessId(6));
+    }
+}

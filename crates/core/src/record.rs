@@ -1,0 +1,334 @@
+//! Per-message bookkeeping at a white-box replica.
+//!
+//! A [`MessageRecord`] gathers everything a process knows about one
+//! application message: the entries of the `Phase`, `LocalTS`, `GlobalTS` and
+//! `Delivered` arrays of Figure 3, plus the transient bookkeeping needed to
+//! drive the handlers of Figure 4 (which `ACCEPT`s and `ACCEPT_ACK`s have been
+//! received so far).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use wbam_types::{AppMessage, Ballot, GroupId, MsgId, Phase, ProcessId, Timestamp};
+
+use crate::messages::{BallotVector, RecordSnapshot};
+
+/// Everything a replica knows about one application message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MessageRecord {
+    /// The application message (payload and destination set).
+    pub msg: AppMessage,
+    /// `Phase[m]`.
+    pub phase: Phase,
+    /// `LocalTS[m]` — the local timestamp of the message at this group.
+    pub local_ts: Timestamp,
+    /// `GlobalTS[m]` — the message's global timestamp, once known.
+    pub global_ts: Timestamp,
+    /// `Delivered[m]` — whether the *leader* has already initiated delivery.
+    pub delivered: bool,
+    /// The most recent `ACCEPT` received from each destination group's leader:
+    /// the ballot of the proposal and the proposed local timestamp.
+    pub accepts: BTreeMap<GroupId, (Ballot, Timestamp)>,
+    /// `ACCEPT_ACK`s received so far, grouped by the ballot vector they carry:
+    /// for each vector, the set of acknowledging processes per group.
+    pub acks: BTreeMap<BallotVector, BTreeMap<GroupId, BTreeSet<ProcessId>>>,
+}
+
+impl MessageRecord {
+    /// Creates a fresh record for a message in the `START` phase.
+    pub fn new(msg: AppMessage) -> Self {
+        MessageRecord {
+            msg,
+            phase: Phase::Start,
+            local_ts: Timestamp::BOTTOM,
+            global_ts: Timestamp::BOTTOM,
+            delivered: false,
+            accepts: BTreeMap::new(),
+            acks: BTreeMap::new(),
+        }
+    }
+
+    /// The message identifier.
+    pub fn id(&self) -> MsgId {
+        self.msg.id
+    }
+
+    /// Records an `ACCEPT` from the leader of `group`. A later proposal from
+    /// the same group (higher ballot) supersedes an earlier one; stale
+    /// proposals with lower ballots are ignored.
+    pub fn record_accept(&mut self, group: GroupId, ballot: Ballot, local_ts: Timestamp) {
+        match self.accepts.get(&group) {
+            Some((existing, _)) if *existing > ballot => {}
+            _ => {
+                self.accepts.insert(group, (ballot, local_ts));
+            }
+        }
+    }
+
+    /// Whether `ACCEPT`s from the leaders of all destination groups have been
+    /// received.
+    pub fn has_all_accepts(&self) -> bool {
+        self.msg
+            .dest
+            .iter()
+            .all(|g| self.accepts.contains_key(&g))
+    }
+
+    /// The local timestamps proposed by each destination group, if complete.
+    pub fn proposal_set(&self) -> Option<BTreeMap<GroupId, Timestamp>> {
+        if !self.has_all_accepts() {
+            return None;
+        }
+        Some(
+            self.accepts
+                .iter()
+                .map(|(g, (_, ts))| (*g, *ts))
+                .collect(),
+        )
+    }
+
+    /// The global timestamp implied by the currently known proposals (max of
+    /// the local timestamps), if all proposals are known.
+    pub fn implied_global_ts(&self) -> Option<Timestamp> {
+        self.proposal_set()
+            .map(|props| Timestamp::global_of(props.into_values()))
+    }
+
+    /// Records an `ACCEPT_ACK` from `process` (a member of `group`) carrying
+    /// the given ballot vector. Returns the number of distinct acknowledging
+    /// processes in `group` for that vector after the update.
+    pub fn record_ack(
+        &mut self,
+        vector: BallotVector,
+        group: GroupId,
+        process: ProcessId,
+    ) -> usize {
+        let per_group = self.acks.entry(vector).or_default();
+        let set = per_group.entry(group).or_default();
+        set.insert(process);
+        set.len()
+    }
+
+    /// Whether, for some ballot vector, a quorum of acknowledgements has been
+    /// received from every destination group (and the vector matches the
+    /// `ACCEPT`s currently recorded). `quorum_size` maps each group to its
+    /// quorum size; `must_include` is a process that must be among the
+    /// acknowledgers of its own group (the leader itself, per Figure 4
+    /// line 17 "including myself").
+    pub fn quorum_acked(
+        &self,
+        quorum_size: &BTreeMap<GroupId, usize>,
+        must_include: Option<(GroupId, ProcessId)>,
+    ) -> Option<BallotVector> {
+        'vectors: for (vector, per_group) in &self.acks {
+            // The vector must cover exactly the destination groups.
+            for g in self.msg.dest.iter() {
+                let Some(q) = quorum_size.get(&g) else {
+                    continue 'vectors;
+                };
+                let Some(ackers) = per_group.get(&g) else {
+                    continue 'vectors;
+                };
+                if ackers.len() < *q {
+                    continue 'vectors;
+                }
+                if !vector.contains_key(&g) {
+                    continue 'vectors;
+                }
+            }
+            if let Some((g, p)) = must_include {
+                match per_group.get(&g) {
+                    Some(ackers) if ackers.contains(&p) => {}
+                    _ => continue 'vectors,
+                }
+            }
+            return Some(vector.clone());
+        }
+        None
+    }
+
+    /// Whether the message is pending in the sense of the delivery condition
+    /// (Figure 4 line 21): its phase is `PROPOSED` or `ACCEPTED`.
+    pub fn is_pending(&self) -> bool {
+        self.phase.is_pending()
+    }
+
+    /// Produces the snapshot of this record exchanged during recovery.
+    pub fn snapshot(&self) -> RecordSnapshot {
+        RecordSnapshot {
+            msg: self.msg.clone(),
+            phase: self.phase,
+            local_ts: self.local_ts,
+            global_ts: self.global_ts,
+        }
+    }
+
+    /// Rebuilds a record from a recovery snapshot, discarding transient
+    /// bookkeeping (accept/ack sets).
+    pub fn from_snapshot(snap: RecordSnapshot) -> Self {
+        MessageRecord {
+            msg: snap.msg,
+            phase: snap.phase,
+            local_ts: snap.local_ts,
+            global_ts: snap.global_ts,
+            delivered: false,
+            accepts: BTreeMap::new(),
+            acks: BTreeMap::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbam_types::{Destination, Payload};
+
+    fn app_msg() -> AppMessage {
+        AppMessage::new(
+            MsgId::new(ProcessId(30), 0),
+            Destination::new(vec![GroupId(0), GroupId(1)]).unwrap(),
+            Payload::from("p"),
+        )
+    }
+
+    fn quorums() -> BTreeMap<GroupId, usize> {
+        let mut m = BTreeMap::new();
+        m.insert(GroupId(0), 2);
+        m.insert(GroupId(1), 2);
+        m
+    }
+
+    #[test]
+    fn fresh_record_is_start_phase() {
+        let r = MessageRecord::new(app_msg());
+        assert_eq!(r.phase, Phase::Start);
+        assert_eq!(r.local_ts, Timestamp::BOTTOM);
+        assert!(!r.delivered);
+        assert!(!r.has_all_accepts());
+        assert_eq!(r.id(), app_msg().id);
+    }
+
+    #[test]
+    fn accepts_complete_when_all_groups_heard_from() {
+        let mut r = MessageRecord::new(app_msg());
+        r.record_accept(
+            GroupId(0),
+            Ballot::new(1, ProcessId(0)),
+            Timestamp::new(3, GroupId(0)),
+        );
+        assert!(!r.has_all_accepts());
+        assert_eq!(r.proposal_set(), None);
+        r.record_accept(
+            GroupId(1),
+            Ballot::new(1, ProcessId(3)),
+            Timestamp::new(5, GroupId(1)),
+        );
+        assert!(r.has_all_accepts());
+        assert_eq!(r.implied_global_ts(), Some(Timestamp::new(5, GroupId(1))));
+    }
+
+    #[test]
+    fn later_ballot_supersedes_earlier_accept() {
+        let mut r = MessageRecord::new(app_msg());
+        r.record_accept(
+            GroupId(0),
+            Ballot::new(1, ProcessId(0)),
+            Timestamp::new(3, GroupId(0)),
+        );
+        r.record_accept(
+            GroupId(0),
+            Ballot::new(2, ProcessId(1)),
+            Timestamp::new(9, GroupId(0)),
+        );
+        assert_eq!(
+            r.accepts[&GroupId(0)],
+            (Ballot::new(2, ProcessId(1)), Timestamp::new(9, GroupId(0)))
+        );
+        // A stale lower-ballot proposal does not overwrite.
+        r.record_accept(
+            GroupId(0),
+            Ballot::new(1, ProcessId(0)),
+            Timestamp::new(1, GroupId(0)),
+        );
+        assert_eq!(
+            r.accepts[&GroupId(0)],
+            (Ballot::new(2, ProcessId(1)), Timestamp::new(9, GroupId(0)))
+        );
+    }
+
+    #[test]
+    fn quorum_detection_requires_all_groups() {
+        let mut r = MessageRecord::new(app_msg());
+        let mut vector = BallotVector::new();
+        vector.insert(GroupId(0), Ballot::new(1, ProcessId(0)));
+        vector.insert(GroupId(1), Ballot::new(1, ProcessId(3)));
+
+        r.record_ack(vector.clone(), GroupId(0), ProcessId(0));
+        r.record_ack(vector.clone(), GroupId(0), ProcessId(1));
+        assert_eq!(r.quorum_acked(&quorums(), None), None);
+
+        r.record_ack(vector.clone(), GroupId(1), ProcessId(3));
+        assert_eq!(r.quorum_acked(&quorums(), None), None);
+        r.record_ack(vector.clone(), GroupId(1), ProcessId(4));
+        assert_eq!(r.quorum_acked(&quorums(), None), Some(vector.clone()));
+
+        // Requiring a specific acker filters vectors that lack it.
+        assert_eq!(
+            r.quorum_acked(&quorums(), Some((GroupId(0), ProcessId(2)))),
+            None
+        );
+        assert_eq!(
+            r.quorum_acked(&quorums(), Some((GroupId(0), ProcessId(0)))),
+            Some(vector)
+        );
+    }
+
+    #[test]
+    fn acks_with_different_vectors_do_not_mix() {
+        let mut r = MessageRecord::new(app_msg());
+        let mut v1 = BallotVector::new();
+        v1.insert(GroupId(0), Ballot::new(1, ProcessId(0)));
+        v1.insert(GroupId(1), Ballot::new(1, ProcessId(3)));
+        let mut v2 = v1.clone();
+        v2.insert(GroupId(1), Ballot::new(2, ProcessId(4)));
+
+        r.record_ack(v1.clone(), GroupId(0), ProcessId(0));
+        r.record_ack(v1.clone(), GroupId(0), ProcessId(1));
+        r.record_ack(v2.clone(), GroupId(1), ProcessId(3));
+        r.record_ack(v2.clone(), GroupId(1), ProcessId(4));
+        // Neither vector alone has quorums in both groups.
+        assert_eq!(r.quorum_acked(&quorums(), None), None);
+    }
+
+    #[test]
+    fn duplicate_acks_count_once() {
+        let mut r = MessageRecord::new(app_msg());
+        let mut v = BallotVector::new();
+        v.insert(GroupId(0), Ballot::new(1, ProcessId(0)));
+        v.insert(GroupId(1), Ballot::new(1, ProcessId(3)));
+        assert_eq!(r.record_ack(v.clone(), GroupId(0), ProcessId(0)), 1);
+        assert_eq!(r.record_ack(v.clone(), GroupId(0), ProcessId(0)), 1);
+        assert_eq!(r.record_ack(v, GroupId(0), ProcessId(1)), 2);
+    }
+
+    #[test]
+    fn snapshot_round_trip_drops_transient_state() {
+        let mut r = MessageRecord::new(app_msg());
+        r.phase = Phase::Committed;
+        r.local_ts = Timestamp::new(1, GroupId(0));
+        r.global_ts = Timestamp::new(2, GroupId(1));
+        r.delivered = true;
+        r.record_accept(
+            GroupId(0),
+            Ballot::new(1, ProcessId(0)),
+            Timestamp::new(1, GroupId(0)),
+        );
+        let snap = r.snapshot();
+        let back = MessageRecord::from_snapshot(snap);
+        assert_eq!(back.phase, Phase::Committed);
+        assert_eq!(back.local_ts, Timestamp::new(1, GroupId(0)));
+        assert_eq!(back.global_ts, Timestamp::new(2, GroupId(1)));
+        assert!(!back.delivered, "delivery flag is not carried over");
+        assert!(back.accepts.is_empty());
+        assert!(back.acks.is_empty());
+    }
+}

@@ -1,0 +1,1623 @@
+//! The white-box atomic multicast replica (Figure 4 of the paper).
+//!
+//! A [`WhiteBoxReplica`] plays one process `pi ∈ g0` of the protocol. It is a
+//! sans-IO [`Node`]: protocol messages and timer events go in, sends /
+//! deliveries / timer requests come out. The handlers map one-to-one onto the
+//! `when received ...` blocks of Figure 4 and are annotated with the
+//! corresponding line numbers.
+//!
+//! # Roles
+//!
+//! Every replica is the *leader* of its group, a *follower*, or *recovering*
+//! (during a leader change). Only the leader assigns local timestamps and
+//! decides when to deliver; followers durably store its decisions so that a
+//! new leader can take over after a crash (passive replication, as in
+//! Viewstamped Replication and Zab).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+use wbam_types::{
+    Action, AppMessage, Ballot, DeliveredMessage, Event, GroupId, MsgId, Node, Phase, ProcessId,
+    Timestamp, TimerId,
+};
+
+use crate::config::ReplicaConfig;
+use crate::messages::{ballot_vector, StateSnapshot, WhiteBoxMsg};
+use crate::record::MessageRecord;
+
+/// Timer used by a leader to send heartbeats to its followers.
+const HEARTBEAT_TIMER: TimerId = TimerId(1);
+/// Timer used by a follower to monitor its leader's liveness.
+const ELECTION_TIMER: TimerId = TimerId(2);
+/// Base for per-message retry timers; retry timer `n` is `RETRY_BASE + n`.
+const RETRY_TIMER_BASE: u64 = 1_000;
+
+/// The role a replica currently plays in its group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Status {
+    /// This replica computes timestamps and decides deliveries for its group.
+    Leader,
+    /// This replica follows its group's leader.
+    Follower,
+    /// This replica is establishing a new ballot (Figure 4, lines 35–65).
+    Recovering,
+}
+
+/// Bookkeeping of an in-progress leader recovery at the prospective leader.
+#[derive(Debug, Clone)]
+struct RecoveryState {
+    /// The ballot being established.
+    ballot: Ballot,
+    /// `NEWLEADER_ACK`s received so far, keyed by sender.
+    acks: BTreeMap<ProcessId, NewLeaderAckData>,
+    /// Whether the new state has been computed and `NEW_STATE` sent.
+    installed: bool,
+    /// Processes (including ourselves) that acknowledged the new state.
+    state_acks: BTreeSet<ProcessId>,
+}
+
+#[derive(Debug, Clone)]
+struct NewLeaderAckData {
+    cballot: Ballot,
+    clock: u64,
+    snapshot: StateSnapshot,
+}
+
+/// A replica of the white-box atomic multicast protocol.
+///
+/// See the [crate-level documentation](crate) for an overview and
+/// `examples/quickstart.rs` for an end-to-end run.
+pub struct WhiteBoxReplica {
+    config: ReplicaConfig,
+    status: Status,
+    /// The logical clock used to generate local timestamps (Figure 3).
+    clock: u64,
+    /// The ballot this replica last synchronised with (`cballot`).
+    cballot: Ballot,
+    /// The highest ballot this replica has joined (`ballot`); `cballot ≤ ballot`.
+    ballot: Ballot,
+    /// Current best guess of the leader of every group (`Cur_leader`).
+    cur_leader: BTreeMap<GroupId, ProcessId>,
+    /// Highest global timestamp of a delivered message (`max_delivered_gts`).
+    max_delivered_gts: Timestamp,
+    /// Per-message protocol state.
+    records: BTreeMap<MsgId, MessageRecord>,
+    /// Members of this replica's group, in configuration order.
+    group_members: Vec<ProcessId>,
+    /// Quorum size of every group.
+    quorum_sizes: BTreeMap<GroupId, usize>,
+    /// In-progress recovery, if this replica is establishing a ballot.
+    recovery: Option<RecoveryState>,
+    /// Retry timers: timer id → message, and message → timer id.
+    retry_timer_msgs: BTreeMap<TimerId, MsgId>,
+    retry_timer_of: BTreeMap<MsgId, TimerId>,
+    next_retry_timer: u64,
+    /// Last time we heard from our group's leader (heartbeat or any message).
+    last_leader_activity: Duration,
+    /// Number of application messages this replica has delivered.
+    delivered_count: u64,
+}
+
+impl WhiteBoxReplica {
+    /// Creates a replica from its configuration.
+    ///
+    /// The first member of every group is the initial leader, and every member
+    /// starts synchronised with ballot `(1, initial leader)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured group does not exist in the cluster or does
+    /// not contain the replica's own identifier.
+    pub fn new(config: ReplicaConfig) -> Self {
+        let group = config
+            .cluster
+            .group(config.group)
+            .unwrap_or_else(|| panic!("group {} not in cluster configuration", config.group));
+        assert!(
+            group.contains(config.id),
+            "replica {} is not a member of group {}",
+            config.id,
+            config.group
+        );
+        let initial_leader = group.initial_leader();
+        let initial_ballot = Ballot::new(1, initial_leader);
+        let status = if config.id == initial_leader {
+            Status::Leader
+        } else {
+            Status::Follower
+        };
+        let cur_leader = config.cluster.initial_leaders();
+        let quorum_sizes = config
+            .cluster
+            .groups()
+            .iter()
+            .map(|g| (g.id(), g.quorum_size()))
+            .collect();
+        let group_members = group.members().to_vec();
+        WhiteBoxReplica {
+            status,
+            clock: 0,
+            cballot: initial_ballot,
+            ballot: initial_ballot,
+            cur_leader,
+            max_delivered_gts: Timestamp::BOTTOM,
+            records: BTreeMap::new(),
+            group_members,
+            quorum_sizes,
+            recovery: None,
+            retry_timer_msgs: BTreeMap::new(),
+            retry_timer_of: BTreeMap::new(),
+            next_retry_timer: 0,
+            last_leader_activity: Duration::ZERO,
+            delivered_count: 0,
+            config,
+        }
+    }
+
+    /// The replica's current role.
+    pub fn status(&self) -> Status {
+        self.status
+    }
+
+    /// The ballot the replica is currently synchronised with.
+    pub fn current_ballot(&self) -> Ballot {
+        self.cballot
+    }
+
+    /// The replica's logical clock.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Number of application messages delivered so far.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered_count
+    }
+
+    /// The phase of a message at this replica, if it has heard of it.
+    pub fn phase_of(&self, m: MsgId) -> Option<Phase> {
+        self.records.get(&m).map(|r| r.phase)
+    }
+
+    /// The global timestamp of a message at this replica, if committed.
+    pub fn global_ts_of(&self, m: MsgId) -> Option<Timestamp> {
+        self.records
+            .get(&m)
+            .filter(|r| r.phase.is_committed())
+            .map(|r| r.global_ts)
+    }
+
+    /// The highest global timestamp this replica has delivered.
+    pub fn max_delivered_gts(&self) -> Timestamp {
+        self.max_delivered_gts
+    }
+
+    fn own_group(&self) -> GroupId {
+        self.config.group
+    }
+
+    fn own_quorum(&self) -> usize {
+        self.quorum_sizes[&self.own_group()]
+    }
+
+    /// Whether this replica currently acts as its group's leader.
+    pub fn is_leader(&self) -> bool {
+        self.status == Status::Leader
+    }
+
+    /// Processes of every destination group of `m`.
+    fn destination_processes(&self, msg: &AppMessage) -> Vec<ProcessId> {
+        let mut out = Vec::new();
+        for g in msg.dest.iter() {
+            if let Some(gc) = self.config.cluster.group(g) {
+                out.extend_from_slice(gc.members());
+            }
+        }
+        out
+    }
+
+    /// Current leaders of the destination groups of `m`.
+    fn destination_leaders(&self, msg: &AppMessage) -> Vec<ProcessId> {
+        msg.dest
+            .iter()
+            .filter_map(|g| self.cur_leader.get(&g).copied())
+            .collect()
+    }
+
+    fn record_entry(&mut self, msg: &AppMessage) -> &mut MessageRecord {
+        self.records
+            .entry(msg.id)
+            .or_insert_with(|| MessageRecord::new(msg.clone()))
+    }
+
+    // ------------------------------------------------------------------
+    // Normal operation
+    // ------------------------------------------------------------------
+
+    /// Figure 4, lines 3–9: the leader handles `MULTICAST(m)`.
+    fn handle_multicast(&mut self, msg: AppMessage) -> Vec<Action<WhiteBoxMsg>> {
+        let mut actions = Vec::new();
+        if !msg.is_addressed_to(self.own_group()) {
+            // Not for us; a client mis-addressed the message. Ignore.
+            return actions;
+        }
+        match self.status {
+            Status::Recovering => {
+                // Figure 4 line 4 precondition: only the leader handles it. The
+                // sender will retry; dropping is safe.
+                return actions;
+            }
+            Status::Follower => {
+                // Help clients with a stale leader guess: forward to our leader.
+                let leader = self.cur_leader.get(&self.own_group()).copied();
+                if let Some(leader) = leader {
+                    if leader != self.config.id {
+                        actions.push(Action::send(leader, WhiteBoxMsg::Multicast { msg }));
+                    }
+                }
+                return actions;
+            }
+            Status::Leader => {}
+        }
+        let group = self.own_group();
+        let cballot = self.cballot;
+        let clock = &mut self.clock;
+        let record = self
+            .records
+            .entry(msg.id)
+            .or_insert_with(|| MessageRecord::new(msg.clone()));
+        if record.phase == Phase::Start {
+            // Lines 5–8: assign a fresh local timestamp.
+            *clock += 1;
+            record.local_ts = Timestamp::new(*clock, group);
+            record.phase = Phase::Proposed;
+        }
+        // Line 9: send ACCEPT to every process of every destination group.
+        // (On a duplicate MULTICAST this re-sends the stored proposal, which is
+        // what makes message recovery work — §IV "Message recovery".)
+        let accept = WhiteBoxMsg::Accept {
+            msg: record.msg.clone(),
+            group,
+            ballot: cballot,
+            local_ts: record.local_ts,
+        };
+        let recipients = self.destination_processes(&msg);
+        actions.extend(Action::send_to_all(recipients, accept));
+        actions.extend(self.arm_retry_timer(msg.id));
+        actions
+    }
+
+    /// Figure 4, lines 10–16: a destination process handles `ACCEPT`.
+    fn handle_accept(
+        &mut self,
+        msg: AppMessage,
+        group: GroupId,
+        ballot: Ballot,
+        local_ts: Timestamp,
+    ) -> Vec<Action<WhiteBoxMsg>> {
+        let mut actions = Vec::new();
+        if !msg.is_addressed_to(self.own_group()) {
+            return actions;
+        }
+        // Remember who currently leads the proposing group (useful for retries).
+        if let Some(leader) = ballot.leader() {
+            if group != self.own_group() {
+                self.cur_leader.insert(group, leader);
+            }
+        }
+        let own_group = self.own_group();
+        let cballot = self.cballot;
+        let speculative = self.config.speculative_clock_update;
+        let (all_accepts, own_accept, implied_gts) = {
+            let record = self.record_entry(&msg);
+            record.record_accept(group, ballot, local_ts);
+            (
+                record.has_all_accepts(),
+                record.accepts.get(&own_group).copied(),
+                record.implied_global_ts(),
+            )
+        };
+
+        // Line 11 precondition: we must not be recovering, and the proposal of
+        // our own group must have been made in the ballot we are synchronised
+        // with. Proposals from remote groups are deliberately *not* checked
+        // against any ballot (§IV, "Discussion of normal operation").
+        if !all_accepts {
+            return actions;
+        }
+        if self.status == Status::Recovering {
+            return actions;
+        }
+        let Some((own_ballot, own_lts)) = own_accept else {
+            return actions;
+        };
+        if own_ballot != cballot {
+            return actions;
+        }
+        // Lines 12–14 (state update is guarded; the acknowledgement is not).
+        let implied_gts = implied_gts.expect("all accepts present implies a global timestamp");
+        let record = self.records.get_mut(&msg.id).expect("record just created");
+        if matches!(record.phase, Phase::Start | Phase::Proposed) {
+            record.phase = Phase::Accepted;
+            record.local_ts = own_lts;
+            if speculative {
+                // The speculative clock update: advance the clock past the
+                // *future* global timestamp before it is known to be durable.
+                self.clock = self.clock.max(implied_gts.time());
+            }
+        }
+        // Lines 15–16: acknowledge to the leader of every destination group.
+        let record = &self.records[&msg.id];
+        let vector = ballot_vector(&record.accepts);
+        let ack = WhiteBoxMsg::AcceptAck {
+            msg_id: msg.id,
+            group: own_group,
+            ballots: vector,
+        };
+        for (_, (b, _)) in record.accepts.iter() {
+            if let Some(leader) = b.leader() {
+                actions.push(Action::send(leader, ack.clone()));
+            }
+        }
+        actions
+    }
+
+    /// Figure 4, lines 17–23: the leader handles `ACCEPT_ACK`s and commits.
+    fn handle_accept_ack(
+        &mut self,
+        from: ProcessId,
+        msg_id: MsgId,
+        group: GroupId,
+        ballots: crate::messages::BallotVector,
+    ) -> Vec<Action<WhiteBoxMsg>> {
+        let mut actions = Vec::new();
+        // Line 18 precondition.
+        if self.status != Status::Leader {
+            return actions;
+        }
+        if ballots.get(&self.own_group()) != Some(&self.cballot) {
+            return actions;
+        }
+        let own_group = self.own_group();
+        let own_id = self.config.id;
+        let quorum_sizes = self.quorum_sizes.clone();
+        let Some(record) = self.records.get_mut(&msg_id) else {
+            // We have not proposed this message yet; the ack will be re-sent
+            // when the proposal eventually reaches the sender again.
+            return actions;
+        };
+        if record.phase == Phase::Committed {
+            return actions;
+        }
+        record.record_ack(ballots, group, from);
+        let Some(vector) = record.quorum_acked(&quorum_sizes, Some((own_group, own_id))) else {
+            return actions;
+        };
+        // Line 17 also requires the matching ACCEPTs to have been received.
+        let matches_accepts = record
+            .msg
+            .dest
+            .iter()
+            .all(|g| match (record.accepts.get(&g), vector.get(&g)) {
+                (Some((b, _)), Some(vb)) => b == vb,
+                _ => false,
+            });
+        if !matches_accepts {
+            return actions;
+        }
+        // Lines 19–20: commit.
+        let gts = record
+            .implied_global_ts()
+            .expect("accepts complete for committed message");
+        record.global_ts = gts;
+        record.phase = Phase::Committed;
+        actions.extend(self.cancel_retry_timer(msg_id));
+        // Line 21: deliver every committed message that is no longer blocked.
+        actions.extend(self.try_deliver());
+        actions
+    }
+
+    /// Figure 4, line 21 (and line 66 after recovery): deliver committed
+    /// messages in global-timestamp order once no pending message can receive
+    /// a smaller global timestamp.
+    fn try_deliver(&mut self) -> Vec<Action<WhiteBoxMsg>> {
+        let mut actions = Vec::new();
+        if self.status != Status::Leader {
+            return actions;
+        }
+        // The smallest local timestamp of any message that is still PROPOSED or
+        // ACCEPTED; committed messages with a global timestamp above it must
+        // wait (the pending message might end up ordered before them).
+        let min_pending_lts = self
+            .records
+            .values()
+            .filter(|r| r.is_pending())
+            .map(|r| r.local_ts)
+            .min();
+        let mut candidates: Vec<(Timestamp, MsgId)> = self
+            .records
+            .values()
+            .filter(|r| r.phase == Phase::Committed && !r.delivered)
+            .map(|r| (r.global_ts, r.id()))
+            .collect();
+        candidates.sort();
+        for (gts, id) in candidates {
+            if let Some(pending) = min_pending_lts {
+                if pending <= gts {
+                    break;
+                }
+            }
+            let record = self.records.get_mut(&id).expect("candidate exists");
+            record.delivered = true;
+            let deliver = WhiteBoxMsg::Deliver {
+                msg: record.msg.clone(),
+                ballot: self.cballot,
+                local_ts: record.local_ts,
+                global_ts: gts,
+            };
+            // Line 23: send DELIVER to the whole group, ourselves included, so
+            // that the actual delivery to the application happens uniformly in
+            // the DELIVER handler.
+            actions.extend(Action::send_to_all(
+                self.group_members.iter().copied(),
+                deliver,
+            ));
+        }
+        actions
+    }
+
+    /// Figure 4, lines 24–31: every group member handles `DELIVER`.
+    fn handle_deliver(
+        &mut self,
+        msg: AppMessage,
+        ballot: Ballot,
+        local_ts: Timestamp,
+        global_ts: Timestamp,
+    ) -> Vec<Action<WhiteBoxMsg>> {
+        let mut actions = Vec::new();
+        // Line 25 precondition: duplicate DELIVERs (possible after leader
+        // changes) are filtered via max_delivered_gts.
+        if self.status == Status::Recovering {
+            return actions;
+        }
+        if self.cballot != ballot {
+            return actions;
+        }
+        if self.max_delivered_gts >= global_ts {
+            return actions;
+        }
+        let msg_id = msg.id;
+        let sender = msg.id.sender;
+        let record = self.record_entry(&msg);
+        // Lines 26–30.
+        record.phase = Phase::Committed;
+        record.local_ts = local_ts;
+        record.global_ts = global_ts;
+        record.delivered = true;
+        self.clock = self.clock.max(global_ts.time());
+        self.max_delivered_gts = global_ts;
+        self.delivered_count += 1;
+        // Line 31: deliver to the application.
+        actions.push(Action::Deliver(DeliveredMessage::with_timestamp(
+            msg, global_ts,
+        )));
+        if self.config.notify_sender && !self.group_members.contains(&sender) {
+            actions.push(Action::send(
+                sender,
+                WhiteBoxMsg::ClientReply {
+                    msg_id,
+                    group: self.own_group(),
+                    global_ts,
+                },
+            ));
+        }
+        actions
+    }
+
+    // ------------------------------------------------------------------
+    // Retry (message recovery)
+    // ------------------------------------------------------------------
+
+    fn arm_retry_timer(&mut self, msg_id: MsgId) -> Vec<Action<WhiteBoxMsg>> {
+        if self.config.retry_timeout.is_zero() || self.retry_timer_of.contains_key(&msg_id) {
+            return Vec::new();
+        }
+        let timer = TimerId(RETRY_TIMER_BASE + self.next_retry_timer);
+        self.next_retry_timer += 1;
+        self.retry_timer_msgs.insert(timer, msg_id);
+        self.retry_timer_of.insert(msg_id, timer);
+        vec![Action::SetTimer {
+            id: timer,
+            delay: self.config.retry_timeout,
+        }]
+    }
+
+    fn cancel_retry_timer(&mut self, msg_id: MsgId) -> Vec<Action<WhiteBoxMsg>> {
+        if let Some(timer) = self.retry_timer_of.remove(&msg_id) {
+            self.retry_timer_msgs.remove(&timer);
+            vec![Action::CancelTimer(timer)]
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Figure 4, lines 32–34: re-send `MULTICAST(m)` to the destination
+    /// leaders when a proposed/accepted message is stuck.
+    fn handle_retry_timer(&mut self, timer: TimerId) -> Vec<Action<WhiteBoxMsg>> {
+        let mut actions = Vec::new();
+        let Some(msg_id) = self.retry_timer_msgs.get(&timer).copied() else {
+            return actions;
+        };
+        let Some(record) = self.records.get(&msg_id) else {
+            return actions;
+        };
+        if !record.is_pending() {
+            self.retry_timer_msgs.remove(&timer);
+            self.retry_timer_of.remove(&msg_id);
+            return actions;
+        }
+        let multicast = WhiteBoxMsg::Multicast {
+            msg: record.msg.clone(),
+        };
+        for leader in self.destination_leaders(&record.msg) {
+            actions.push(Action::send(leader, multicast.clone()));
+        }
+        actions.push(Action::SetTimer {
+            id: timer,
+            delay: self.config.retry_timeout,
+        });
+        actions
+    }
+
+    // ------------------------------------------------------------------
+    // Leader recovery
+    // ------------------------------------------------------------------
+
+    /// Figure 4, lines 35–36: start establishing a new ballot led by us.
+    fn start_recovery(&mut self) -> Vec<Action<WhiteBoxMsg>> {
+        if self.status == Status::Leader {
+            return Vec::new();
+        }
+        let new_ballot = self.ballot.next_for(self.config.id);
+        self.recovery = Some(RecoveryState {
+            ballot: new_ballot,
+            acks: BTreeMap::new(),
+            installed: false,
+            state_acks: BTreeSet::new(),
+        });
+        Action::send_to_all(
+            self.group_members.iter().copied(),
+            WhiteBoxMsg::NewLeader { ballot: new_ballot },
+        )
+    }
+
+    /// Figure 4, lines 37–41: vote for a prospective leader.
+    fn handle_new_leader(&mut self, from: ProcessId, ballot: Ballot) -> Vec<Action<WhiteBoxMsg>> {
+        if ballot <= self.ballot {
+            return Vec::new();
+        }
+        self.status = Status::Recovering;
+        self.ballot = ballot;
+        if let Some(leader) = ballot.leader() {
+            self.cur_leader.insert(self.own_group(), leader);
+        }
+        let snapshot = self.snapshot();
+        vec![Action::send(
+            from,
+            WhiteBoxMsg::NewLeaderAck {
+                ballot,
+                cballot: self.cballot,
+                clock: self.clock,
+                snapshot,
+                max_delivered_gts: self.max_delivered_gts,
+            },
+        )]
+    }
+
+    fn snapshot(&self) -> StateSnapshot {
+        let records = self
+            .records
+            .values()
+            .filter(|r| r.phase != Phase::Start)
+            .map(|r| (r.id(), r.snapshot()))
+            .collect();
+        StateSnapshot { records }
+    }
+
+    /// Figure 4, lines 42–56: the prospective leader gathers votes and computes
+    /// its initial state.
+    fn handle_new_leader_ack(
+        &mut self,
+        from: ProcessId,
+        ballot: Ballot,
+        cballot: Ballot,
+        clock: u64,
+        snapshot: StateSnapshot,
+    ) -> Vec<Action<WhiteBoxMsg>> {
+        let mut actions = Vec::new();
+        if self.status != Status::Recovering || self.ballot != ballot {
+            return actions;
+        }
+        let own_quorum = self.own_quorum();
+        let Some(recovery) = self.recovery.as_mut() else {
+            return actions;
+        };
+        if recovery.ballot != ballot || recovery.installed {
+            return actions;
+        }
+        recovery.acks.insert(
+            from,
+            NewLeaderAckData {
+                cballot,
+                clock,
+                snapshot,
+            },
+        );
+        if recovery.acks.len() < own_quorum {
+            return actions;
+        }
+
+        // Lines 44–55: compute the initial state of the new ballot.
+        let max_cballot = recovery
+            .acks
+            .values()
+            .map(|a| a.cballot)
+            .max()
+            .unwrap_or(Ballot::BOTTOM);
+        let mut new_records: BTreeMap<MsgId, MessageRecord> = BTreeMap::new();
+        for data in recovery.acks.values() {
+            for (id, snap) in &data.snapshot.records {
+                match snap.phase {
+                    // Line 47: committed anywhere → committed, with its timestamps.
+                    Phase::Committed => {
+                        let mut rec = MessageRecord::from_snapshot(snap.clone());
+                        rec.delivered = false;
+                        new_records.insert(*id, rec);
+                    }
+                    // Line 51: accepted at a process of the maximal cballot →
+                    // accepted, with its local timestamp (unless some other
+                    // process reported it committed).
+                    Phase::Accepted if data.cballot == max_cballot => {
+                        new_records
+                            .entry(*id)
+                            .and_modify(|existing| {
+                                if existing.phase != Phase::Committed {
+                                    existing.phase = Phase::Accepted;
+                                    existing.local_ts = snap.local_ts;
+                                }
+                            })
+                            .or_insert_with(|| {
+                                let mut rec = MessageRecord::from_snapshot(snap.clone());
+                                rec.phase = Phase::Accepted;
+                                rec.global_ts = Timestamp::BOTTOM;
+                                rec.delivered = false;
+                                rec
+                            });
+                    }
+                    // Proposed-only messages did not reach a quorum in any
+                    // ballot and are dropped; the multicaster (or a remote
+                    // leader) will re-send MULTICAST for them.
+                    _ => {}
+                }
+            }
+        }
+        // Line 54: recover the clock.
+        let new_clock = recovery
+            .acks
+            .values()
+            .map(|a| a.clock)
+            .max()
+            .unwrap_or(0)
+            .max(self.clock);
+        let new_ballot = recovery.ballot;
+        recovery.installed = true;
+        recovery.state_acks.insert(self.config.id);
+
+        self.records = new_records;
+        self.clock = new_clock;
+        // Line 55: cballot ← b.
+        self.cballot = new_ballot;
+
+        // Line 56: install the state at the followers.
+        let snapshot = self.snapshot();
+        for member in self.group_members.clone() {
+            if member == self.config.id {
+                continue;
+            }
+            actions.push(Action::send(
+                member,
+                WhiteBoxMsg::NewState {
+                    ballot: new_ballot,
+                    clock: new_clock,
+                    snapshot: snapshot.clone(),
+                },
+            ));
+        }
+        // A singleton group needs no follower acknowledgements.
+        actions.extend(self.maybe_finish_recovery());
+        actions
+    }
+
+    /// Figure 4, lines 57–62: a follower installs the new leader's state.
+    fn handle_new_state(
+        &mut self,
+        from: ProcessId,
+        ballot: Ballot,
+        clock: u64,
+        snapshot: StateSnapshot,
+    ) -> Vec<Action<WhiteBoxMsg>> {
+        if self.status != Status::Recovering || self.ballot != ballot {
+            return Vec::new();
+        }
+        self.status = Status::Follower;
+        self.cballot = ballot;
+        self.clock = clock;
+        self.records = snapshot
+            .records
+            .into_iter()
+            .map(|(id, snap)| {
+                let mut rec = MessageRecord::from_snapshot(snap);
+                rec.delivered =
+                    rec.phase == Phase::Committed && rec.global_ts <= self.max_delivered_gts;
+                (id, rec)
+            })
+            .collect();
+        if let Some(leader) = ballot.leader() {
+            self.cur_leader.insert(self.own_group(), leader);
+        }
+        self.recovery = None;
+        vec![Action::send(from, WhiteBoxMsg::NewStateAck { ballot })]
+    }
+
+    /// Figure 4, lines 63–68: the new leader finishes recovery once a quorum is
+    /// in sync with its state.
+    fn handle_new_state_ack(&mut self, from: ProcessId, ballot: Ballot) -> Vec<Action<WhiteBoxMsg>> {
+        if self.status != Status::Recovering || self.ballot != ballot {
+            return Vec::new();
+        }
+        let Some(recovery) = self.recovery.as_mut() else {
+            return Vec::new();
+        };
+        if !recovery.installed || recovery.ballot != ballot {
+            return Vec::new();
+        }
+        recovery.state_acks.insert(from);
+        self.maybe_finish_recovery()
+    }
+
+    fn maybe_finish_recovery(&mut self) -> Vec<Action<WhiteBoxMsg>> {
+        let own_quorum = self.own_quorum();
+        let ready = self
+            .recovery
+            .as_ref()
+            .map(|r| r.installed && r.state_acks.len() >= own_quorum)
+            .unwrap_or(false);
+        if !ready {
+            return Vec::new();
+        }
+        self.recovery = None;
+        self.status = Status::Leader;
+        let mut actions = Vec::new();
+        // Line 66: re-deliver every committed message that is not blocked by an
+        // accepted one. Followers discard duplicates via max_delivered_gts.
+        actions.extend(self.try_deliver());
+        // Resume processing of accepted-but-uncommitted messages by re-sending
+        // MULTICAST to all destination leaders (§IV, "Message recovery").
+        let pending: Vec<MsgId> = self
+            .records
+            .values()
+            .filter(|r| r.is_pending())
+            .map(|r| r.id())
+            .collect();
+        for id in pending {
+            let record = &self.records[&id];
+            let multicast = WhiteBoxMsg::Multicast {
+                msg: record.msg.clone(),
+            };
+            for leader in self.destination_leaders(&record.msg) {
+                actions.push(Action::send(leader, multicast.clone()));
+            }
+            // Make sure we also propose it ourselves (we are a destination
+            // leader too) and keep retrying until it commits.
+            actions.extend(self.handle_multicast(self.records[&id].msg.clone()));
+        }
+        // Announce leadership and restart heartbeats.
+        if self.config.auto_election_enabled() {
+            actions.push(Action::SetTimer {
+                id: HEARTBEAT_TIMER,
+                delay: self.config.heartbeat_interval,
+            });
+            for member in &self.group_members {
+                if *member != self.config.id {
+                    actions.push(Action::send(
+                        *member,
+                        WhiteBoxMsg::Heartbeat {
+                            ballot: self.cballot,
+                        },
+                    ));
+                }
+            }
+        }
+        actions
+    }
+
+    // ------------------------------------------------------------------
+    // Leader election oracle (heartbeats + timeouts)
+    // ------------------------------------------------------------------
+
+    fn election_rank(&self) -> u32 {
+        self.group_members
+            .iter()
+            .position(|p| *p == self.config.id)
+            .unwrap_or(0) as u32
+    }
+
+    fn handle_heartbeat(&mut self, now: Duration, ballot: Ballot) -> Vec<Action<WhiteBoxMsg>> {
+        if ballot >= self.cballot {
+            self.last_leader_activity = now;
+            if let Some(leader) = ballot.leader() {
+                self.cur_leader.insert(self.own_group(), leader);
+            }
+        }
+        Vec::new()
+    }
+
+    fn handle_heartbeat_timer(&mut self) -> Vec<Action<WhiteBoxMsg>> {
+        if !self.config.auto_election_enabled() || self.status != Status::Leader {
+            return Vec::new();
+        }
+        let mut actions = Vec::new();
+        for member in &self.group_members {
+            if *member != self.config.id {
+                actions.push(Action::send(
+                    *member,
+                    WhiteBoxMsg::Heartbeat {
+                        ballot: self.cballot,
+                    },
+                ));
+            }
+        }
+        actions.push(Action::SetTimer {
+            id: HEARTBEAT_TIMER,
+            delay: self.config.heartbeat_interval,
+        });
+        actions
+    }
+
+    fn handle_election_timer(&mut self, now: Duration) -> Vec<Action<WhiteBoxMsg>> {
+        if !self.config.auto_election_enabled() {
+            return Vec::new();
+        }
+        let mut actions = Vec::new();
+        if self.status == Status::Follower {
+            let patience = self.config.election_timeout * (1 + self.election_rank());
+            if now.saturating_sub(self.last_leader_activity) > patience {
+                self.last_leader_activity = now;
+                actions.extend(self.start_recovery());
+            }
+        }
+        actions.push(Action::SetTimer {
+            id: ELECTION_TIMER,
+            delay: self.config.election_timeout,
+        });
+        actions
+    }
+
+    fn handle_init(&mut self, now: Duration) -> Vec<Action<WhiteBoxMsg>> {
+        self.last_leader_activity = now;
+        if !self.config.auto_election_enabled() {
+            return Vec::new();
+        }
+        let mut actions = Vec::new();
+        if self.status == Status::Leader {
+            actions.push(Action::SetTimer {
+                id: HEARTBEAT_TIMER,
+                delay: self.config.heartbeat_interval,
+            });
+        } else {
+            actions.push(Action::SetTimer {
+                id: ELECTION_TIMER,
+                delay: self.config.election_timeout,
+            });
+        }
+        actions
+    }
+}
+
+impl Node for WhiteBoxReplica {
+    type Msg = WhiteBoxMsg;
+
+    fn id(&self) -> ProcessId {
+        self.config.id
+    }
+
+    fn on_event(&mut self, now: Duration, event: Event<WhiteBoxMsg>) -> Vec<Action<WhiteBoxMsg>> {
+        match event {
+            Event::Init => self.handle_init(now),
+            Event::Multicast(msg) => self.handle_multicast(msg),
+            Event::BecomeLeader => self.start_recovery(),
+            Event::Timer { id, now } => match id {
+                HEARTBEAT_TIMER => self.handle_heartbeat_timer(),
+                ELECTION_TIMER => self.handle_election_timer(now),
+                other => self.handle_retry_timer(other),
+            },
+            Event::Message { from, msg } => {
+                // Any message from our group's current leader counts as a sign
+                // of life for the leader-monitoring oracle.
+                if Some(from) == self.cur_leader.get(&self.own_group()).copied() {
+                    self.last_leader_activity = now;
+                }
+                match msg {
+                    WhiteBoxMsg::Multicast { msg } => self.handle_multicast(msg),
+                    WhiteBoxMsg::Accept {
+                        msg,
+                        group,
+                        ballot,
+                        local_ts,
+                    } => self.handle_accept(msg, group, ballot, local_ts),
+                    WhiteBoxMsg::AcceptAck {
+                        msg_id,
+                        group,
+                        ballots,
+                    } => self.handle_accept_ack(from, msg_id, group, ballots),
+                    WhiteBoxMsg::Deliver {
+                        msg,
+                        ballot,
+                        local_ts,
+                        global_ts,
+                    } => self.handle_deliver(msg, ballot, local_ts, global_ts),
+                    WhiteBoxMsg::NewLeader { ballot } => self.handle_new_leader(from, ballot),
+                    WhiteBoxMsg::NewLeaderAck {
+                        ballot,
+                        cballot,
+                        clock,
+                        snapshot,
+                        max_delivered_gts: _,
+                    } => self.handle_new_leader_ack(from, ballot, cballot, clock, snapshot),
+                    WhiteBoxMsg::NewState {
+                        ballot,
+                        clock,
+                        snapshot,
+                    } => self.handle_new_state(from, ballot, clock, snapshot),
+                    WhiteBoxMsg::NewStateAck { ballot } => self.handle_new_state_ack(from, ballot),
+                    WhiteBoxMsg::Heartbeat { ballot } => self.handle_heartbeat(now, ballot),
+                    WhiteBoxMsg::ClientReply { .. } => Vec::new(),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbam_types::{ClusterConfig, Destination, Payload};
+
+    fn cluster() -> ClusterConfig {
+        ClusterConfig::builder().groups(2, 3).clients(1).build()
+    }
+
+    fn replica(id: u32, group: u32) -> WhiteBoxReplica {
+        let cfg = ReplicaConfig::new(ProcessId(id), GroupId(group), cluster())
+            .without_auto_election()
+            .without_sender_notification();
+        WhiteBoxReplica::new(cfg)
+    }
+
+    fn app_msg(seq: u64, groups: &[u32]) -> AppMessage {
+        AppMessage::new(
+            MsgId::new(ProcessId(6), seq),
+            Destination::new(groups.iter().map(|g| GroupId(*g))).unwrap(),
+            Payload::from("payload"),
+        )
+    }
+
+    fn drive(replica: &mut WhiteBoxReplica, from: ProcessId, msg: WhiteBoxMsg) -> Vec<Action<WhiteBoxMsg>> {
+        replica.on_event(Duration::ZERO, Event::message(from, msg))
+    }
+
+    #[test]
+    fn initial_roles_follow_configuration() {
+        assert_eq!(replica(0, 0).status(), Status::Leader);
+        assert_eq!(replica(1, 0).status(), Status::Follower);
+        assert_eq!(replica(3, 1).status(), Status::Leader);
+        assert_eq!(replica(4, 1).status(), Status::Follower);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a member")]
+    fn replica_must_belong_to_its_group() {
+        let _ = replica(0, 1);
+    }
+
+    #[test]
+    fn leader_proposes_on_multicast() {
+        let mut leader = replica(0, 0);
+        let m = app_msg(0, &[0, 1]);
+        let actions = drive(&mut leader, ProcessId(6), WhiteBoxMsg::Multicast { msg: m.clone() });
+        // ACCEPT goes to all six destination replicas.
+        let accepts: Vec<_> = actions
+            .iter()
+            .filter(|a| matches!(a, Action::Send { msg: WhiteBoxMsg::Accept { .. }, .. }))
+            .collect();
+        assert_eq!(accepts.len(), 6);
+        assert_eq!(leader.phase_of(m.id), Some(Phase::Proposed));
+        assert_eq!(leader.clock(), 1);
+    }
+
+    #[test]
+    fn duplicate_multicast_does_not_advance_clock() {
+        let mut leader = replica(0, 0);
+        let m = app_msg(0, &[0]);
+        drive(&mut leader, ProcessId(6), WhiteBoxMsg::Multicast { msg: m.clone() });
+        assert_eq!(leader.clock(), 1);
+        let actions = drive(&mut leader, ProcessId(6), WhiteBoxMsg::Multicast { msg: m.clone() });
+        assert_eq!(leader.clock(), 1, "Invariant 1: one local timestamp per ballot");
+        // The proposal is re-sent with the stored timestamp.
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: WhiteBoxMsg::Accept { local_ts, .. },
+                ..
+            } if *local_ts == Timestamp::new(1, GroupId(0))
+        )));
+    }
+
+    #[test]
+    fn follower_forwards_multicast_to_leader() {
+        let mut follower = replica(1, 0);
+        let m = app_msg(0, &[0]);
+        let actions = drive(&mut follower, ProcessId(6), WhiteBoxMsg::Multicast { msg: m });
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(
+            &actions[0],
+            Action::Send { to, msg: WhiteBoxMsg::Multicast { .. } } if *to == ProcessId(0)
+        ));
+    }
+
+    #[test]
+    fn follower_accepts_and_acks_to_all_leaders() {
+        let mut follower = replica(1, 0);
+        let m = app_msg(0, &[0, 1]);
+        // ACCEPT from our own group's leader (ballot (1, p0)).
+        let a0 = WhiteBoxMsg::Accept {
+            msg: m.clone(),
+            group: GroupId(0),
+            ballot: Ballot::new(1, ProcessId(0)),
+            local_ts: Timestamp::new(1, GroupId(0)),
+        };
+        let actions = drive(&mut follower, ProcessId(0), a0);
+        assert!(actions.is_empty(), "must wait for the other group's proposal");
+        // ACCEPT from the other group's leader.
+        let a1 = WhiteBoxMsg::Accept {
+            msg: m.clone(),
+            group: GroupId(1),
+            ballot: Ballot::new(1, ProcessId(3)),
+            local_ts: Timestamp::new(4, GroupId(1)),
+        };
+        let actions = drive(&mut follower, ProcessId(3), a1);
+        let acks: Vec<_> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send { to, msg: WhiteBoxMsg::AcceptAck { .. } } => Some(*to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(acks, vec![ProcessId(0), ProcessId(3)]);
+        assert_eq!(follower.phase_of(m.id), Some(Phase::Accepted));
+        // Speculative clock update: the clock jumps to the implied global
+        // timestamp (4), even though nothing is committed yet.
+        assert_eq!(follower.clock(), 4);
+    }
+
+    #[test]
+    fn ablation_disables_speculative_clock_update() {
+        let cfg = ReplicaConfig::new(ProcessId(1), GroupId(0), cluster())
+            .without_auto_election()
+            .without_speculative_clock_update();
+        let mut follower = WhiteBoxReplica::new(cfg);
+        let m = app_msg(0, &[0, 1]);
+        drive(&mut follower, ProcessId(0), WhiteBoxMsg::Accept {
+            msg: m.clone(),
+            group: GroupId(0),
+            ballot: Ballot::new(1, ProcessId(0)),
+            local_ts: Timestamp::new(1, GroupId(0)),
+        });
+        drive(&mut follower, ProcessId(3), WhiteBoxMsg::Accept {
+            msg: m.clone(),
+            group: GroupId(1),
+            ballot: Ballot::new(1, ProcessId(3)),
+            local_ts: Timestamp::new(4, GroupId(1)),
+        });
+        assert_eq!(follower.clock(), 0, "no speculative update in the ablation");
+        assert_eq!(follower.phase_of(m.id), Some(Phase::Accepted));
+    }
+
+    #[test]
+    fn accept_from_stale_own_ballot_is_not_acknowledged() {
+        let mut follower = replica(1, 0);
+        // Move the follower to ballot (2, p2): it joins the ballot and then
+        // installs the new leader's (empty) state.
+        drive(
+            &mut follower,
+            ProcessId(2),
+            WhiteBoxMsg::NewLeader {
+                ballot: Ballot::new(2, ProcessId(2)),
+            },
+        );
+        drive(
+            &mut follower,
+            ProcessId(2),
+            WhiteBoxMsg::NewState {
+                ballot: Ballot::new(2, ProcessId(2)),
+                clock: 0,
+                snapshot: StateSnapshot::new(),
+            },
+        );
+        assert_eq!(follower.status(), Status::Follower);
+        assert_eq!(follower.current_ballot(), Ballot::new(2, ProcessId(2)));
+        let m = app_msg(0, &[0]);
+        let stale = WhiteBoxMsg::Accept {
+            msg: m.clone(),
+            group: GroupId(0),
+            ballot: Ballot::new(1, ProcessId(0)),
+            local_ts: Timestamp::new(1, GroupId(0)),
+        };
+        let actions = drive(&mut follower, ProcessId(0), stale);
+        assert!(
+            !actions
+                .iter()
+                .any(|a| matches!(a, Action::Send { msg: WhiteBoxMsg::AcceptAck { .. }, .. })),
+            "stale-ballot proposals must not be acknowledged"
+        );
+    }
+
+    /// Runs the full collision-free flow for a single-group message at the
+    /// leader and checks that it commits and delivers.
+    #[test]
+    fn single_group_message_commits_after_quorum_acks() {
+        let mut leader = replica(0, 0);
+        let m = app_msg(0, &[0]);
+        // Leader proposes.
+        let actions = drive(&mut leader, ProcessId(6), WhiteBoxMsg::Multicast { msg: m.clone() });
+        assert_eq!(actions.iter().filter(|a| matches!(a, Action::Send { msg: WhiteBoxMsg::Accept { .. }, .. })).count(), 3);
+        // Leader receives its own ACCEPT and acknowledges.
+        let accept = WhiteBoxMsg::Accept {
+            msg: m.clone(),
+            group: GroupId(0),
+            ballot: Ballot::new(1, ProcessId(0)),
+            local_ts: Timestamp::new(1, GroupId(0)),
+        };
+        let actions = drive(&mut leader, ProcessId(0), accept);
+        let self_ack = actions
+            .iter()
+            .find_map(|a| match a {
+                Action::Send { to, msg: msg @ WhiteBoxMsg::AcceptAck { .. } } if *to == ProcessId(0) => {
+                    Some(msg.clone())
+                }
+                _ => None,
+            })
+            .expect("leader acks its own proposal");
+        // Deliver the leader's own ack plus one follower ack → quorum of 2.
+        drive(&mut leader, ProcessId(0), self_ack.clone());
+        assert_eq!(leader.phase_of(m.id), Some(Phase::Accepted));
+        let follower_ack = match self_ack {
+            WhiteBoxMsg::AcceptAck { msg_id, ballots, .. } => WhiteBoxMsg::AcceptAck {
+                msg_id,
+                group: GroupId(0),
+                ballots,
+            },
+            _ => unreachable!(),
+        };
+        let actions = drive(&mut leader, ProcessId(1), follower_ack);
+        // The message commits and DELIVER goes to the whole group.
+        assert_eq!(leader.phase_of(m.id), Some(Phase::Committed));
+        let delivers = actions
+            .iter()
+            .filter(|a| matches!(a, Action::Send { msg: WhiteBoxMsg::Deliver { .. }, .. }))
+            .count();
+        assert_eq!(delivers, 3);
+        // Handling its own DELIVER makes the leader deliver to the application.
+        let deliver_to_self = actions
+            .iter()
+            .find_map(|a| match a {
+                Action::Send { to, msg: msg @ WhiteBoxMsg::Deliver { .. } } if *to == ProcessId(0) => {
+                    Some(msg.clone())
+                }
+                _ => None,
+            })
+            .unwrap();
+        let actions = drive(&mut leader, ProcessId(0), deliver_to_self);
+        assert!(actions.iter().any(Action::is_delivery));
+        assert_eq!(leader.delivered_count(), 1);
+        assert_eq!(leader.max_delivered_gts(), Timestamp::new(1, GroupId(0)));
+    }
+
+    #[test]
+    fn deliver_is_idempotent_via_max_delivered_gts() {
+        let mut follower = replica(1, 0);
+        let m = app_msg(0, &[0]);
+        let deliver = WhiteBoxMsg::Deliver {
+            msg: m.clone(),
+            ballot: Ballot::new(1, ProcessId(0)),
+            local_ts: Timestamp::new(1, GroupId(0)),
+            global_ts: Timestamp::new(1, GroupId(0)),
+        };
+        let first = drive(&mut follower, ProcessId(0), deliver.clone());
+        assert_eq!(first.iter().filter(|a| a.is_delivery()).count(), 1);
+        let second = drive(&mut follower, ProcessId(0), deliver);
+        assert_eq!(second.iter().filter(|a| a.is_delivery()).count(), 0);
+        assert_eq!(follower.delivered_count(), 1);
+    }
+
+    #[test]
+    fn deliver_from_wrong_ballot_is_ignored() {
+        let mut follower = replica(1, 0);
+        let m = app_msg(0, &[0]);
+        let deliver = WhiteBoxMsg::Deliver {
+            msg: m,
+            ballot: Ballot::new(9, ProcessId(2)),
+            local_ts: Timestamp::new(1, GroupId(0)),
+            global_ts: Timestamp::new(1, GroupId(0)),
+        };
+        let actions = drive(&mut follower, ProcessId(2), deliver);
+        assert!(actions.is_empty());
+        assert_eq!(follower.delivered_count(), 0);
+    }
+
+    #[test]
+    fn committed_message_blocked_by_lower_pending_local_timestamp() {
+        let mut leader = replica(0, 0);
+        // Propose m1 (gets local/pending ts (1, g0)).
+        let m1 = app_msg(0, &[0, 1]);
+        drive(&mut leader, ProcessId(6), WhiteBoxMsg::Multicast { msg: m1.clone() });
+        // Propose m2 (local ts (2, g0)).
+        let m2 = app_msg(1, &[0]);
+        drive(&mut leader, ProcessId(6), WhiteBoxMsg::Multicast { msg: m2.clone() });
+        // Commit m2 via accepts + quorum acks.
+        let accept2 = WhiteBoxMsg::Accept {
+            msg: m2.clone(),
+            group: GroupId(0),
+            ballot: Ballot::new(1, ProcessId(0)),
+            local_ts: Timestamp::new(2, GroupId(0)),
+        };
+        let actions = drive(&mut leader, ProcessId(0), accept2);
+        let ack = actions
+            .iter()
+            .find_map(|a| match a {
+                Action::Send { msg: msg @ WhiteBoxMsg::AcceptAck { .. }, to } if *to == ProcessId(0) => Some(msg.clone()),
+                _ => None,
+            })
+            .unwrap();
+        drive(&mut leader, ProcessId(0), ack.clone());
+        let ack_from_follower = match ack {
+            WhiteBoxMsg::AcceptAck { msg_id, ballots, .. } => WhiteBoxMsg::AcceptAck {
+                msg_id,
+                group: GroupId(0),
+                ballots,
+            },
+            _ => unreachable!(),
+        };
+        let actions = drive(&mut leader, ProcessId(1), ack_from_follower);
+        // m2 is committed but must NOT be delivered: m1 is still pending with
+        // local timestamp (1, g0) < gts(m2) = (2, g0) — the convoy condition of
+        // Figure 4 line 21.
+        assert_eq!(leader.phase_of(m2.id), Some(Phase::Committed));
+        assert!(
+            !actions
+                .iter()
+                .any(|a| matches!(a, Action::Send { msg: WhiteBoxMsg::Deliver { .. }, .. })),
+            "delivery must be blocked by the pending lower-timestamped message"
+        );
+    }
+
+    #[test]
+    fn become_leader_sends_new_leader_to_group() {
+        let mut follower = replica(1, 0);
+        let actions = follower.on_event(Duration::ZERO, Event::BecomeLeader);
+        let targets: Vec<_> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send { to, msg: WhiteBoxMsg::NewLeader { ballot } } => Some((*to, *ballot)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(targets.len(), 3);
+        for (_, b) in &targets {
+            assert!(b.is_led_by(ProcessId(1)));
+            assert!(*b > Ballot::new(1, ProcessId(0)));
+        }
+    }
+
+    #[test]
+    fn new_leader_with_lower_ballot_is_rejected() {
+        let mut follower = replica(1, 0);
+        let actions = drive(
+            &mut follower,
+            ProcessId(2),
+            WhiteBoxMsg::NewLeader {
+                ballot: Ballot::new(1, ProcessId(0)),
+            },
+        );
+        assert!(actions.is_empty());
+        assert_eq!(follower.status(), Status::Follower);
+    }
+
+    #[test]
+    fn full_recovery_round_promotes_new_leader() {
+        // p1 takes over group 0 (members p0, p1, p2) after p0 "crashes".
+        let mut p1 = replica(1, 0);
+        let mut p2 = replica(2, 0);
+
+        // p1 starts recovery.
+        let actions = p1.on_event(Duration::ZERO, Event::BecomeLeader);
+        let new_leader_msg = actions
+            .iter()
+            .find_map(|a| match a {
+                Action::Send { to, msg } if *to == ProcessId(2) => Some(msg.clone()),
+                _ => None,
+            })
+            .unwrap();
+        // p1 handles its own NEWLEADER.
+        let self_msg = actions
+            .iter()
+            .find_map(|a| match a {
+                Action::Send { to, msg } if *to == ProcessId(1) => Some(msg.clone()),
+                _ => None,
+            })
+            .unwrap();
+        let ack_from_self = drive(&mut p1, ProcessId(1), self_msg);
+        let self_ack = ack_from_self
+            .iter()
+            .find_map(|a| match a {
+                Action::Send { msg, .. } => Some(msg.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(p1.status(), Status::Recovering);
+
+        // p2 votes for p1.
+        let p2_actions = drive(&mut p2, ProcessId(1), new_leader_msg);
+        assert_eq!(p2.status(), Status::Recovering);
+        let p2_ack = p2_actions
+            .iter()
+            .find_map(|a| match a {
+                Action::Send { msg, .. } => Some(msg.clone()),
+                _ => None,
+            })
+            .unwrap();
+
+        // p1 gathers the two votes (a quorum) and installs the new state.
+        drive(&mut p1, ProcessId(1), self_ack);
+        let install_actions = drive(&mut p1, ProcessId(2), p2_ack);
+        let new_state_to_p2 = install_actions
+            .iter()
+            .find_map(|a| match a {
+                Action::Send { to, msg: msg @ WhiteBoxMsg::NewState { .. } } if *to == ProcessId(2) => {
+                    Some(msg.clone())
+                }
+                _ => None,
+            })
+            .expect("NEW_STATE must be sent to followers");
+
+        // p2 installs and acknowledges; p1 becomes leader.
+        let p2_actions = drive(&mut p2, ProcessId(1), new_state_to_p2);
+        assert_eq!(p2.status(), Status::Follower);
+        assert_eq!(p2.current_ballot(), p1.current_ballot());
+        let state_ack = p2_actions
+            .iter()
+            .find_map(|a| match a {
+                Action::Send { msg, .. } => Some(msg.clone()),
+                _ => None,
+            })
+            .unwrap();
+        drive(&mut p1, ProcessId(2), state_ack);
+        assert_eq!(p1.status(), Status::Leader);
+        assert!(p1.current_ballot().is_led_by(ProcessId(1)));
+    }
+
+    #[test]
+    fn recovery_preserves_committed_messages() {
+        // A follower that has delivered (hence committed) a message reports it
+        // during recovery, and the new leader re-delivers it.
+        let mut p1 = replica(1, 0);
+        let mut p2 = replica(2, 0);
+        let m = app_msg(0, &[0]);
+        let deliver = WhiteBoxMsg::Deliver {
+            msg: m.clone(),
+            ballot: Ballot::new(1, ProcessId(0)),
+            local_ts: Timestamp::new(1, GroupId(0)),
+            global_ts: Timestamp::new(1, GroupId(0)),
+        };
+        drive(&mut p2, ProcessId(0), deliver);
+        assert_eq!(p2.delivered_count(), 1);
+
+        // p1 recovers with votes from itself and p2.
+        let actions = p1.on_event(Duration::ZERO, Event::BecomeLeader);
+        let to_p1 = actions.iter().find_map(|a| match a {
+            Action::Send { to, msg } if *to == ProcessId(1) => Some(msg.clone()),
+            _ => None,
+        }).unwrap();
+        let to_p2 = actions.iter().find_map(|a| match a {
+            Action::Send { to, msg } if *to == ProcessId(2) => Some(msg.clone()),
+            _ => None,
+        }).unwrap();
+        let self_ack = drive(&mut p1, ProcessId(1), to_p1)
+            .iter()
+            .find_map(|a| match a {
+                Action::Send { msg, .. } => Some(msg.clone()),
+                _ => None,
+            })
+            .unwrap();
+        let p2_ack = drive(&mut p2, ProcessId(1), to_p2)
+            .iter()
+            .find_map(|a| match a {
+                Action::Send { msg, .. } => Some(msg.clone()),
+                _ => None,
+            })
+            .unwrap();
+        drive(&mut p1, ProcessId(1), self_ack);
+        let install = drive(&mut p1, ProcessId(2), p2_ack);
+        // The committed message is known to the new leader.
+        assert_eq!(p1.phase_of(m.id), Some(Phase::Committed));
+        assert_eq!(p1.global_ts_of(m.id), Some(Timestamp::new(1, GroupId(0))));
+        let new_state = install
+            .iter()
+            .find_map(|a| match a {
+                Action::Send { to, msg: msg @ WhiteBoxMsg::NewState { .. } } if *to == ProcessId(2) => {
+                    Some(msg.clone())
+                }
+                _ => None,
+            })
+            .unwrap();
+        let ack = drive(&mut p2, ProcessId(1), new_state)
+            .iter()
+            .find_map(|a| match a {
+                Action::Send { msg, .. } => Some(msg.clone()),
+                _ => None,
+            })
+            .unwrap();
+        let finish = drive(&mut p1, ProcessId(2), ack);
+        assert_eq!(p1.status(), Status::Leader);
+        // The new leader re-sends DELIVER for the committed message.
+        assert!(finish
+            .iter()
+            .any(|a| matches!(a, Action::Send { msg: WhiteBoxMsg::Deliver { .. }, .. })));
+    }
+
+    #[test]
+    fn client_reply_sent_when_enabled() {
+        let cfg = ReplicaConfig::new(ProcessId(1), GroupId(0), cluster()).without_auto_election();
+        let mut follower = WhiteBoxReplica::new(cfg);
+        let m = app_msg(0, &[0]);
+        let deliver = WhiteBoxMsg::Deliver {
+            msg: m,
+            ballot: Ballot::new(1, ProcessId(0)),
+            local_ts: Timestamp::new(1, GroupId(0)),
+            global_ts: Timestamp::new(1, GroupId(0)),
+        };
+        let actions = drive(&mut follower, ProcessId(0), deliver);
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Send { to, msg: WhiteBoxMsg::ClientReply { .. } } if *to == ProcessId(6)
+        )));
+    }
+
+    #[test]
+    fn heartbeat_timer_reschedules_for_leader() {
+        let cfg = ReplicaConfig::new(ProcessId(0), GroupId(0), cluster());
+        let mut leader = WhiteBoxReplica::new(cfg);
+        let init = leader.on_event(Duration::ZERO, Event::Init);
+        assert!(init
+            .iter()
+            .any(|a| matches!(a, Action::SetTimer { id, .. } if *id == HEARTBEAT_TIMER)));
+        let actions = leader.on_event(
+            Duration::from_millis(50),
+            Event::Timer {
+                id: HEARTBEAT_TIMER,
+                now: Duration::from_millis(50),
+            },
+        );
+        let heartbeats = actions
+            .iter()
+            .filter(|a| matches!(a, Action::Send { msg: WhiteBoxMsg::Heartbeat { .. }, .. }))
+            .count();
+        assert_eq!(heartbeats, 2);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::SetTimer { id, .. } if *id == HEARTBEAT_TIMER)));
+    }
+
+    #[test]
+    fn follower_starts_election_after_silence() {
+        let cfg = ReplicaConfig::new(ProcessId(1), GroupId(0), cluster())
+            .with_election_timeouts(Duration::from_millis(10), Duration::from_millis(20));
+        let mut follower = WhiteBoxReplica::new(cfg);
+        follower.on_event(Duration::ZERO, Event::Init);
+        // Before the timeout expires nothing happens.
+        let quiet = follower.on_event(
+            Duration::from_millis(30),
+            Event::Timer {
+                id: ELECTION_TIMER,
+                now: Duration::from_millis(30),
+            },
+        );
+        assert!(!quiet
+            .iter()
+            .any(|a| matches!(a, Action::Send { msg: WhiteBoxMsg::NewLeader { .. }, .. })));
+        // Rank 1 waits 2 * 20 ms; by 100 ms it starts an election.
+        let actions = follower.on_event(
+            Duration::from_millis(100),
+            Event::Timer {
+                id: ELECTION_TIMER,
+                now: Duration::from_millis(100),
+            },
+        );
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Send { msg: WhiteBoxMsg::NewLeader { .. }, .. })));
+    }
+
+    #[test]
+    fn heartbeat_refreshes_leader_liveness() {
+        let cfg = ReplicaConfig::new(ProcessId(1), GroupId(0), cluster())
+            .with_election_timeouts(Duration::from_millis(10), Duration::from_millis(20));
+        let mut follower = WhiteBoxReplica::new(cfg);
+        follower.on_event(Duration::ZERO, Event::Init);
+        follower.on_event(
+            Duration::from_millis(95),
+            Event::message(ProcessId(0), WhiteBoxMsg::Heartbeat { ballot: Ballot::new(1, ProcessId(0)) }),
+        );
+        let actions = follower.on_event(
+            Duration::from_millis(100),
+            Event::Timer {
+                id: ELECTION_TIMER,
+                now: Duration::from_millis(100),
+            },
+        );
+        assert!(!actions
+            .iter()
+            .any(|a| matches!(a, Action::Send { msg: WhiteBoxMsg::NewLeader { .. }, .. })));
+    }
+
+    #[test]
+    fn retry_timer_resends_multicast_for_pending_message() {
+        let cfg = ReplicaConfig::new(ProcessId(0), GroupId(0), cluster())
+            .without_auto_election()
+            .with_retry_timeout(Duration::from_millis(50));
+        let mut leader = WhiteBoxReplica::new(cfg);
+        let m = app_msg(0, &[0, 1]);
+        let actions = leader.on_event(
+            Duration::ZERO,
+            Event::message(ProcessId(6), WhiteBoxMsg::Multicast { msg: m.clone() }),
+        );
+        let timer = actions
+            .iter()
+            .find_map(|a| match a {
+                Action::SetTimer { id, .. } => Some(*id),
+                _ => None,
+            })
+            .expect("retry timer armed");
+        let retry = leader.on_event(
+            Duration::from_millis(60),
+            Event::Timer {
+                id: timer,
+                now: Duration::from_millis(60),
+            },
+        );
+        // MULTICAST re-sent to both destination leaders (p0 and p3).
+        let targets: Vec<_> = retry
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send { to, msg: WhiteBoxMsg::Multicast { .. } } => Some(*to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(targets, vec![ProcessId(0), ProcessId(3)]);
+        assert!(retry
+            .iter()
+            .any(|a| matches!(a, Action::SetTimer { id, .. } if *id == timer)));
+    }
+}

@@ -1,0 +1,458 @@
+//! Protocol-agnostic simulated clusters.
+
+use std::time::Duration;
+
+use wbam_baselines::common::{BaselineClient, BaselineMsg, BaselineReplica, Mode};
+use wbam_core::{ClientConfig, MulticastClient, ReplicaConfig, WhiteBoxReplica};
+use wbam_simnet::{LatencyModel, MetricsView, NetStats, SimConfig, Simulation};
+use wbam_skeen::{SkeenClient, SkeenProcess};
+use wbam_types::{
+    AppMessage, ClusterConfig, Destination, GroupId, MsgId, Payload, ProcessId, SiteId,
+};
+
+/// The protocols the harness can run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// The paper's white-box atomic multicast (3δ / 5δ).
+    WhiteBox,
+    /// FastCast, Coelho et al. DSN 2017 (4δ / 8δ).
+    FastCast,
+    /// Fault-tolerant Skeen over consensus (6δ / 12δ).
+    FtSkeen,
+    /// Plain Skeen's protocol with singleton reliable groups (2δ / 4δ);
+    /// only valid when `group_size == 1`.
+    Skeen,
+}
+
+impl Protocol {
+    /// Short name used in experiment output, matching the paper's labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            Protocol::WhiteBox => "WbCast",
+            Protocol::FastCast => "FastCast",
+            Protocol::FtSkeen => "Skeen",
+            Protocol::Skeen => "Skeen1",
+        }
+    }
+
+    /// All fault-tolerant protocols compared in Figures 7 and 8.
+    pub fn evaluated() -> [Protocol; 3] {
+        [Protocol::WhiteBox, Protocol::FastCast, Protocol::FtSkeen]
+    }
+}
+
+/// Topology and environment of a simulated experiment.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Number of multicast groups.
+    pub num_groups: usize,
+    /// Replicas per group (`2f + 1`).
+    pub group_size: usize,
+    /// Number of client processes generating load.
+    pub num_clients: usize,
+    /// Number of sites replicas are spread over (1 = LAN; 3 = the paper's WAN).
+    pub num_sites: u32,
+    /// One-way message delay model.
+    pub latency: LatencyModel,
+    /// CPU time a replica spends handling one protocol message.
+    pub service_time: Duration,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl ClusterSpec {
+    /// The LAN environment of Figure 7: 10 groups × 3 replicas, ~0.05 ms
+    /// one-way delay, 10 µs per-message CPU time.
+    pub fn lan(num_clients: usize) -> Self {
+        ClusterSpec {
+            num_groups: 10,
+            group_size: 3,
+            num_clients,
+            num_sites: 1,
+            latency: LatencyModel::lan(),
+            service_time: Duration::from_micros(10),
+            seed: 42,
+        }
+    }
+
+    /// The WAN environment of Figure 8: 10 groups × 3 replicas spread over
+    /// three sites with the paper's inter-region delays.
+    pub fn wan(num_clients: usize) -> Self {
+        ClusterSpec {
+            num_groups: 10,
+            group_size: 3,
+            num_clients,
+            num_sites: 3,
+            latency: LatencyModel::wan_three_sites(),
+            service_time: Duration::from_micros(10),
+            seed: 42,
+        }
+    }
+
+    /// A small cluster with a constant one-way delay δ, used by the latency
+    /// probes and the analytical experiments.
+    pub fn constant_delta(num_groups: usize, group_size: usize, delta: Duration) -> Self {
+        ClusterSpec {
+            num_groups,
+            group_size,
+            num_clients: 1,
+            num_sites: 1,
+            latency: LatencyModel::constant(delta),
+            service_time: Duration::ZERO,
+            seed: 7,
+        }
+    }
+
+    /// Builds the corresponding static cluster configuration.
+    pub fn cluster_config(&self) -> ClusterConfig {
+        let mut b = ClusterConfig::builder()
+            .groups(self.num_groups, self.group_size)
+            .clients(self.num_clients);
+        if self.num_sites > 1 {
+            b = b.spread_over_sites(self.num_sites).clients_at_site(SiteId(0));
+        }
+        b.build()
+    }
+
+    fn sim_config(&self) -> SimConfig {
+        SimConfig {
+            seed: self.seed,
+            latency: self.latency.clone(),
+            service_time: self.service_time,
+            client_service_time: Duration::ZERO,
+            gst: None,
+            pre_gst_extra_delay: Duration::ZERO,
+            record_trace: false,
+            }
+    }
+}
+
+enum SimInner {
+    WhiteBox(Simulation<wbam_core::WhiteBoxMsg>),
+    Baseline(Simulation<BaselineMsg>),
+    Skeen(Simulation<wbam_skeen::SkeenMsg>),
+}
+
+/// A simulated cluster running one protocol, with a protocol-independent API
+/// for submitting multicasts and reading metrics.
+pub struct ProtocolSim {
+    protocol: Protocol,
+    cluster: ClusterConfig,
+    inner: SimInner,
+    next_seq: Vec<u64>,
+    delivery_cursor: usize,
+}
+
+impl ProtocolSim {
+    /// Builds a cluster of `spec` running `protocol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `protocol` is [`Protocol::Skeen`] and the group size is not 1.
+    pub fn build(protocol: Protocol, spec: &ClusterSpec) -> Self {
+        let cluster = spec.cluster_config();
+        let sim_config = spec.sim_config();
+        let inner = match protocol {
+            Protocol::WhiteBox => {
+                let mut sim = Simulation::new(sim_config);
+                for gc in cluster.groups() {
+                    for member in gc.members() {
+                        let cfg = ReplicaConfig::new(*member, gc.id(), cluster.clone())
+                            .without_auto_election();
+                        sim.add_replica(
+                            Box::new(WhiteBoxReplica::new(cfg)),
+                            gc.id(),
+                            cluster.site_of(*member),
+                        );
+                    }
+                }
+                for client in cluster.clients() {
+                    let cfg = ClientConfig::new(*client, cluster.clone())
+                        .with_retry_timeout(Duration::from_secs(30));
+                    sim.add_client_at(
+                        Box::new(MulticastClient::new(cfg)),
+                        cluster.site_of(*client),
+                    );
+                }
+                SimInner::WhiteBox(sim)
+            }
+            Protocol::FastCast | Protocol::FtSkeen => {
+                let mode = if protocol == Protocol::FastCast {
+                    Mode::FastCast
+                } else {
+                    Mode::FtSkeen
+                };
+                let mut sim = Simulation::new(sim_config);
+                for gc in cluster.groups() {
+                    for member in gc.members() {
+                        sim.add_replica(
+                            Box::new(BaselineReplica::new(
+                                *member,
+                                gc.id(),
+                                cluster.clone(),
+                                mode,
+                            )),
+                            gc.id(),
+                            cluster.site_of(*member),
+                        );
+                    }
+                }
+                for client in cluster.clients() {
+                    sim.add_client_at(
+                        Box::new(BaselineClient::new(
+                            *client,
+                            cluster.clone(),
+                            Duration::from_secs(30),
+                        )),
+                        cluster.site_of(*client),
+                    );
+                }
+                SimInner::Baseline(sim)
+            }
+            Protocol::Skeen => {
+                assert_eq!(
+                    spec.group_size, 1,
+                    "plain Skeen requires singleton groups (group_size = 1)"
+                );
+                let mut sim = Simulation::new(sim_config);
+                let groups: Vec<(GroupId, ProcessId)> = cluster
+                    .groups()
+                    .iter()
+                    .map(|g| (g.id(), g.members()[0]))
+                    .collect();
+                for (gid, member) in &groups {
+                    sim.add_replica(
+                        Box::new(SkeenProcess::new(*member, *gid, groups.clone())),
+                        *gid,
+                        cluster.site_of(*member),
+                    );
+                }
+                for client in cluster.clients() {
+                    sim.add_client_at(
+                        Box::new(SkeenClient::new(*client, groups.clone())),
+                        cluster.site_of(*client),
+                    );
+                }
+                SimInner::Skeen(sim)
+            }
+        };
+        let next_seq = vec![0; cluster.clients().len()];
+        ProtocolSim {
+            protocol,
+            cluster,
+            inner,
+            next_seq,
+            delivery_cursor: 0,
+        }
+    }
+
+    /// The protocol this cluster runs.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// The static cluster configuration.
+    pub fn cluster(&self) -> &ClusterConfig {
+        &self.cluster
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Duration {
+        match &self.inner {
+            SimInner::WhiteBox(s) => s.now(),
+            SimInner::Baseline(s) => s.now(),
+            SimInner::Skeen(s) => s.now(),
+        }
+    }
+
+    /// Network statistics so far.
+    pub fn stats(&self) -> NetStats {
+        match &self.inner {
+            SimInner::WhiteBox(s) => s.stats(),
+            SimInner::Baseline(s) => s.stats(),
+            SimInner::Skeen(s) => s.stats(),
+        }
+    }
+
+    /// Metrics view over the run so far.
+    pub fn metrics(&self) -> MetricsView {
+        match &self.inner {
+            SimInner::WhiteBox(s) => s.metrics(),
+            SimInner::Baseline(s) => s.metrics(),
+            SimInner::Skeen(s) => s.metrics(),
+        }
+    }
+
+    /// Submits a multicast from client `client_index` at time `at`, addressed
+    /// to `dest`, with a zero-filled payload of `payload_len` bytes.
+    /// Returns the message identifier.
+    pub fn submit(
+        &mut self,
+        at: Duration,
+        client_index: usize,
+        dest: &[GroupId],
+        payload_len: usize,
+    ) -> MsgId {
+        self.submit_with_payload(at, client_index, dest, vec![0u8; payload_len])
+    }
+
+    /// Submits a multicast carrying an application-defined payload (for
+    /// example an encoded key-value-store command).
+    pub fn submit_with_payload(
+        &mut self,
+        at: Duration,
+        client_index: usize,
+        dest: &[GroupId],
+        payload: Vec<u8>,
+    ) -> MsgId {
+        let client = self.cluster.clients()[client_index];
+        let seq = self.next_seq[client_index];
+        self.next_seq[client_index] += 1;
+        let id = MsgId::new(client, seq);
+        let msg = AppMessage::new(
+            id,
+            Destination::new(dest.iter().copied()).expect("non-empty destination"),
+            Payload::from(payload),
+        );
+        match &mut self.inner {
+            SimInner::WhiteBox(s) => s.schedule_multicast(at, client, msg),
+            SimInner::Baseline(s) => s.schedule_multicast(at, client, msg),
+            SimInner::Skeen(s) => s.schedule_multicast(at, client, msg),
+        }
+        id
+    }
+
+    /// Schedules a crash of `process` at `at`.
+    pub fn crash(&mut self, at: Duration, process: ProcessId) {
+        match &mut self.inner {
+            SimInner::WhiteBox(s) => s.schedule_crash(at, process),
+            SimInner::Baseline(s) => s.schedule_crash(at, process),
+            SimInner::Skeen(s) => s.schedule_crash(at, process),
+        }
+    }
+
+    /// Tells `process` to start leader recovery at `at` (white-box protocol).
+    pub fn become_leader(&mut self, at: Duration, process: ProcessId) {
+        match &mut self.inner {
+            SimInner::WhiteBox(s) => s.schedule_become_leader(at, process),
+            SimInner::Baseline(s) => s.schedule_become_leader(at, process),
+            SimInner::Skeen(s) => s.schedule_become_leader(at, process),
+        }
+    }
+
+    /// Processes a single pending event. Returns `false` when the simulation
+    /// is quiescent.
+    pub fn step(&mut self) -> bool {
+        match &mut self.inner {
+            SimInner::WhiteBox(s) => s.step().is_some(),
+            SimInner::Baseline(s) => s.step().is_some(),
+            SimInner::Skeen(s) => s.step().is_some(),
+        }
+    }
+
+    /// Runs until quiescent or until simulated time passes `horizon`.
+    pub fn run_until_quiescent(&mut self, horizon: Duration) {
+        match &mut self.inner {
+            SimInner::WhiteBox(s) => {
+                s.run_until_quiescent(horizon);
+            }
+            SimInner::Baseline(s) => {
+                s.run_until_quiescent(horizon);
+            }
+            SimInner::Skeen(s) => {
+                s.run_until_quiescent(horizon);
+            }
+        }
+    }
+
+    /// Drains newly observed *client completions*: deliveries recorded at
+    /// client processes (the client's view of "my multicast finished").
+    /// Returns `(client process, message)` pairs in observation order.
+    pub fn drain_client_completions(&mut self) -> Vec<(ProcessId, MsgId)> {
+        let records = match &self.inner {
+            SimInner::WhiteBox(s) => s.deliveries(),
+            SimInner::Baseline(s) => s.deliveries(),
+            SimInner::Skeen(s) => s.deliveries(),
+        };
+        let mut out = Vec::new();
+        while self.delivery_cursor < records.len() {
+            let rec = &records[self.delivery_cursor];
+            self.delivery_cursor += 1;
+            if rec.group.is_none() {
+                out.push((rec.process, rec.msg_id));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_the_paper() {
+        assert_eq!(Protocol::WhiteBox.label(), "WbCast");
+        assert_eq!(Protocol::FastCast.label(), "FastCast");
+        assert_eq!(Protocol::FtSkeen.label(), "Skeen");
+        assert_eq!(Protocol::evaluated().len(), 3);
+    }
+
+    #[test]
+    fn lan_and_wan_specs_match_the_evaluation_setup() {
+        let lan = ClusterSpec::lan(100);
+        assert_eq!(lan.num_groups, 10);
+        assert_eq!(lan.group_size, 3);
+        assert_eq!(lan.num_sites, 1);
+        let wan = ClusterSpec::wan(100);
+        assert_eq!(wan.num_sites, 3);
+        let cfg = wan.cluster_config();
+        // Each group has one replica per site.
+        let g0 = cfg.group(GroupId(0)).unwrap();
+        let sites: Vec<SiteId> = g0.members().iter().map(|m| cfg.site_of(*m)).collect();
+        assert_eq!(sites, vec![SiteId(0), SiteId(1), SiteId(2)]);
+    }
+
+    #[test]
+    fn whitebox_cluster_delivers_a_multicast() {
+        let spec = ClusterSpec::constant_delta(2, 3, Duration::from_millis(5));
+        let mut sim = ProtocolSim::build(Protocol::WhiteBox, &spec);
+        let id = sim.submit(Duration::ZERO, 0, &[GroupId(0), GroupId(1)], 20);
+        sim.run_until_quiescent(Duration::from_secs(5));
+        assert!(sim.metrics().is_partially_delivered(id));
+        let completions = sim.drain_client_completions();
+        assert_eq!(completions.len(), 1);
+        assert_eq!(completions[0].1, id);
+    }
+
+    #[test]
+    fn all_three_evaluated_protocols_deliver() {
+        for protocol in Protocol::evaluated() {
+            let spec = ClusterSpec::constant_delta(3, 3, Duration::from_millis(2));
+            let mut sim = ProtocolSim::build(protocol, &spec);
+            let id = sim.submit(Duration::ZERO, 0, &[GroupId(0), GroupId(2)], 20);
+            sim.run_until_quiescent(Duration::from_secs(5));
+            assert!(
+                sim.metrics().is_partially_delivered(id),
+                "{} failed to deliver",
+                protocol.label()
+            );
+        }
+    }
+
+    #[test]
+    fn skeen_cluster_requires_singleton_groups() {
+        let spec = ClusterSpec::constant_delta(3, 1, Duration::from_millis(1));
+        let mut sim = ProtocolSim::build(Protocol::Skeen, &spec);
+        let id = sim.submit(Duration::ZERO, 0, &[GroupId(0), GroupId(1)], 20);
+        sim.run_until_quiescent(Duration::from_secs(5));
+        assert!(sim.metrics().is_partially_delivered(id));
+    }
+
+    #[test]
+    #[should_panic(expected = "singleton")]
+    fn skeen_with_replicated_groups_panics() {
+        let spec = ClusterSpec::constant_delta(2, 3, Duration::from_millis(1));
+        let _ = ProtocolSim::build(Protocol::Skeen, &spec);
+    }
+}

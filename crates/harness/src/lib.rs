@@ -1,0 +1,30 @@
+//! Experiment harness: builds simulated clusters for every protocol in the
+//! workspace, drives client workloads over them and aggregates the metrics the
+//! paper reports.
+//!
+//! The harness is what the figure-reproduction benchmarks (`wbam-bench`), the
+//! examples and the cross-protocol integration tests share:
+//!
+//! * [`cluster`] — [`ProtocolSim`], a protocol-agnostic façade over a
+//!   [`Simulation`](wbam_simnet::Simulation) populated with replicas and
+//!   clients of one protocol ([`Protocol`]); plus [`ClusterSpec`], the
+//!   topology/latency description of an experiment.
+//! * [`workload`] — closed-loop client workloads (every client keeps one
+//!   multicast outstanding, as in the paper's evaluation) and their results.
+//! * [`probe`] — single-message latency probes used for the latency table and
+//!   the message-flow/convoy figures.
+//! * [`sweep`] — parameter sweeps over client counts and destination-group
+//!   counts, producing the rows of Figures 7 and 8.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cluster;
+pub mod probe;
+pub mod sweep;
+pub mod workload;
+
+pub use cluster::{ClusterSpec, Protocol, ProtocolSim};
+pub use probe::{convoy_probe, latency_probe, LatencyProbeResult};
+pub use sweep::{sweep, SweepPoint, SweepResult, SweepSpec};
+pub use workload::{run_closed_loop, ClosedLoopWorkload, WorkloadResult};

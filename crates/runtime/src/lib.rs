@@ -1,0 +1,345 @@
+//! A real (non-simulated) multi-threaded runtime for WBAM protocol nodes.
+//!
+//! The deterministic simulator in `wbam-simnet` is ideal for experiments and
+//! tests, but a library user who wants to embed atomic multicast in an actual
+//! service needs the protocols to run on real threads with real queues. This
+//! crate provides exactly that: every sans-IO [`Node`] runs on its own OS
+//! thread, messages travel over in-process channels (one unbounded channel per
+//! node, which preserves the per-sender FIFO property the protocols assume),
+//! timers are served from each node thread's own timer heap, and application
+//! deliveries are collected in a shared log the embedding application can
+//! drain.
+//!
+//! The runtime is intentionally transport-agnostic in shape: the only
+//! interaction points are "send a message to node X" and "hand this delivery
+//! to the application", so swapping the channel transport for TCP framing
+//! (`wbam_types::wire`) is a localized change.
+//!
+//! # Example
+//!
+//! ```
+//! use std::time::Duration;
+//! use wbam_core::{ClientConfig, MulticastClient, ReplicaConfig, WhiteBoxReplica};
+//! use wbam_runtime::InProcessCluster;
+//! use wbam_types::{AppMessage, ClusterConfig, Destination, GroupId, MsgId, Payload, ProcessId};
+//!
+//! let cluster = ClusterConfig::builder().groups(2, 3).clients(1).build();
+//! let mut nodes: Vec<Box<dyn wbam_types::Node<Msg = wbam_core::WhiteBoxMsg> + Send>> = Vec::new();
+//! for gc in cluster.groups() {
+//!     for member in gc.members() {
+//!         let cfg = ReplicaConfig::new(*member, gc.id(), cluster.clone()).without_auto_election();
+//!         nodes.push(Box::new(WhiteBoxReplica::new(cfg)));
+//!     }
+//! }
+//! let client = cluster.clients()[0];
+//! nodes.push(Box::new(MulticastClient::new(ClientConfig::new(client, cluster.clone()))));
+//!
+//! let handle = InProcessCluster::spawn(nodes);
+//! let msg = AppMessage::new(
+//!     MsgId::new(client, 0),
+//!     Destination::new(vec![GroupId(0), GroupId(1)]).unwrap(),
+//!     Payload::from("hello"),
+//! );
+//! handle.submit(client, msg);
+//! let deliveries = handle.wait_for_deliveries(6, Duration::from_secs(5));
+//! assert!(deliveries.len() >= 6); // every replica of both groups delivers
+//! handle.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use wbam_types::{Action, AppMessage, DeliveredMessage, Event, Node, ProcessId, TimerId};
+
+use std::collections::HashMap;
+
+/// A delivery observed by the runtime, tagged with the delivering process and
+/// wall-clock time since cluster start.
+#[derive(Debug, Clone)]
+pub struct RuntimeDelivery {
+    /// The process that delivered the message.
+    pub process: ProcessId,
+    /// The delivery record (message + global timestamp).
+    pub delivery: DeliveredMessage,
+    /// Time since the cluster was spawned.
+    pub elapsed: Duration,
+}
+
+enum Envelope<M> {
+    FromPeer { from: ProcessId, msg: M },
+    Submit(AppMessage),
+    BecomeLeader,
+    Shutdown,
+}
+
+struct PendingTimer {
+    deadline: Instant,
+    id: TimerId,
+    generation: u64,
+}
+
+impl PartialEq for PendingTimer {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline
+    }
+}
+impl Eq for PendingTimer {}
+impl PartialOrd for PendingTimer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingTimer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.deadline.cmp(&self.deadline) // min-heap
+    }
+}
+
+/// Handle to a running in-process cluster.
+pub struct InProcessCluster<M> {
+    senders: HashMap<ProcessId, Sender<Envelope<M>>>,
+    deliveries: Arc<Mutex<Vec<RuntimeDelivery>>>,
+    threads: Vec<JoinHandle<()>>,
+    started: Instant,
+}
+
+impl<M: Send + Clone + 'static> InProcessCluster<M> {
+    /// Spawns one thread per node and wires them together with channels.
+    pub fn spawn(nodes: Vec<Box<dyn Node<Msg = M> + Send>>) -> Self {
+        let started = Instant::now();
+        let deliveries: Arc<Mutex<Vec<RuntimeDelivery>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut senders: HashMap<ProcessId, Sender<Envelope<M>>> = HashMap::new();
+        let mut receivers: Vec<(Box<dyn Node<Msg = M> + Send>, Receiver<Envelope<M>>)> = Vec::new();
+        for node in nodes {
+            let (tx, rx) = unbounded();
+            senders.insert(node.id(), tx);
+            receivers.push((node, rx));
+        }
+        let mut threads = Vec::new();
+        for (node, rx) in receivers {
+            let senders = senders.clone();
+            let deliveries = Arc::clone(&deliveries);
+            threads.push(std::thread::spawn(move || {
+                run_node(node, rx, senders, deliveries, started);
+            }));
+        }
+        InProcessCluster {
+            senders,
+            deliveries,
+            threads,
+            started,
+        }
+    }
+
+    /// Submits an application message for multicast at the given node
+    /// (normally a client node).
+    pub fn submit(&self, at: ProcessId, msg: AppMessage) {
+        if let Some(tx) = self.senders.get(&at) {
+            let _ = tx.send(Envelope::Submit(msg));
+        }
+    }
+
+    /// Tells a node to start leader recovery (for failover demonstrations).
+    pub fn become_leader(&self, at: ProcessId) {
+        if let Some(tx) = self.senders.get(&at) {
+            let _ = tx.send(Envelope::BecomeLeader);
+        }
+    }
+
+    /// A snapshot of all deliveries observed so far.
+    pub fn deliveries(&self) -> Vec<RuntimeDelivery> {
+        self.deliveries.lock().clone()
+    }
+
+    /// Blocks until at least `count` deliveries have been observed or the
+    /// timeout expires; returns the deliveries observed so far.
+    pub fn wait_for_deliveries(&self, count: usize, timeout: Duration) -> Vec<RuntimeDelivery> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let current = self.deliveries.lock().clone();
+            if current.len() >= count || Instant::now() >= deadline {
+                return current;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Time since the cluster was spawned.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Stops all node threads and waits for them to exit.
+    pub fn shutdown(self) {
+        for tx in self.senders.values() {
+            let _ = tx.send(Envelope::Shutdown);
+        }
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+fn run_node<M: Send + Clone + 'static>(
+    mut node: Box<dyn Node<Msg = M> + Send>,
+    rx: Receiver<Envelope<M>>,
+    senders: HashMap<ProcessId, Sender<Envelope<M>>>,
+    deliveries: Arc<Mutex<Vec<RuntimeDelivery>>>,
+    started: Instant,
+) {
+    let my_id = node.id();
+    let mut timers: BinaryHeap<PendingTimer> = BinaryHeap::new();
+    let mut generations: HashMap<TimerId, u64> = HashMap::new();
+
+    let mut execute = |node: &mut Box<dyn Node<Msg = M> + Send>,
+                       actions: Vec<Action<M>>,
+                       timers: &mut BinaryHeap<PendingTimer>,
+                       generations: &mut HashMap<TimerId, u64>| {
+        let _ = node;
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => {
+                    if let Some(tx) = senders.get(&to) {
+                        let _ = tx.send(Envelope::FromPeer { from: my_id, msg });
+                    }
+                }
+                Action::Deliver(delivery) => {
+                    deliveries.lock().push(RuntimeDelivery {
+                        process: my_id,
+                        delivery,
+                        elapsed: started.elapsed(),
+                    });
+                }
+                Action::SetTimer { id, delay } => {
+                    let gen = generations.entry(id).and_modify(|g| *g += 1).or_insert(1);
+                    timers.push(PendingTimer {
+                        deadline: Instant::now() + delay,
+                        id,
+                        generation: *gen,
+                    });
+                }
+                Action::CancelTimer(id) => {
+                    generations.entry(id).and_modify(|g| *g += 1).or_insert(1);
+                }
+            }
+        }
+    };
+
+    // Initialise the node.
+    let init_actions = node.on_event(started.elapsed(), Event::Init);
+    execute(&mut node, init_actions, &mut timers, &mut generations);
+
+    loop {
+        // Fire any due timers.
+        let now = Instant::now();
+        while let Some(t) = timers.peek() {
+            if t.deadline > now {
+                break;
+            }
+            let t = timers.pop().expect("peeked");
+            if generations.get(&t.id).copied().unwrap_or(0) != t.generation {
+                continue; // cancelled or re-armed
+            }
+            let elapsed = started.elapsed();
+            let actions = node.on_event(elapsed, Event::Timer { id: t.id, now: elapsed });
+            execute(&mut node, actions, &mut timers, &mut generations);
+        }
+        // Wait for the next message or the next timer deadline.
+        let wait = timers
+            .peek()
+            .map(|t| t.deadline.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(50));
+        let envelope = match rx.recv_timeout(wait) {
+            Ok(e) => e,
+            Err(crossbeam_channel::RecvTimeoutError::Timeout) => continue,
+            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => break,
+        };
+        let elapsed = started.elapsed();
+        let actions = match envelope {
+            Envelope::Shutdown => break,
+            Envelope::FromPeer { from, msg } => node.on_event(elapsed, Event::Message { from, msg }),
+            Envelope::Submit(msg) => node.on_event(elapsed, Event::Multicast(msg)),
+            Envelope::BecomeLeader => node.on_event(elapsed, Event::BecomeLeader),
+        };
+        execute(&mut node, actions, &mut timers, &mut generations);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbam_core::{ClientConfig, MulticastClient, ReplicaConfig, WhiteBoxMsg, WhiteBoxReplica};
+    use wbam_types::{ClusterConfig, Destination, GroupId, MsgId, Payload};
+
+    fn build_nodes(
+        cluster: &ClusterConfig,
+    ) -> Vec<Box<dyn Node<Msg = WhiteBoxMsg> + Send>> {
+        let mut nodes: Vec<Box<dyn Node<Msg = WhiteBoxMsg> + Send>> = Vec::new();
+        for gc in cluster.groups() {
+            for member in gc.members() {
+                let cfg = ReplicaConfig::new(*member, gc.id(), cluster.clone())
+                    .without_auto_election();
+                nodes.push(Box::new(WhiteBoxReplica::new(cfg)));
+            }
+        }
+        for client in cluster.clients() {
+            nodes.push(Box::new(MulticastClient::new(ClientConfig::new(
+                *client,
+                cluster.clone(),
+            ))));
+        }
+        nodes
+    }
+
+    #[test]
+    fn threaded_cluster_delivers_multicasts() {
+        let cluster = ClusterConfig::builder().groups(2, 3).clients(1).build();
+        let handle = InProcessCluster::spawn(build_nodes(&cluster));
+        let client = cluster.clients()[0];
+        for seq in 0..5u64 {
+            let msg = AppMessage::new(
+                MsgId::new(client, seq),
+                Destination::new(vec![GroupId(0), GroupId(1)]).unwrap(),
+                Payload::from(format!("op-{seq}").as_str()),
+            );
+            handle.submit(client, msg);
+        }
+        // 5 messages × 6 replicas + 5 client completions = 35 deliveries.
+        let deliveries = handle.wait_for_deliveries(35, Duration::from_secs(10));
+        assert!(
+            deliveries.len() >= 35,
+            "expected at least 35 deliveries, got {}",
+            deliveries.len()
+        );
+        // Each replica delivered the five messages in the same order.
+        let order_of = |p: ProcessId| -> Vec<MsgId> {
+            deliveries
+                .iter()
+                .filter(|d| d.process == p)
+                .map(|d| d.delivery.msg.id)
+                .collect()
+        };
+        let reference = order_of(ProcessId(0));
+        assert_eq!(reference.len(), 5);
+        for p in 1..6u32 {
+            assert_eq!(order_of(ProcessId(p)), reference, "replica p{p} order differs");
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn uptime_and_empty_delivery_snapshot() {
+        let cluster = ClusterConfig::builder().groups(1, 3).clients(1).build();
+        let handle = InProcessCluster::spawn(build_nodes(&cluster));
+        assert!(handle.deliveries().is_empty());
+        assert!(handle.uptime() < Duration::from_secs(5));
+        handle.shutdown();
+    }
+}

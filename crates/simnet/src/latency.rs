@@ -1,0 +1,250 @@
+//! Network latency models.
+//!
+//! A latency model maps an ordered pair of *sites* to a one-way message delay.
+//! Three models cover the paper's evaluation environments:
+//!
+//! * [`LatencyModel::Constant`] — a fixed one-way delay δ; used for the
+//!   analytical latency experiments (delivery latency expressed in multiples
+//!   of δ, §V) and as a first approximation of the LAN.
+//! * [`LatencyModel::Uniform`] — a delay drawn uniformly from `[min, max]`;
+//!   used to add realistic jitter.
+//! * [`LatencyModel::SiteMatrix`] — a per-site-pair one-way delay matrix with
+//!   optional relative jitter; used for the WAN experiments (§VI: Oregon /
+//!   N. Virginia / England with round-trip times 60, 75 and 130 ms).
+
+use std::time::Duration;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use wbam_types::SiteId;
+
+/// A model of one-way message delays between sites.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Every message takes exactly `delay` to arrive, irrespective of sites.
+    Constant {
+        /// The one-way delay δ.
+        delay: Duration,
+    },
+    /// Delays are drawn uniformly at random from `[min, max]`.
+    Uniform {
+        /// Minimum one-way delay.
+        min: Duration,
+        /// Maximum one-way delay.
+        max: Duration,
+    },
+    /// Per-site-pair one-way delays with multiplicative jitter.
+    ///
+    /// `matrix[i][j]` is the base one-way delay from site `i` to site `j`.
+    /// A delay is perturbed by a factor drawn uniformly from
+    /// `[1, 1 + jitter]`.
+    SiteMatrix {
+        /// Base one-way delays between sites.
+        matrix: Vec<Vec<Duration>>,
+        /// Relative jitter (0.0 disables jitter).
+        jitter: f64,
+    },
+}
+
+impl LatencyModel {
+    /// A constant one-way delay.
+    pub fn constant(delay: Duration) -> Self {
+        LatencyModel::Constant { delay }
+    }
+
+    /// A uniformly distributed one-way delay in `[min, max]`.
+    pub fn uniform(min: Duration, max: Duration) -> Self {
+        assert!(min <= max, "uniform latency requires min <= max");
+        LatencyModel::Uniform { min, max }
+    }
+
+    /// The LAN profile used for the Figure 7 experiments: 0.05 ms one-way
+    /// delay (0.1 ms round-trip, as reported for the CloudLab testbed) with
+    /// ±20 % jitter.
+    pub fn lan() -> Self {
+        LatencyModel::Uniform {
+            min: Duration::from_micros(40),
+            max: Duration::from_micros(60),
+        }
+    }
+
+    /// The WAN profile used for the Figure 8 experiments: three sites with
+    /// round-trip times 60 ms (0↔1), 75 ms (1↔2) and 130 ms (0↔2), i.e.
+    /// one-way delays of 30, 37.5 and 65 ms, intra-site delay 0.25 ms, and 2 %
+    /// jitter. Site 0 is Oregon, site 1 North Virginia, site 2 England.
+    pub fn wan_three_sites() -> Self {
+        let ms = Duration::from_micros;
+        let intra = ms(250);
+        LatencyModel::SiteMatrix {
+            matrix: vec![
+                vec![intra, ms(30_000), ms(65_000)],
+                vec![ms(30_000), intra, ms(37_500)],
+                vec![ms(65_000), ms(37_500), intra],
+            ],
+            jitter: 0.02,
+        }
+    }
+
+    /// Samples a one-way delay for a message sent from `from` to `to`.
+    ///
+    /// The model is consulted with the *sites* of the endpoints; process
+    /// placement is the responsibility of the cluster configuration.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, from: SiteId, to: SiteId) -> Duration {
+        match self {
+            LatencyModel::Constant { delay } => *delay,
+            LatencyModel::Uniform { min, max } => {
+                if min == max {
+                    *min
+                } else {
+                    let lo = min.as_nanos() as u64;
+                    let hi = max.as_nanos() as u64;
+                    Duration::from_nanos(rng.gen_range(lo..=hi))
+                }
+            }
+            LatencyModel::SiteMatrix { matrix, jitter } => {
+                let base = matrix
+                    .get(from.0 as usize)
+                    .and_then(|row| row.get(to.0 as usize))
+                    .copied()
+                    .unwrap_or_else(|| {
+                        // Unknown sites fall back to the largest configured delay,
+                        // which is conservative.
+                        matrix
+                            .iter()
+                            .flat_map(|r| r.iter())
+                            .copied()
+                            .max()
+                            .unwrap_or(Duration::ZERO)
+                    });
+                if *jitter <= 0.0 {
+                    base
+                } else {
+                    let factor = 1.0 + rng.gen_range(0.0..=*jitter);
+                    base.mul_f64(factor)
+                }
+            }
+        }
+    }
+
+    /// An upper bound on the delay the model can produce (the paper's δ after
+    /// GST). Used by protocols to size retry and election timeouts.
+    pub fn upper_bound(&self) -> Duration {
+        match self {
+            LatencyModel::Constant { delay } => *delay,
+            LatencyModel::Uniform { max, .. } => *max,
+            LatencyModel::SiteMatrix { matrix, jitter } => {
+                let base = matrix
+                    .iter()
+                    .flat_map(|r| r.iter())
+                    .copied()
+                    .max()
+                    .unwrap_or(Duration::ZERO);
+                base.mul_f64(1.0 + jitter.max(0.0))
+            }
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::constant(Duration::from_millis(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_model_is_constant() {
+        let m = LatencyModel::constant(Duration::from_millis(7));
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(
+                m.sample(&mut rng, SiteId(0), SiteId(1)),
+                Duration::from_millis(7)
+            );
+        }
+        assert_eq!(m.upper_bound(), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn uniform_model_respects_bounds() {
+        let lo = Duration::from_micros(100);
+        let hi = Duration::from_micros(200);
+        let m = LatencyModel::uniform(lo, hi);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let d = m.sample(&mut rng, SiteId(0), SiteId(0));
+            assert!(d >= lo && d <= hi, "delay {d:?} out of bounds");
+        }
+        assert_eq!(m.upper_bound(), hi);
+    }
+
+    #[test]
+    fn uniform_degenerate_range() {
+        let d = Duration::from_micros(5);
+        let m = LatencyModel::uniform(d, d);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(m.sample(&mut rng, SiteId(0), SiteId(0)), d);
+    }
+
+    #[test]
+    #[should_panic(expected = "min <= max")]
+    fn uniform_rejects_inverted_range() {
+        let _ = LatencyModel::uniform(Duration::from_millis(2), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn wan_matrix_matches_paper_rtts() {
+        let m = LatencyModel::wan_three_sites();
+        let mut rng = StdRng::seed_from_u64(4);
+        // One-way Oregon <-> N. Virginia is ~30 ms (60 ms RTT).
+        let d01 = m.sample(&mut rng, SiteId(0), SiteId(1));
+        assert!(d01 >= Duration::from_millis(30) && d01 <= Duration::from_millis(31));
+        // One-way Oregon <-> England is ~65 ms (130 ms RTT).
+        let d02 = m.sample(&mut rng, SiteId(0), SiteId(2));
+        assert!(d02 >= Duration::from_millis(65) && d02 <= Duration::from_millis(67));
+        // Intra-site delay is sub-millisecond.
+        let d00 = m.sample(&mut rng, SiteId(0), SiteId(0));
+        assert!(d00 < Duration::from_millis(1));
+    }
+
+    #[test]
+    fn site_matrix_unknown_site_falls_back_to_max() {
+        let m = LatencyModel::SiteMatrix {
+            matrix: vec![vec![Duration::from_millis(1), Duration::from_millis(9)]],
+            jitter: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(
+            m.sample(&mut rng, SiteId(7), SiteId(8)),
+            Duration::from_millis(9)
+        );
+    }
+
+    #[test]
+    fn lan_profile_is_sub_millisecond() {
+        let m = LatencyModel::lan();
+        assert!(m.upper_bound() < Duration::from_millis(1));
+    }
+
+    #[test]
+    fn upper_bound_of_matrix_includes_jitter() {
+        let m = LatencyModel::SiteMatrix {
+            matrix: vec![vec![Duration::from_millis(100)]],
+            jitter: 0.1,
+        };
+        assert_eq!(m.upper_bound(), Duration::from_millis(110));
+    }
+
+    #[test]
+    fn default_model_is_one_millisecond_constant() {
+        assert_eq!(
+            LatencyModel::default(),
+            LatencyModel::constant(Duration::from_millis(1))
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Leader ballots.
+//!
+//! A period of time when a particular process acts as the leader of its group
+//! is denoted by a ballot `(n, p)` — a pair of an integer and the process
+//! identifier (paper §IV, "Preliminaries"). Ballots are ordered
+//! lexicographically with a distinguished minimal ballot `⊥`. The same type is
+//! used by the Paxos substrate in `wbam-consensus`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::ProcessId;
+
+/// A ballot `(n, p) ∈ N × P`, with a distinguished minimum `⊥`.
+///
+/// ```
+/// use wbam_types::{Ballot, ProcessId};
+///
+/// let b1 = Ballot::new(1, ProcessId(5));
+/// let b2 = Ballot::new(2, ProcessId(0));
+/// assert!(Ballot::BOTTOM < b1);
+/// assert!(b1 < b2);
+/// assert_eq!(b2.leader(), Some(ProcessId(0)));
+/// assert_eq!(b1.next_for(ProcessId(0)), Ballot::new(2, ProcessId(0)));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum Ballot {
+    /// The minimal ballot `⊥`; no process ever leads it.
+    #[default]
+    Bottom,
+    /// A proper ballot `(round, leader)`.
+    Proper {
+        /// Round number.
+        round: u64,
+        /// The process leading this ballot (`leader(b)` in the paper).
+        leader: ProcessId,
+    },
+}
+
+impl Ballot {
+    /// The minimal ballot `⊥`.
+    pub const BOTTOM: Ballot = Ballot::Bottom;
+
+    /// Creates a proper ballot.
+    pub fn new(round: u64, leader: ProcessId) -> Self {
+        Ballot::Proper { round, leader }
+    }
+
+    /// The round component of the ballot; `0` for `⊥`.
+    pub fn round(self) -> u64 {
+        match self {
+            Ballot::Bottom => 0,
+            Ballot::Proper { round, .. } => round,
+        }
+    }
+
+    /// The process leading the ballot (`leader(b)`), if the ballot is proper.
+    pub fn leader(self) -> Option<ProcessId> {
+        match self {
+            Ballot::Bottom => None,
+            Ballot::Proper { leader, .. } => Some(leader),
+        }
+    }
+
+    /// Whether this ballot is the minimal ballot `⊥`.
+    pub fn is_bottom(self) -> bool {
+        matches!(self, Ballot::Bottom)
+    }
+
+    /// Whether the given process leads this ballot.
+    pub fn is_led_by(self, p: ProcessId) -> bool {
+        self.leader() == Some(p)
+    }
+
+    /// The smallest ballot led by `p` that is strictly greater than `self`.
+    ///
+    /// Used when a newly elected leader picks "any ballot of the form `(_, pi)`
+    /// higher than `ballot`" (paper Figure 4, line 36).
+    pub fn next_for(self, p: ProcessId) -> Ballot {
+        let round = match self {
+            Ballot::Bottom => 1,
+            Ballot::Proper { round, leader } => {
+                if p > leader {
+                    // (round, p) > (round, leader) already.
+                    round
+                } else {
+                    round + 1
+                }
+            }
+        };
+        let candidate = Ballot::new(round, p);
+        debug_assert!(candidate > self);
+        candidate
+    }
+}
+
+impl fmt::Display for Ballot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ballot::Bottom => write!(f, "⊥"),
+            Ballot::Proper { round, leader } => write!(f, "({round},{leader})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bottom_is_minimal() {
+        assert!(Ballot::BOTTOM < Ballot::new(0, ProcessId(0)));
+        assert!(Ballot::BOTTOM.is_bottom());
+        assert_eq!(Ballot::default(), Ballot::BOTTOM);
+        assert_eq!(Ballot::BOTTOM.leader(), None);
+        assert_eq!(Ballot::BOTTOM.round(), 0);
+    }
+
+    #[test]
+    fn lexicographic_order() {
+        let a = Ballot::new(1, ProcessId(9));
+        let b = Ballot::new(2, ProcessId(0));
+        assert!(a < b);
+        assert!(Ballot::new(1, ProcessId(1)) < Ballot::new(1, ProcessId(2)));
+    }
+
+    #[test]
+    fn leadership() {
+        let b = Ballot::new(3, ProcessId(4));
+        assert!(b.is_led_by(ProcessId(4)));
+        assert!(!b.is_led_by(ProcessId(5)));
+        assert_eq!(b.leader(), Some(ProcessId(4)));
+        assert_eq!(b.round(), 3);
+    }
+
+    #[test]
+    fn next_for_is_strictly_greater_and_led_by_p() {
+        let b = Ballot::new(3, ProcessId(4));
+        let n1 = b.next_for(ProcessId(2));
+        assert!(n1 > b);
+        assert!(n1.is_led_by(ProcessId(2)));
+        assert_eq!(n1.round(), 4);
+
+        let n2 = b.next_for(ProcessId(9));
+        assert!(n2 > b);
+        assert!(n2.is_led_by(ProcessId(9)));
+        assert_eq!(n2.round(), 3);
+
+        let n3 = Ballot::BOTTOM.next_for(ProcessId(0));
+        assert!(n3 > Ballot::BOTTOM);
+        assert!(n3.is_led_by(ProcessId(0)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Ballot::BOTTOM.to_string(), "⊥");
+        assert_eq!(Ballot::new(2, ProcessId(7)).to_string(), "(2,p7)");
+    }
+
+    fn arb_ballot() -> impl Strategy<Value = Ballot> {
+        prop_oneof![
+            Just(Ballot::BOTTOM),
+            (0u64..100, 0u32..32).prop_map(|(r, p)| Ballot::new(r, ProcessId(p))),
+        ]
+    }
+
+    proptest! {
+        /// `next_for` always produces a strictly greater ballot led by the caller.
+        #[test]
+        fn next_for_properties(b in arb_ballot(), p in 0u32..32) {
+            let n = b.next_for(ProcessId(p));
+            prop_assert!(n > b);
+            prop_assert!(n.is_led_by(ProcessId(p)));
+        }
+
+        /// Ballot ordering matches tuple ordering for proper ballots.
+        #[test]
+        fn order_matches_tuple_order(
+            r1 in 0u64..100, p1 in 0u32..32,
+            r2 in 0u64..100, p2 in 0u32..32,
+        ) {
+            let a = Ballot::new(r1, ProcessId(p1));
+            let b = Ballot::new(r2, ProcessId(p2));
+            prop_assert_eq!(a.cmp(&b), (r1, p1).cmp(&(r2, p2)));
+        }
+    }
+}

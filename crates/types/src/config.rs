@@ -1,0 +1,412 @@
+//! Static cluster configuration: disjoint process groups, clients and sites.
+//!
+//! The paper's system model (§II) fixes a set of disjoint process groups
+//! `G ⊆ 2^P`, each consisting of `2f + 1` processes of which at most `f` may
+//! crash. Clients (multicasting processes) are ordinary processes outside all
+//! groups. For the WAN experiments (§VI) every replica additionally lives in a
+//! *site* (data centre); inter-site latency dominates delivery latency there.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ConfigError;
+use crate::ids::{ClientId, GroupId, ProcessId};
+
+/// Identifier of a site (data centre / region) used by WAN latency models.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SiteId(pub u32);
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Configuration of a single process group: its identifier and members.
+///
+/// A group has `2f + 1` members; a *quorum* is any set of `f + 1` members.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupConfig {
+    id: GroupId,
+    members: Vec<ProcessId>,
+}
+
+impl GroupConfig {
+    /// Creates a group configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::EvenGroupSize`] if the member count is even or
+    /// zero — groups must have `2f + 1 ≥ 1` members.
+    pub fn new(id: GroupId, members: Vec<ProcessId>) -> Result<Self, ConfigError> {
+        if members.is_empty() || members.len() % 2 == 0 {
+            return Err(ConfigError::EvenGroupSize {
+                group: id,
+                size: members.len(),
+            });
+        }
+        Ok(GroupConfig { id, members })
+    }
+
+    /// The group identifier.
+    pub fn id(&self) -> GroupId {
+        self.id
+    }
+
+    /// The group members, in configuration order. The first member is the
+    /// conventional initial leader.
+    pub fn members(&self) -> &[ProcessId] {
+        &self.members
+    }
+
+    /// Number of members (`2f + 1`).
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The failure threshold `f`.
+    pub fn f(&self) -> usize {
+        (self.members.len() - 1) / 2
+    }
+
+    /// Size of a quorum (`f + 1`).
+    pub fn quorum_size(&self) -> usize {
+        self.f() + 1
+    }
+
+    /// The conventional initial leader of the group (its first member).
+    pub fn initial_leader(&self) -> ProcessId {
+        self.members[0]
+    }
+
+    /// Whether the given process belongs to this group.
+    pub fn contains(&self, p: ProcessId) -> bool {
+        self.members.contains(&p)
+    }
+}
+
+/// Static configuration of the whole cluster: groups, clients and site placement.
+///
+/// Build one with [`ClusterConfig::builder`]:
+///
+/// ```
+/// use wbam_types::{ClusterConfig, GroupId, ProcessId};
+///
+/// let cfg = ClusterConfig::builder().groups(2, 3).clients(4).build();
+/// assert_eq!(cfg.groups().len(), 2);
+/// assert_eq!(cfg.clients().len(), 4);
+/// assert_eq!(cfg.group_of(ProcessId(0)), Some(GroupId(0)));
+/// assert_eq!(cfg.group_of(cfg.clients()[0]), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    groups: Vec<GroupConfig>,
+    clients: Vec<ProcessId>,
+    /// Site of each process; processes absent from the map share site 0.
+    sites: BTreeMap<ProcessId, SiteId>,
+    num_sites: u32,
+}
+
+impl ClusterConfig {
+    /// Starts building a cluster configuration.
+    pub fn builder() -> ClusterConfigBuilder {
+        ClusterConfigBuilder::default()
+    }
+
+    /// All groups.
+    pub fn groups(&self) -> &[GroupConfig] {
+        &self.groups
+    }
+
+    /// Looks up a group by identifier.
+    pub fn group(&self, g: GroupId) -> Option<&GroupConfig> {
+        self.groups.iter().find(|gc| gc.id() == g)
+    }
+
+    /// All group identifiers, ascending.
+    pub fn group_ids(&self) -> Vec<GroupId> {
+        self.groups.iter().map(|g| g.id()).collect()
+    }
+
+    /// Client (non-replica) processes.
+    pub fn clients(&self) -> &[ProcessId] {
+        &self.clients
+    }
+
+    /// All processes: replicas of every group followed by clients.
+    pub fn all_processes(&self) -> Vec<ProcessId> {
+        let mut v: Vec<ProcessId> = self
+            .groups
+            .iter()
+            .flat_map(|g| g.members().iter().copied())
+            .collect();
+        v.extend(self.clients.iter().copied());
+        v
+    }
+
+    /// Total number of processes (replicas + clients).
+    pub fn num_processes(&self) -> usize {
+        self.groups.iter().map(|g| g.size()).sum::<usize>() + self.clients.len()
+    }
+
+    /// The group a process belongs to, or `None` for clients.
+    pub fn group_of(&self, p: ProcessId) -> Option<GroupId> {
+        self.groups
+            .iter()
+            .find(|g| g.contains(p))
+            .map(|g| g.id())
+    }
+
+    /// Whether the process is a client (not a member of any group).
+    pub fn is_client(&self, p: ProcessId) -> bool {
+        self.group_of(p).is_none()
+    }
+
+    /// The site a process resides in (site 0 when not explicitly placed).
+    pub fn site_of(&self, p: ProcessId) -> SiteId {
+        self.sites.get(&p).copied().unwrap_or(SiteId(0))
+    }
+
+    /// Number of distinct sites in the configuration (at least 1).
+    pub fn num_sites(&self) -> u32 {
+        self.num_sites.max(1)
+    }
+
+    /// The conventional initial leader of each group.
+    pub fn initial_leaders(&self) -> BTreeMap<GroupId, ProcessId> {
+        self.groups
+            .iter()
+            .map(|g| (g.id(), g.initial_leader()))
+            .collect()
+    }
+
+    /// Validates internal consistency: disjoint groups, unique process ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::DuplicateProcess`] when a process appears in two
+    /// groups or both as a replica and a client.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let mut seen = std::collections::BTreeSet::new();
+        for p in self.all_processes() {
+            if !seen.insert(p) {
+                return Err(ConfigError::DuplicateProcess(p));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`ClusterConfig`].
+///
+/// Process identifiers are assigned densely: replicas of group 0 first, then
+/// group 1, and so on, followed by clients. With `spread_over_sites(k)` each
+/// group places replica `i` in site `i mod k`, which matches the paper's WAN
+/// deployment where "each group has a replica in each data centre".
+#[derive(Debug, Clone, Default)]
+pub struct ClusterConfigBuilder {
+    num_groups: usize,
+    group_size: usize,
+    num_clients: usize,
+    num_sites: u32,
+    clients_site: Option<SiteId>,
+}
+
+impl ClusterConfigBuilder {
+    /// Sets the number of groups and the size (`2f + 1`) of every group.
+    pub fn groups(mut self, num_groups: usize, group_size: usize) -> Self {
+        self.num_groups = num_groups;
+        self.group_size = group_size;
+        self
+    }
+
+    /// Sets the number of client processes.
+    pub fn clients(mut self, num_clients: usize) -> Self {
+        self.num_clients = num_clients;
+        self
+    }
+
+    /// Spreads the replicas of every group over `k` sites (replica `i` goes to
+    /// site `i mod k`). Clients go to site 0 unless [`Self::clients_at_site`]
+    /// is used.
+    pub fn spread_over_sites(mut self, k: u32) -> Self {
+        self.num_sites = k;
+        self
+    }
+
+    /// Places all clients at the given site.
+    pub fn clients_at_site(mut self, site: SiteId) -> Self {
+        self.clients_site = Some(site);
+        self
+    }
+
+    /// Builds the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group size is even or zero, or if no groups were
+    /// configured. Use [`Self::try_build`] for a fallible version.
+    pub fn build(self) -> ClusterConfig {
+        self.try_build().expect("invalid cluster configuration")
+    }
+
+    /// Builds the configuration, reporting errors instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::NoGroups`] if no groups were configured and
+    /// [`ConfigError::EvenGroupSize`] if the group size is even or zero.
+    pub fn try_build(self) -> Result<ClusterConfig, ConfigError> {
+        if self.num_groups == 0 {
+            return Err(ConfigError::NoGroups);
+        }
+        let mut groups = Vec::with_capacity(self.num_groups);
+        let mut sites = BTreeMap::new();
+        let mut next = 0u32;
+        for gi in 0..self.num_groups {
+            let mut members = Vec::with_capacity(self.group_size);
+            for ri in 0..self.group_size {
+                let p = ProcessId(next);
+                next += 1;
+                members.push(p);
+                if self.num_sites > 1 {
+                    sites.insert(p, SiteId(ri as u32 % self.num_sites));
+                }
+            }
+            groups.push(GroupConfig::new(GroupId(gi as u32), members)?);
+        }
+        let mut clients = Vec::with_capacity(self.num_clients);
+        for _ in 0..self.num_clients {
+            let p = ProcessId(next);
+            next += 1;
+            clients.push(p);
+            if let Some(site) = self.clients_site {
+                sites.insert(p, site);
+            }
+        }
+        let cfg = ClusterConfig {
+            groups,
+            clients,
+            sites,
+            num_sites: self.num_sites.max(1),
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
+/// Convenience: a client identifier mapped onto the process identifier space of
+/// a configuration (clients follow all replicas).
+pub fn client_process_id(cfg: &ClusterConfig, client: ClientId) -> Option<ProcessId> {
+    cfg.clients().get(client.0 as usize).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let cfg = ClusterConfig::builder().groups(2, 3).clients(2).build();
+        assert_eq!(
+            cfg.group(GroupId(0)).unwrap().members(),
+            &[ProcessId(0), ProcessId(1), ProcessId(2)]
+        );
+        assert_eq!(
+            cfg.group(GroupId(1)).unwrap().members(),
+            &[ProcessId(3), ProcessId(4), ProcessId(5)]
+        );
+        assert_eq!(cfg.clients(), &[ProcessId(6), ProcessId(7)]);
+        assert_eq!(cfg.num_processes(), 8);
+        assert_eq!(cfg.all_processes().len(), 8);
+    }
+
+    #[test]
+    fn group_membership_lookup() {
+        let cfg = ClusterConfig::builder().groups(2, 3).clients(1).build();
+        assert_eq!(cfg.group_of(ProcessId(4)), Some(GroupId(1)));
+        assert_eq!(cfg.group_of(ProcessId(6)), None);
+        assert!(cfg.is_client(ProcessId(6)));
+        assert!(!cfg.is_client(ProcessId(0)));
+    }
+
+    #[test]
+    fn quorum_arithmetic() {
+        let g = GroupConfig::new(
+            GroupId(0),
+            vec![ProcessId(0), ProcessId(1), ProcessId(2), ProcessId(3), ProcessId(4)],
+        )
+        .unwrap();
+        assert_eq!(g.size(), 5);
+        assert_eq!(g.f(), 2);
+        assert_eq!(g.quorum_size(), 3);
+        assert_eq!(g.initial_leader(), ProcessId(0));
+        assert!(g.contains(ProcessId(3)));
+        assert!(!g.contains(ProcessId(9)));
+    }
+
+    #[test]
+    fn even_group_sizes_are_rejected() {
+        assert!(GroupConfig::new(GroupId(0), vec![ProcessId(0), ProcessId(1)]).is_err());
+        assert!(GroupConfig::new(GroupId(0), vec![]).is_err());
+        assert!(ClusterConfig::builder().groups(1, 4).try_build().is_err());
+        assert!(ClusterConfig::builder().try_build().is_err());
+    }
+
+    #[test]
+    fn site_placement_round_robin() {
+        let cfg = ClusterConfig::builder()
+            .groups(2, 3)
+            .clients(1)
+            .spread_over_sites(3)
+            .clients_at_site(SiteId(1))
+            .build();
+        // Replica i of each group lives in site i.
+        assert_eq!(cfg.site_of(ProcessId(0)), SiteId(0));
+        assert_eq!(cfg.site_of(ProcessId(1)), SiteId(1));
+        assert_eq!(cfg.site_of(ProcessId(2)), SiteId(2));
+        assert_eq!(cfg.site_of(ProcessId(3)), SiteId(0));
+        assert_eq!(cfg.site_of(ProcessId(6)), SiteId(1));
+        assert_eq!(cfg.num_sites(), 3);
+    }
+
+    #[test]
+    fn default_single_site() {
+        let cfg = ClusterConfig::builder().groups(1, 3).build();
+        assert_eq!(cfg.num_sites(), 1);
+        assert_eq!(cfg.site_of(ProcessId(0)), SiteId(0));
+    }
+
+    #[test]
+    fn initial_leaders_are_first_members() {
+        let cfg = ClusterConfig::builder().groups(3, 3).build();
+        let leaders = cfg.initial_leaders();
+        assert_eq!(leaders[&GroupId(0)], ProcessId(0));
+        assert_eq!(leaders[&GroupId(1)], ProcessId(3));
+        assert_eq!(leaders[&GroupId(2)], ProcessId(6));
+    }
+
+    #[test]
+    fn client_process_id_mapping() {
+        let cfg = ClusterConfig::builder().groups(1, 3).clients(2).build();
+        assert_eq!(client_process_id(&cfg, ClientId(0)), Some(ProcessId(3)));
+        assert_eq!(client_process_id(&cfg, ClientId(1)), Some(ProcessId(4)));
+        assert_eq!(client_process_id(&cfg, ClientId(2)), None);
+    }
+
+    #[test]
+    fn config_serde_round_trip() {
+        let cfg = ClusterConfig::builder()
+            .groups(2, 3)
+            .clients(1)
+            .spread_over_sites(3)
+            .build();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: ClusterConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

@@ -1,0 +1,140 @@
+//! Error types for the WBAM workspace.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{GroupId, ProcessId};
+
+/// Errors produced when constructing cluster configurations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConfigError {
+    /// A group was configured with an even (or zero) number of members; groups
+    /// must contain `2f + 1` processes.
+    EvenGroupSize {
+        /// The offending group.
+        group: GroupId,
+        /// The configured member count.
+        size: usize,
+    },
+    /// No groups were configured.
+    NoGroups,
+    /// The same process appears in two groups or as both a replica and a client.
+    DuplicateProcess(ProcessId),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::EvenGroupSize { group, size } => {
+                write!(f, "group {group} has {size} members, expected an odd number (2f + 1)")
+            }
+            ConfigError::NoGroups => write!(f, "cluster configuration contains no groups"),
+            ConfigError::DuplicateProcess(p) => {
+                write!(f, "process {p} appears more than once in the configuration")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Errors produced by WBAM protocol operations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WbamError {
+    /// An application message was submitted with an empty destination set.
+    EmptyDestination,
+    /// A message was addressed to a group that does not exist in the
+    /// configuration.
+    UnknownGroup(GroupId),
+    /// An operation referenced a process not present in the configuration.
+    UnknownProcess(ProcessId),
+    /// A multicast was submitted to a process that is not currently able to
+    /// handle it (for instance a recovering replica).
+    NotReady {
+        /// The process that rejected the operation.
+        process: ProcessId,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A configuration error.
+    Config(ConfigError),
+    /// Encoding or decoding of a wire message failed.
+    Codec(String),
+}
+
+impl fmt::Display for WbamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WbamError::EmptyDestination => write!(f, "destination group set is empty"),
+            WbamError::UnknownGroup(g) => write!(f, "unknown destination group {g}"),
+            WbamError::UnknownProcess(p) => write!(f, "unknown process {p}"),
+            WbamError::NotReady { process, reason } => {
+                write!(f, "process {process} cannot handle the request: {reason}")
+            }
+            WbamError::Config(e) => write!(f, "configuration error: {e}"),
+            WbamError::Codec(e) => write!(f, "codec error: {e}"),
+        }
+    }
+}
+
+impl Error for WbamError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WbamError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for WbamError {
+    fn from(e: ConfigError) -> Self {
+        WbamError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let e = ConfigError::EvenGroupSize {
+            group: GroupId(1),
+            size: 4,
+        };
+        assert!(e.to_string().contains("g1"));
+        assert!(e.to_string().contains('4'));
+        assert_eq!(
+            WbamError::EmptyDestination.to_string(),
+            "destination group set is empty"
+        );
+        assert!(WbamError::UnknownGroup(GroupId(7)).to_string().contains("g7"));
+        assert!(WbamError::UnknownProcess(ProcessId(7)).to_string().contains("p7"));
+    }
+
+    #[test]
+    fn config_error_converts_to_wbam_error_with_source() {
+        let e: WbamError = ConfigError::NoGroups.into();
+        assert!(matches!(e, WbamError::Config(_)));
+        assert!(e.source().is_some());
+        assert!(WbamError::EmptyDestination.source().is_none());
+    }
+
+    #[test]
+    fn not_ready_carries_reason() {
+        let e = WbamError::NotReady {
+            process: ProcessId(2),
+            reason: "recovering".to_string(),
+        };
+        assert!(e.to_string().contains("recovering"));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<WbamError>();
+        assert_send_sync::<ConfigError>();
+    }
+}

@@ -1,0 +1,97 @@
+//! Events consumed by sans-IO protocol state machines.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::ProcessId;
+use crate::message::AppMessage;
+use crate::node::TimerId;
+
+/// An input event for a protocol node, parameterised by the protocol's wire
+/// message type `M`.
+///
+/// Events are produced by a runtime — either the deterministic simulator in
+/// `wbam-simnet` or the threaded runtime in `wbam-runtime` — and fed to
+/// [`Node::on_event`](crate::Node::on_event). The node reacts by returning a
+/// list of [`Action`](crate::Action)s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event<M> {
+    /// The node has been started; fired exactly once before any other event.
+    Init,
+    /// A protocol message arrived from another process over a reliable FIFO
+    /// channel.
+    Message {
+        /// The sending process.
+        from: ProcessId,
+        /// The protocol message.
+        msg: M,
+    },
+    /// A previously requested timer fired.
+    Timer {
+        /// The timer that fired.
+        id: TimerId,
+        /// The time since node start at which the timer fired.
+        now: Duration,
+    },
+    /// The local application asks this node to multicast `m` to `m.dest`.
+    ///
+    /// For client nodes this corresponds to invoking `multicast(m)` (Figure 4
+    /// line 1); replica nodes typically never receive it.
+    Multicast(AppMessage),
+    /// An external oracle (failure detector / membership service) tells this
+    /// node that it should consider itself the leader of its group and start
+    /// recovery. Corresponds to invoking `recover()` (Figure 4 line 35).
+    BecomeLeader,
+}
+
+impl<M> Event<M> {
+    /// Whether the event is a protocol message.
+    pub fn is_message(&self) -> bool {
+        matches!(self, Event::Message { .. })
+    }
+
+    /// Convenient constructor for message events.
+    pub fn message(from: ProcessId, msg: M) -> Self {
+        Event::Message { from, msg }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{GroupId, MsgId};
+    use crate::message::{Destination, Payload};
+
+    #[test]
+    fn message_constructor_and_predicate() {
+        let e: Event<u32> = Event::message(ProcessId(1), 42);
+        assert!(e.is_message());
+        assert!(!Event::<u32>::Init.is_message());
+    }
+
+    #[test]
+    fn multicast_event_carries_app_message() {
+        let m = AppMessage::new(
+            MsgId::new(ProcessId(5), 0),
+            Destination::single(GroupId(0)),
+            Payload::from("x"),
+        );
+        let e: Event<u32> = Event::Multicast(m.clone());
+        match e {
+            Event::Multicast(inner) => assert_eq!(inner, m),
+            _ => panic!("expected multicast event"),
+        }
+    }
+
+    #[test]
+    fn events_round_trip_through_serde() {
+        let e: Event<String> = Event::Message {
+            from: ProcessId(3),
+            msg: "hello".to_string(),
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Event<String> = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

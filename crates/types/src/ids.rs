@@ -1,0 +1,183 @@
+//! Opaque identifiers for processes, groups, clients and application messages.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a process in the system (`p ∈ P` in the paper).
+///
+/// Process identifiers are globally unique across all groups and clients. They
+/// are totally ordered; the order is used to break ties between ballots
+/// (paper §IV: "Ballots are ordered lexicographically using an arbitrary total
+/// order on processes").
+///
+/// ```
+/// use wbam_types::ProcessId;
+/// let p = ProcessId(7);
+/// assert_eq!(p.to_string(), "p7");
+/// assert!(ProcessId(1) < ProcessId(2));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ProcessId(pub u32);
+
+impl ProcessId {
+    /// Numeric value of the identifier.
+    pub fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u32> for ProcessId {
+    fn from(v: u32) -> Self {
+        ProcessId(v)
+    }
+}
+
+/// Identifier of a process group (`g ∈ G` in the paper).
+///
+/// Groups are disjoint sets of `2f + 1` processes. The total order on group
+/// identifiers breaks ties between logical [`Timestamp`](crate::Timestamp)s
+/// with equal integer components.
+///
+/// ```
+/// use wbam_types::GroupId;
+/// assert!(GroupId(0) < GroupId(1));
+/// assert_eq!(GroupId(3).to_string(), "g3");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct GroupId(pub u32);
+
+impl GroupId {
+    /// Numeric value of the identifier.
+    pub fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+impl From<u32> for GroupId {
+    fn from(v: u32) -> Self {
+        GroupId(v)
+    }
+}
+
+/// Identifier of a client process (a multicaster that is not a group member).
+///
+/// Clients are ordinary processes as far as the protocols are concerned; this
+/// newtype exists so that workload generators and the experiment harness can
+/// statically distinguish load-generating processes from replicas.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ClientId(pub u32);
+
+impl ClientId {
+    /// Numeric value of the identifier.
+    pub fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Globally unique identifier of an application message (`m ∈ M` in the paper).
+///
+/// The paper assumes "all messages multicast in a single execution are unique";
+/// we make that explicit by tagging every application message with the sender
+/// process and a per-sender sequence number.
+///
+/// ```
+/// use wbam_types::{MsgId, ProcessId};
+/// let a = MsgId::new(ProcessId(1), 0);
+/// let b = MsgId::new(ProcessId(1), 1);
+/// assert_ne!(a, b);
+/// assert!(a < b);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct MsgId {
+    /// The process that multicast the message.
+    pub sender: ProcessId,
+    /// Per-sender sequence number.
+    pub seq: u64,
+}
+
+impl MsgId {
+    /// Creates a message identifier from a sender and a per-sender sequence number.
+    pub fn new(sender: ProcessId, seq: u64) -> Self {
+        MsgId { sender, seq }
+    }
+}
+
+impl fmt::Display for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m({},{})", self.sender, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_display_and_order() {
+        assert_eq!(ProcessId(3).to_string(), "p3");
+        assert!(ProcessId(1) < ProcessId(10));
+        assert_eq!(ProcessId::from(4), ProcessId(4));
+        assert_eq!(ProcessId(9).value(), 9);
+    }
+
+    #[test]
+    fn group_id_display_and_order() {
+        assert_eq!(GroupId(0).to_string(), "g0");
+        assert!(GroupId(2) > GroupId(1));
+        assert_eq!(GroupId::from(5), GroupId(5));
+        assert_eq!(GroupId(7).value(), 7);
+    }
+
+    #[test]
+    fn client_id_display() {
+        assert_eq!(ClientId(11).to_string(), "c11");
+        assert_eq!(ClientId(11).value(), 11);
+    }
+
+    #[test]
+    fn msg_id_uniqueness_and_order() {
+        let a = MsgId::new(ProcessId(1), 5);
+        let b = MsgId::new(ProcessId(1), 6);
+        let c = MsgId::new(ProcessId(2), 0);
+        assert_ne!(a, b);
+        assert!(a < b);
+        // Ordering is lexicographic on (sender, seq).
+        assert!(b < c);
+        assert_eq!(a.to_string(), "m(p1,5)");
+    }
+
+    #[test]
+    fn ids_are_serializable() {
+        let id = MsgId::new(ProcessId(3), 42);
+        let json = serde_json::to_string(&id).unwrap();
+        let back: MsgId = serde_json::from_str(&json).unwrap();
+        assert_eq!(id, back);
+    }
+}

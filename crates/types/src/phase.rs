@@ -1,0 +1,97 @@
+//! Processing phases of an application message at a process.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Phase of an application message at a process (`Phase[m]` in Figures 1/3).
+///
+/// Skeen's protocol uses `Start → Proposed → Committed`; the white-box
+/// protocol inserts an additional `Accepted` phase between `Proposed` and
+/// `Committed` that records that the process has durably stored the local
+/// timestamp proposals of all destination groups (paper Figure 4, line 12).
+///
+/// ```
+/// use wbam_types::Phase;
+/// assert!(Phase::Start < Phase::Proposed);
+/// assert!(Phase::Proposed < Phase::Accepted);
+/// assert!(Phase::Accepted < Phase::Committed);
+/// assert_eq!(Phase::default(), Phase::Start);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum Phase {
+    /// The process has not yet assigned a local timestamp to the message.
+    #[default]
+    Start,
+    /// A local timestamp has been proposed for the message (leader only in the
+    /// white-box protocol).
+    Proposed,
+    /// The local timestamps of all destination groups have been stored
+    /// (white-box protocol only).
+    Accepted,
+    /// The global timestamp of the message is known.
+    Committed,
+}
+
+impl Phase {
+    /// Whether the message is still awaiting its global timestamp, i.e. the
+    /// phase is `Proposed` or `Accepted`. Such messages can block the delivery
+    /// of committed messages with higher local timestamps (Figure 4, line 21).
+    pub fn is_pending(self) -> bool {
+        matches!(self, Phase::Proposed | Phase::Accepted)
+    }
+
+    /// Whether the global timestamp of the message is known at this process.
+    pub fn is_committed(self) -> bool {
+        matches!(self, Phase::Committed)
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::Start => "START",
+            Phase::Proposed => "PROPOSED",
+            Phase::Accepted => "ACCEPTED",
+            Phase::Committed => "COMMITTED",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_progression_is_ordered() {
+        assert!(Phase::Start < Phase::Proposed);
+        assert!(Phase::Proposed < Phase::Accepted);
+        assert!(Phase::Accepted < Phase::Committed);
+    }
+
+    #[test]
+    fn default_is_start() {
+        assert_eq!(Phase::default(), Phase::Start);
+    }
+
+    #[test]
+    fn pending_and_committed_predicates() {
+        assert!(!Phase::Start.is_pending());
+        assert!(Phase::Proposed.is_pending());
+        assert!(Phase::Accepted.is_pending());
+        assert!(!Phase::Committed.is_pending());
+        assert!(Phase::Committed.is_committed());
+        assert!(!Phase::Accepted.is_committed());
+    }
+
+    #[test]
+    fn display_matches_paper_names() {
+        assert_eq!(Phase::Start.to_string(), "START");
+        assert_eq!(Phase::Proposed.to_string(), "PROPOSED");
+        assert_eq!(Phase::Accepted.to_string(), "ACCEPTED");
+        assert_eq!(Phase::Committed.to_string(), "COMMITTED");
+    }
+}

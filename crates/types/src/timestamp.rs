@@ -1,0 +1,206 @@
+//! Logical timestamps used to totally order application messages.
+//!
+//! Timestamps are pairs `(t, g)` of a non-negative integer `t ∈ N` and a group
+//! identifier `g ∈ G`, ordered lexicographically with a distinguished minimal
+//! timestamp `⊥` (paper §III). The integer component is generated from a local
+//! logical clock in the style of Lamport clocks; the group component breaks
+//! ties so that timestamps issued by distinct groups never compare equal.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::GroupId;
+
+/// A logical timestamp `(t, g) ∈ N × G`, with a distinguished minimum `⊥`.
+///
+/// The ordering is lexicographic: first by the integer component, then by the
+/// group identifier. [`Timestamp::BOTTOM`] compares lower than every proper
+/// timestamp.
+///
+/// ```
+/// use wbam_types::{GroupId, Timestamp};
+///
+/// let a = Timestamp::new(1, GroupId(9));
+/// let b = Timestamp::new(2, GroupId(0));
+/// let c = Timestamp::new(2, GroupId(1));
+/// assert!(Timestamp::BOTTOM < a);
+/// assert!(a < b);
+/// assert!(b < c);
+/// assert_eq!(c.time(), 2);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum Timestamp {
+    /// The minimal timestamp `⊥`.
+    #[default]
+    Bottom,
+    /// A proper timestamp `(time, group)`.
+    Proper {
+        /// Logical-clock component.
+        time: u64,
+        /// Issuing group, used to break ties.
+        group: GroupId,
+    },
+}
+
+impl Timestamp {
+    /// The minimal timestamp `⊥`.
+    pub const BOTTOM: Timestamp = Timestamp::Bottom;
+
+    /// Creates a proper timestamp from a clock value and the issuing group.
+    pub fn new(time: u64, group: GroupId) -> Self {
+        Timestamp::Proper { time, group }
+    }
+
+    /// The integer component of the timestamp (`time(ts)` in the paper).
+    ///
+    /// `time(⊥)` is defined as `0`, which is consistent with `⊥` being the
+    /// minimal timestamp: no proper timestamp issued by the protocols ever has
+    /// a zero clock value because clocks are incremented before use.
+    pub fn time(self) -> u64 {
+        match self {
+            Timestamp::Bottom => 0,
+            Timestamp::Proper { time, .. } => time,
+        }
+    }
+
+    /// The group component, if the timestamp is proper.
+    pub fn group(self) -> Option<GroupId> {
+        match self {
+            Timestamp::Bottom => None,
+            Timestamp::Proper { group, .. } => Some(group),
+        }
+    }
+
+    /// Whether this timestamp is the minimal timestamp `⊥`.
+    pub fn is_bottom(self) -> bool {
+        matches!(self, Timestamp::Bottom)
+    }
+
+    /// Returns the maximum of two timestamps.
+    pub fn max(self, other: Timestamp) -> Timestamp {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Computes the global timestamp of a message from a set of local
+    /// timestamp proposals: the maximum of the proposals (paper Figure 1
+    /// line 14 / Figure 4 line 19).
+    ///
+    /// Returns [`Timestamp::BOTTOM`] for an empty iterator; the protocols never
+    /// call this with an empty proposal set.
+    pub fn global_of<I: IntoIterator<Item = Timestamp>>(proposals: I) -> Timestamp {
+        proposals
+            .into_iter()
+            .fold(Timestamp::BOTTOM, Timestamp::max)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Timestamp::Bottom => write!(f, "⊥"),
+            Timestamp::Proper { time, group } => write!(f, "({time},{group})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bottom_is_minimal() {
+        assert!(Timestamp::BOTTOM < Timestamp::new(0, GroupId(0)));
+        assert!(Timestamp::BOTTOM < Timestamp::new(1, GroupId(0)));
+        assert_eq!(Timestamp::BOTTOM, Timestamp::default());
+        assert!(Timestamp::BOTTOM.is_bottom());
+        assert!(!Timestamp::new(1, GroupId(0)).is_bottom());
+    }
+
+    #[test]
+    fn lexicographic_order() {
+        let a = Timestamp::new(1, GroupId(9));
+        let b = Timestamp::new(2, GroupId(0));
+        let c = Timestamp::new(2, GroupId(3));
+        assert!(a < b);
+        assert!(b < c);
+        assert!(a < c);
+    }
+
+    #[test]
+    fn time_and_group_accessors() {
+        let ts = Timestamp::new(5, GroupId(2));
+        assert_eq!(ts.time(), 5);
+        assert_eq!(ts.group(), Some(GroupId(2)));
+        assert_eq!(Timestamp::BOTTOM.time(), 0);
+        assert_eq!(Timestamp::BOTTOM.group(), None);
+    }
+
+    #[test]
+    fn global_is_max_of_locals() {
+        let locals = vec![
+            Timestamp::new(3, GroupId(0)),
+            Timestamp::new(7, GroupId(1)),
+            Timestamp::new(7, GroupId(0)),
+        ];
+        assert_eq!(
+            Timestamp::global_of(locals),
+            Timestamp::new(7, GroupId(1))
+        );
+        assert_eq!(Timestamp::global_of(Vec::new()), Timestamp::BOTTOM);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Timestamp::BOTTOM.to_string(), "⊥");
+        assert_eq!(Timestamp::new(4, GroupId(1)).to_string(), "(4,g1)");
+    }
+
+    fn arb_timestamp() -> impl Strategy<Value = Timestamp> {
+        prop_oneof![
+            Just(Timestamp::BOTTOM),
+            (0u64..1_000, 0u32..16).prop_map(|(t, g)| Timestamp::new(t, GroupId(g))),
+        ]
+    }
+
+    proptest! {
+        /// The order is total and the max operator is consistent with it.
+        #[test]
+        fn max_is_consistent_with_order(a in arb_timestamp(), b in arb_timestamp()) {
+            let m = a.max(b);
+            prop_assert!(m >= a && m >= b);
+            prop_assert!(m == a || m == b);
+        }
+
+        /// Lexicographic order: comparing times first, then groups.
+        #[test]
+        fn order_matches_tuple_order(
+            t1 in 0u64..1_000, g1 in 0u32..16,
+            t2 in 0u64..1_000, g2 in 0u32..16,
+        ) {
+            let a = Timestamp::new(t1, GroupId(g1));
+            let b = Timestamp::new(t2, GroupId(g2));
+            prop_assert_eq!(a.cmp(&b), (t1, g1).cmp(&(t2, g2)));
+        }
+
+        /// `global_of` returns an element of the input (or ⊥ for empty input) and
+        /// dominates every element.
+        #[test]
+        fn global_of_dominates(inputs in prop::collection::vec(arb_timestamp(), 0..8)) {
+            let g = Timestamp::global_of(inputs.clone());
+            for ts in &inputs {
+                prop_assert!(g >= *ts);
+            }
+            if !inputs.is_empty() {
+                prop_assert!(inputs.contains(&g) || g.is_bottom() && inputs.iter().all(|t| t.is_bottom()));
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Length-prefixed wire framing for protocol messages.
+//!
+//! The sans-IO protocols exchange strongly typed messages; when they are run
+//! over a byte-oriented transport (the loopback TCP transport of
+//! `wbam-runtime`, or a file-based trace), messages are framed as
+//! `u32 big-endian length || serde_json body`. JSON was chosen over a custom
+//! binary codec because the protocols are latency- rather than
+//! bandwidth-bound (payloads in the paper's evaluation are 20 bytes) and a
+//! self-describing format makes traces debuggable.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use crate::error::WbamError;
+
+/// Maximum accepted frame body length (16 MiB); guards against corrupt length
+/// prefixes when reading from a byte stream.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Encodes a message as a length-prefixed frame.
+///
+/// # Errors
+///
+/// Returns [`WbamError::Codec`] if serialisation fails (which only happens for
+/// types whose `Serialize` implementation can fail).
+pub fn encode_frame<M: Serialize>(msg: &M) -> Result<Bytes, WbamError> {
+    let body = serde_json::to_vec(msg).map_err(|e| WbamError::Codec(e.to_string()))?;
+    let mut buf = BytesMut::with_capacity(4 + body.len());
+    buf.put_u32(body.len() as u32);
+    buf.put_slice(&body);
+    Ok(buf.freeze())
+}
+
+/// Attempts to decode one frame from the front of `buf`.
+///
+/// On success the consumed bytes are removed from `buf` and the decoded message
+/// is returned. Returns `Ok(None)` when the buffer does not yet contain a full
+/// frame (more bytes must be read from the transport).
+///
+/// # Errors
+///
+/// Returns [`WbamError::Codec`] when the length prefix exceeds
+/// [`MAX_FRAME_LEN`] or the body fails to deserialise.
+pub fn decode_frame<M: DeserializeOwned>(buf: &mut BytesMut) -> Result<Option<M>, WbamError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WbamError::Codec(format!(
+            "frame length {len} exceeds maximum {MAX_FRAME_LEN}"
+        )));
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    buf.advance(4);
+    let body = buf.split_to(len);
+    let msg = serde_json::from_slice(&body).map_err(|e| WbamError::Codec(e.to_string()))?;
+    Ok(Some(msg))
+}
+
+/// Encodes a message directly to a JSON string (used for traces and tooling).
+///
+/// # Errors
+///
+/// Returns [`WbamError::Codec`] if serialisation fails.
+pub fn to_json<M: Serialize>(msg: &M) -> Result<String, WbamError> {
+    serde_json::to_string(msg).map_err(|e| WbamError::Codec(e.to_string()))
+}
+
+/// Decodes a message from a JSON string.
+///
+/// # Errors
+///
+/// Returns [`WbamError::Codec`] if deserialisation fails.
+pub fn from_json<M: DeserializeOwned>(json: &str) -> Result<M, WbamError> {
+    serde_json::from_str(json).map_err(|e| WbamError::Codec(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Deserialize;
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Ping {
+        seq: u64,
+        note: String,
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let msg = Ping {
+            seq: 7,
+            note: "hello".to_string(),
+        };
+        let frame = encode_frame(&msg).unwrap();
+        let mut buf = BytesMut::from(&frame[..]);
+        let back: Ping = decode_frame(&mut buf).unwrap().unwrap();
+        assert_eq!(back, msg);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn partial_frames_request_more_data() {
+        let msg = Ping {
+            seq: 1,
+            note: "x".to_string(),
+        };
+        let frame = encode_frame(&msg).unwrap();
+        let mut buf = BytesMut::from(&frame[..3]);
+        assert_eq!(decode_frame::<Ping>(&mut buf).unwrap(), None);
+        let mut buf = BytesMut::from(&frame[..frame.len() - 1]);
+        assert_eq!(decode_frame::<Ping>(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn multiple_frames_in_one_buffer() {
+        let a = Ping {
+            seq: 1,
+            note: "a".to_string(),
+        };
+        let b = Ping {
+            seq: 2,
+            note: "b".to_string(),
+        };
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&encode_frame(&a).unwrap());
+        buf.extend_from_slice(&encode_frame(&b).unwrap());
+        assert_eq!(decode_frame::<Ping>(&mut buf).unwrap().unwrap(), a);
+        assert_eq!(decode_frame::<Ping>(&mut buf).unwrap().unwrap(), b);
+        assert_eq!(decode_frame::<Ping>(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(u32::MAX);
+        buf.put_slice(&[0u8; 16]);
+        assert!(decode_frame::<Ping>(&mut buf).is_err());
+    }
+
+    #[test]
+    fn corrupt_body_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(3);
+        buf.put_slice(b"not");
+        assert!(decode_frame::<Ping>(&mut buf).is_err());
+    }
+
+    #[test]
+    fn json_helpers_round_trip() {
+        let msg = Ping {
+            seq: 9,
+            note: "trace".to_string(),
+        };
+        let json = to_json(&msg).unwrap();
+        let back: Ping = from_json(&json).unwrap();
+        assert_eq!(back, msg);
+        assert!(from_json::<Ping>("{").is_err());
+    }
+}

@@ -1,0 +1,34 @@
+//! WBAM — a Rust reproduction of *"White-Box Atomic Multicast"* (Gotsman,
+//! Lefort, Chockler; DSN 2019).
+//!
+//! This facade crate re-exports the workspace's public API under one roof:
+//!
+//! * [`core`] ([`wbam_core`]) — the white-box atomic multicast protocol.
+//! * [`skeen`] ([`wbam_skeen`]) — Skeen's protocol for singleton groups.
+//! * [`baselines`] ([`wbam_baselines`]) — fault-tolerant Skeen and FastCast.
+//! * [`consensus`] ([`wbam_consensus`]) — the multi-Paxos substrate.
+//! * [`simnet`] ([`wbam_simnet`]) — the deterministic discrete-event simulator.
+//! * [`runtime`] ([`wbam_runtime`]) — the threaded in-process runtime.
+//! * [`harness`] ([`wbam_harness`]) — experiment harness (clusters, workloads,
+//!   latency probes and sweeps).
+//! * [`kvstore`] ([`wbam_kvstore`]) — the partitioned replicated KV store
+//!   application.
+//! * [`types`] ([`wbam_types`]) — shared identifiers, timestamps, ballots and
+//!   configuration.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the reproduced evaluation results. The runnable
+//! examples live in `examples/`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use wbam_baselines as baselines;
+pub use wbam_consensus as consensus;
+pub use wbam_core as core;
+pub use wbam_harness as harness;
+pub use wbam_kvstore as kvstore;
+pub use wbam_runtime as runtime;
+pub use wbam_simnet as simnet;
+pub use wbam_skeen as skeen;
+pub use wbam_types as types;

@@ -1,0 +1,244 @@
+//! Cross-protocol integration tests of the atomic multicast correctness
+//! properties from §II of the paper: Validity, Integrity, Ordering and
+//! Termination, plus genuineness, checked on simulated runs of every
+//! protocol in the workspace.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use wbam::core::invariants::{check_delivery_order, check_total_order};
+use wbam::harness::{ClusterSpec, Protocol, ProtocolSim};
+use wbam::simnet::LatencyModel;
+use wbam::types::{GroupId, MsgId, ProcessId, Timestamp};
+
+/// Runs a random workload on a protocol and returns (per-process delivery
+/// sequences with timestamps, per-message destinations, delivered set).
+fn run_random_workload(
+    protocol: Protocol,
+    num_groups: usize,
+    messages: usize,
+    seed: u64,
+) -> (
+    BTreeMap<ProcessId, Vec<(MsgId, Timestamp)>>,
+    BTreeMap<MsgId, Vec<GroupId>>,
+    ProtocolSim,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec = ClusterSpec {
+        num_groups,
+        group_size: if protocol == Protocol::Skeen { 1 } else { 3 },
+        num_clients: 2,
+        num_sites: 1,
+        latency: LatencyModel::uniform(Duration::from_micros(500), Duration::from_millis(3)),
+        service_time: Duration::ZERO,
+        seed,
+    };
+    let mut sim = ProtocolSim::build(protocol, &spec);
+    let group_ids: Vec<GroupId> = (0..num_groups as u32).map(GroupId).collect();
+    let mut destinations = BTreeMap::new();
+    for i in 0..messages {
+        let count = rng.gen_range(1..=num_groups.min(3));
+        let mut dest = group_ids.clone();
+        dest.shuffle(&mut rng);
+        dest.truncate(count);
+        let at = Duration::from_micros(rng.gen_range(0..20_000));
+        let client = rng.gen_range(0..2);
+        let id = sim.submit(at, client, &dest, 20);
+        destinations.insert(id, dest);
+        let _ = i;
+    }
+    sim.run_until_quiescent(Duration::from_secs(120));
+    let metrics = sim.metrics();
+    let mut sequences: BTreeMap<ProcessId, Vec<(MsgId, Timestamp)>> = BTreeMap::new();
+    for rec in metrics.deliveries() {
+        if rec.group.is_none() {
+            continue; // client-side completion records
+        }
+        sequences
+            .entry(rec.process)
+            .or_default()
+            .push((rec.msg_id, rec.global_ts.unwrap_or(Timestamp::BOTTOM)));
+    }
+    (sequences, destinations, sim)
+}
+
+fn assert_core_properties(
+    sequences: &BTreeMap<ProcessId, Vec<(MsgId, Timestamp)>>,
+    destinations: &BTreeMap<MsgId, Vec<GroupId>>,
+    sim: &ProtocolSim,
+    expect_all_delivered: bool,
+) {
+    let metrics = sim.metrics();
+    let cluster = sim.cluster();
+
+    // Validity: only multicast messages are delivered, and only at their
+    // destination groups.
+    for (process, seq) in sequences {
+        let group = cluster.group_of(*process).expect("replica process");
+        for (msg, _) in seq {
+            let dest = destinations.get(msg).expect("delivered message was multicast");
+            assert!(
+                dest.contains(&group),
+                "{process} in {group} delivered {msg} not addressed to it"
+            );
+        }
+    }
+
+    // Integrity + per-process timestamp order.
+    check_delivery_order(sequences).expect("integrity / order violated");
+
+    // Ordering: one total order (by global timestamp), agreed across processes.
+    check_total_order(sequences).expect("ordering violated");
+
+    // Pairwise prefix consistency on common messages: for any two processes,
+    // the messages they both delivered appear in the same relative order.
+    let procs: Vec<&ProcessId> = sequences.keys().collect();
+    for (i, p) in procs.iter().enumerate() {
+        for q in procs.iter().skip(i + 1) {
+            let seq_p: Vec<MsgId> = sequences[p].iter().map(|(m, _)| *m).collect();
+            let seq_q: Vec<MsgId> = sequences[q].iter().map(|(m, _)| *m).collect();
+            let common_p: Vec<MsgId> = seq_p
+                .iter()
+                .copied()
+                .filter(|m| seq_q.contains(m))
+                .collect();
+            let common_q: Vec<MsgId> = seq_q
+                .iter()
+                .copied()
+                .filter(|m| seq_p.contains(m))
+                .collect();
+            assert_eq!(
+                common_p, common_q,
+                "processes {p} and {q} deliver their common messages in different orders"
+            );
+        }
+    }
+
+    // Termination (failure-free runs): every multicast message is delivered in
+    // every destination group.
+    if expect_all_delivered {
+        for (msg, _dest) in destinations {
+            assert!(
+                metrics.is_partially_delivered(*msg),
+                "message {msg} was never (partially) delivered"
+            );
+        }
+    }
+}
+
+#[test]
+fn whitebox_satisfies_atomic_multicast_properties() {
+    for seed in [1, 2, 3] {
+        let (sequences, destinations, sim) =
+            run_random_workload(Protocol::WhiteBox, 4, 30, seed);
+        assert_core_properties(&sequences, &destinations, &sim, true);
+    }
+}
+
+#[test]
+fn ftskeen_satisfies_atomic_multicast_properties() {
+    let (sequences, destinations, sim) = run_random_workload(Protocol::FtSkeen, 3, 20, 11);
+    assert_core_properties(&sequences, &destinations, &sim, true);
+}
+
+#[test]
+fn fastcast_satisfies_atomic_multicast_properties() {
+    let (sequences, destinations, sim) = run_random_workload(Protocol::FastCast, 3, 20, 12);
+    assert_core_properties(&sequences, &destinations, &sim, true);
+}
+
+#[test]
+fn plain_skeen_satisfies_atomic_multicast_properties() {
+    let (sequences, destinations, sim) = run_random_workload(Protocol::Skeen, 4, 30, 13);
+    assert_core_properties(&sequences, &destinations, &sim, true);
+}
+
+#[test]
+fn genuineness_disjoint_destinations_do_not_touch_other_groups() {
+    // Messages addressed only to groups {0,1}; replicas of groups {2,3} must
+    // neither deliver anything nor send any protocol messages beyond their
+    // initial (empty) activity.
+    let spec = ClusterSpec::constant_delta(4, 3, Duration::from_millis(1));
+    let mut sim = ProtocolSim::build(Protocol::WhiteBox, &spec);
+    for i in 0..10u64 {
+        sim.submit(
+            Duration::from_millis(i),
+            0,
+            &[GroupId(0), GroupId(1)],
+            20,
+        );
+    }
+    sim.run_until_quiescent(Duration::from_secs(10));
+    let metrics = sim.metrics();
+    let cluster = sim.cluster().clone();
+    for gc in cluster.groups() {
+        for member in gc.members() {
+            let delivered = metrics.delivery_order_at(*member).len();
+            if gc.id() == GroupId(2) || gc.id() == GroupId(3) {
+                assert_eq!(delivered, 0, "{member} of uninvolved {} delivered", gc.id());
+            } else {
+                assert_eq!(delivered, 10, "{member} of {} missed messages", gc.id());
+            }
+        }
+    }
+}
+
+#[test]
+fn conflicting_and_disjoint_mix_keeps_projection_property() {
+    // Half the messages go to {g0,g1}, half to {g2}; g2's order must simply be
+    // the projection, unaffected by the conflicting traffic elsewhere.
+    let spec = ClusterSpec::constant_delta(3, 3, Duration::from_millis(1));
+    let mut sim = ProtocolSim::build(Protocol::WhiteBox, &spec);
+    let mut to_g2 = Vec::new();
+    for i in 0..10u64 {
+        sim.submit(Duration::from_micros(i * 300), 0, &[GroupId(0), GroupId(1)], 20);
+        let id = sim.submit(Duration::from_micros(i * 300 + 100), 0, &[GroupId(2)], 20);
+        to_g2.push(id);
+    }
+    sim.run_until_quiescent(Duration::from_secs(10));
+    let metrics = sim.metrics();
+    // g2's replicas deliver exactly the g2 messages, in submission order is not
+    // required — but all replicas of g2 agree and deliver all of them.
+    let reference = metrics.delivery_order_at(ProcessId(6));
+    assert_eq!(reference.len(), 10);
+    assert_eq!(metrics.delivery_order_at(ProcessId(7)), reference);
+    assert_eq!(metrics.delivery_order_at(ProcessId(8)), reference);
+    for id in to_g2 {
+        assert!(reference.contains(&id));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Property test: for random topologies, workloads and jittery delays the
+    /// white-box protocol preserves the ordering / integrity / validity
+    /// properties and delivers everything in failure-free runs.
+    #[test]
+    fn whitebox_properties_hold_for_random_workloads(
+        seed in 0u64..1000,
+        num_groups in 2usize..5,
+        messages in 5usize..25,
+    ) {
+        let (sequences, destinations, sim) =
+            run_random_workload(Protocol::WhiteBox, num_groups, messages, seed);
+        assert_core_properties(&sequences, &destinations, &sim, true);
+    }
+
+    /// The baselines must agree with the same properties (differential check
+    /// of the shared specification).
+    #[test]
+    fn baseline_properties_hold_for_random_workloads(
+        seed in 0u64..500,
+        fastcast in proptest::bool::ANY,
+    ) {
+        let protocol = if fastcast { Protocol::FastCast } else { Protocol::FtSkeen };
+        let (sequences, destinations, sim) =
+            run_random_workload(protocol, 3, 12, seed);
+        assert_core_properties(&sequences, &destinations, &sim, true);
+    }
+}
