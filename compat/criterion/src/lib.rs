@@ -1,0 +1,237 @@
+//! In-tree compatibility shim for the subset of the `criterion` API used by
+//! the WBAM workspace's benches: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`BenchmarkId::from_parameter`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: a warm-up phase, then `sample_size`
+//! samples whose iteration count is sized to fill the configured measurement
+//! time; mean and min/max ns/iter are printed per benchmark. No statistics
+//! beyond that, no HTML reports.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (one per `criterion_group!`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// An id with a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+}
+
+/// A group of benchmarks sharing sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total measurement duration per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            report: None,
+        };
+        f(&mut bencher, input);
+        self.print_report(&id.id, bencher.report);
+        self
+    }
+
+    /// Runs one benchmark with no input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            report: None,
+        };
+        f(&mut bencher);
+        self.print_report(&id.id, bencher.report);
+        self
+    }
+
+    fn print_report(&self, id: &str, report: Option<Report>) {
+        match report {
+            Some(r) => println!(
+                "{}/{id}: mean {:.1} ns/iter (min {:.1}, max {:.1}, {} samples)",
+                self.name, r.mean_ns, r.min_ns, r.max_ns, r.samples
+            ),
+            None => println!(
+                "{}/{id}: no measurement (b.iter was never called)",
+                self.name
+            ),
+        }
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Report {
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: usize,
+}
+
+/// Timing harness handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Measures the mean wall-clock time of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up and estimate the per-iteration cost.
+        let warm_up_start = Instant::now();
+        let mut warm_up_iters = 0u64;
+        while warm_up_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_up_iters += 1;
+        }
+        let per_iter = warm_up_start.elapsed().as_secs_f64() / warm_up_iters as f64;
+
+        // Size each sample so all samples together fill measurement_time.
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((per_sample / per_iter) as u64).max(1);
+
+        let mut sample_means = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            sample_means.push(start.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+        let mean = sample_means.iter().sum::<f64>() / sample_means.len() as f64;
+        let min = sample_means.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = sample_means.iter().copied().fold(0.0, f64::max);
+        self.report = Some(Report {
+            mean_ns: mean,
+            min_ns: min,
+            max_ns: max,
+            samples: sample_means.len(),
+        });
+    }
+}
+
+/// Bundles benchmark functions into one runner function, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($bench_fn:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $bench_fn(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(5));
+        group.measurement_time(Duration::from_millis(15));
+        group.bench_with_input(BenchmarkId::from_parameter("id"), &21u64, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        group.bench_function(BenchmarkId::new("f", 1), |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}

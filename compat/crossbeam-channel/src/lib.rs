@@ -1,0 +1,55 @@
+//! In-tree compatibility shim for the subset of the `crossbeam-channel` API
+//! used by the WBAM workspace: [`unbounded`] MPSC channels with
+//! `recv_timeout`.
+//!
+//! Backed by `std::sync::mpsc`, whose `Sender`/`Receiver`/error types have
+//! exactly the shape the runtime relies on (cloneable senders, per-sender
+//! FIFO ordering, `RecvTimeoutError::{Timeout, Disconnected}`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use std::sync::mpsc::{Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError};
+
+/// Creates an unbounded FIFO channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    std::sync::mpsc::channel()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_and_timeout() {
+        let (tx, rx) = unbounded();
+        tx.send(7u32).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn cloned_senders_preserve_per_sender_fifo() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || {
+            for i in 0..100u32 {
+                tx2.send(i).unwrap();
+            }
+        })
+        .join()
+        .unwrap();
+        drop(tx);
+        let got: Vec<u32> = rx.iter().collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,214 @@
+//! Deserialisation: rebuilding Rust values from the [`Value`] data model.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::hash::Hash;
+use std::time::Duration;
+
+use crate::value::{map_get, DeError, Value};
+
+/// A type that can rebuild itself from the self-describing [`Value`] model.
+///
+/// Implemented by `#[derive(Deserialize)]` for structs and (externally
+/// tagged) enums, and manually for primitives and standard containers below.
+/// Unlike real serde there is no `'de` lifetime: this shim always produces
+/// owned values, which is all the workspace needs.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value of this type from a [`Value`] tree.
+    fn deserialize_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Marker for deserialisable types without borrowed data.
+///
+/// In this shim every [`Deserialize`] type is owned, so the marker is a
+/// blanket alias kept for source compatibility with real serde bounds.
+pub trait DeserializeOwned: Deserialize {}
+impl<T: Deserialize> DeserializeOwned for T {}
+
+fn int_from_value(v: &Value) -> Result<i128, DeError> {
+    match v {
+        Value::I64(n) => Ok(i128::from(*n)),
+        Value::U64(n) => Ok(i128::from(*n)),
+        _ => Err(DeError::expected("integer", v)),
+    }
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                let n = int_from_value(v)?;
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::new(format!(
+                        "integer {n} out of range for {}", stringify!($t)
+                    )))
+            }
+        }
+    )*};
+}
+impl_de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", v)),
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::I64(n) => Ok(*n as f64),
+            Value::U64(n) => Ok(*n as f64),
+            _ => Err(DeError::expected("number", v)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        f64::deserialize_value(v).map(|x| x as f32)
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let s = v.as_str().ok_or_else(|| DeError::expected("string", v))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::new("expected single-character string")),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::expected("string", v))
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(()),
+            _ => Err(DeError::expected("null", v)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        T::deserialize_value(v).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_seq().ok_or_else(|| DeError::expected("sequence", v))?;
+        items.iter().map(T::deserialize_value).collect()
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        Vec::<T>::deserialize_value(v).map(VecDeque::from)
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($n:expr, $($name:ident : $idx:tt),+) => {
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                let items = v.as_seq().ok_or_else(|| DeError::expected("sequence", v))?;
+                if items.len() != $n {
+                    return Err(DeError::new(format!(
+                        "expected {}-tuple, found sequence of {}", $n, items.len()
+                    )));
+                }
+                Ok(($($name::deserialize_value(&items[$idx])?,)+))
+            }
+        }
+    };
+}
+impl_de_tuple!(2, A: 0, B: 1);
+impl_de_tuple!(3, A: 0, B: 1, C: 2);
+impl_de_tuple!(4, A: 0, B: 1, C: 2, D: 3);
+
+fn pairs_from_value(v: &Value) -> Result<Vec<(&Value, &Value)>, DeError> {
+    let items = v
+        .as_seq()
+        .ok_or_else(|| DeError::expected("sequence of pairs", v))?;
+    items
+        .iter()
+        .map(|item| {
+            let pair = item
+                .as_seq()
+                .ok_or_else(|| DeError::expected("[key, value] pair", item))?;
+            if pair.len() != 2 {
+                return Err(DeError::new("expected [key, value] pair"));
+            }
+            Ok((&pair[0], &pair[1]))
+        })
+        .collect()
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        pairs_from_value(v)?
+            .into_iter()
+            .map(|(k, val)| Ok((K::deserialize_value(k)?, V::deserialize_value(val)?)))
+            .collect()
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        pairs_from_value(v)?
+            .into_iter()
+            .map(|(k, val)| Ok((K::deserialize_value(k)?, V::deserialize_value(val)?)))
+            .collect()
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_seq().ok_or_else(|| DeError::expected("sequence", v))?;
+        items.iter().map(T::deserialize_value).collect()
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_seq().ok_or_else(|| DeError::expected("sequence", v))?;
+        items.iter().map(T::deserialize_value).collect()
+    }
+}
+
+impl Deserialize for Duration {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| DeError::expected("duration map", v))?;
+        let secs = map_get(entries, "secs")
+            .ok_or_else(|| DeError::new("duration missing `secs`"))
+            .and_then(u64::deserialize_value)?;
+        let nanos = map_get(entries, "nanos")
+            .ok_or_else(|| DeError::new("duration missing `nanos`"))
+            .and_then(u32::deserialize_value)?;
+        Ok(Duration::new(secs, nanos))
+    }
+}

@@ -1,0 +1,26 @@
+//! In-tree compatibility shim for the subset of the `serde` API that the
+//! WBAM workspace uses.
+//!
+//! The workspace builds hermetically (no network, no crates.io); this crate
+//! provides the `Serialize` / `Deserialize` traits, the `DeserializeOwned`
+//! marker and the `#[derive(Serialize, Deserialize)]` macros against a small
+//! self-describing [`value::Value`] data model. `serde_json` (the sibling
+//! shim) converts that model to and from JSON text.
+//!
+//! The surface is intentionally small: no zero-copy deserialisation, no
+//! custom field attributes, externally tagged enums only. That covers every
+//! message, configuration and statistics type in the workspace.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod value;
+
+pub mod de;
+pub mod ser;
+
+pub use de::Deserialize;
+pub use ser::Serialize;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

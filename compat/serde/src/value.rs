@@ -1,0 +1,105 @@
+//! The self-describing data model shared by `Serialize` and `Deserialize`.
+//!
+//! Serialisable types lower themselves to a [`Value`] tree; data formats
+//! (in this workspace, the `serde_json` shim) render and parse that tree.
+
+use std::fmt;
+
+/// A self-describing serialised value.
+///
+/// This is the intermediate representation between Rust types and concrete
+/// data formats. It maps one-to-one onto the JSON data model, with integers
+/// kept in distinct signed/unsigned variants so that the full `u64`/`i64`
+/// ranges round-trip exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`; also the encoding of `None` and of unit types.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer (used for negative values).
+    I64(i64),
+    /// An unsigned integer (used for all non-negative integers).
+    U64(u64),
+    /// A floating-point number. Never NaN or infinite.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence of values (JSON array).
+    Seq(Vec<Value>),
+    /// An ordered list of key/value pairs (JSON object). Insertion order is
+    /// preserved so that encodings are deterministic.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Views this value as a map, if it is one.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Views this value as a sequence, if it is one.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Views this value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short human-readable description of the value's kind, for errors.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Looks up `key` in a map's entry list (first match wins).
+pub fn map_get<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// An error produced while deserialising a [`Value`] into a Rust type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    /// Creates a "wrong kind" error naming what was expected and found.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        DeError::new(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}

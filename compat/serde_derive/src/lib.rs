@@ -1,0 +1,545 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the in-tree serde
+//! shim.
+//!
+//! The macros are hand-rolled on top of `proc_macro` (no `syn`/`quote`,
+//! which are unavailable in this hermetic workspace). They support exactly
+//! the shapes the WBAM workspace uses:
+//!
+//! * structs with named fields, tuple structs (newtype included), unit
+//!   structs;
+//! * enums with unit, tuple and struct variants, encoded with serde's
+//!   default external tagging;
+//! * plain type parameters (`Action<M>`), which receive a
+//!   `Serialize`/`Deserialize` bound on the generated impl.
+//!
+//! Field attributes (`#[serde(...)]`), lifetimes and `where` clauses are not
+//! supported and fail with a compile error naming the limitation.
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim's `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the shim's `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct GenericParam {
+    name: String,
+    bounds: String,
+}
+
+struct Item {
+    name: String,
+    generics: Vec<GenericParam>,
+    body: Body,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+
+    let generics = parse_generics(&toks, &mut i);
+
+    if matches!(&toks.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+        panic!("derive shim: `where` clauses are not supported");
+    }
+
+    let body = match kind.as_str() {
+        "struct" => Body::Struct(parse_struct_fields(&toks, &mut i)),
+        "enum" => {
+            let group = expect_group(&toks, &mut i, Delimiter::Brace, "enum body");
+            Body::Enum(parse_variants(group))
+        }
+        other => panic!("derive shim: unsupported item kind `{other}`"),
+    };
+
+    Item {
+        name,
+        generics,
+        body,
+    }
+}
+
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
+                    if let Some(TokenTree::Ident(id)) = g.stream().into_iter().next() {
+                        if id.to_string() == "serde" {
+                            panic!("derive shim: #[serde(...)] attributes are not supported");
+                        }
+                    }
+                }
+                *i += 2; // `#` + bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_generics(toks: &[TokenTree], i: &mut usize) -> Vec<GenericParam> {
+    match toks.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Vec::new(),
+    }
+    *i += 1;
+    let mut params = Vec::new();
+    let mut depth = 0usize;
+    let mut current: Vec<TokenTree> = Vec::new();
+    loop {
+        let tok = toks
+            .get(*i)
+            .unwrap_or_else(|| panic!("derive shim: unclosed generics"))
+            .clone();
+        *i += 1;
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                current.push(tok);
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                if depth == 0 {
+                    if !current.is_empty() {
+                        params.push(parse_generic_param(&current));
+                    }
+                    return params;
+                }
+                depth -= 1;
+                current.push(tok);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                params.push(parse_generic_param(&current));
+                current.clear();
+            }
+            _ => current.push(tok),
+        }
+    }
+}
+
+fn parse_generic_param(toks: &[TokenTree]) -> GenericParam {
+    if let Some(TokenTree::Punct(p)) = toks.first() {
+        if p.as_char() == '\'' {
+            panic!("derive shim: lifetime parameters are not supported");
+        }
+    }
+    if let Some(TokenTree::Ident(id)) = toks.first() {
+        if id.to_string() == "const" {
+            panic!("derive shim: const generics are not supported");
+        }
+    }
+    let name = match toks.first() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive shim: expected type parameter, found {other:?}"),
+    };
+    let bounds = match toks.get(1) {
+        Some(TokenTree::Punct(p)) if p.as_char() == ':' => toks[2..]
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(" "),
+        _ => String::new(),
+    };
+    GenericParam { name, bounds }
+}
+
+fn expect_group<'a>(
+    toks: &'a [TokenTree],
+    i: &mut usize,
+    delim: Delimiter,
+    what: &str,
+) -> &'a proc_macro::Group {
+    match toks.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == delim => {
+            *i += 1;
+            g
+        }
+        other => panic!("derive shim: expected {what}, found {other:?}"),
+    }
+}
+
+fn parse_struct_fields(toks: &[TokenTree], i: &mut usize) -> Fields {
+    match toks.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(parse_named_fields(g))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(count_tuple_fields(g))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        other => panic!("derive shim: expected struct body, found {other:?}"),
+    }
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("derive shim: expected field name, found {other}"),
+        };
+        names.push(name);
+        i += 1;
+        // Skip `: Type` up to the next top-level comma.
+        let mut depth = 0usize;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0usize;
+    let mut saw_tokens_since_comma = false;
+    for tok in &toks {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_tokens_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<(String, Fields)> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("derive shim: expected variant name, found {other}"),
+        };
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == '=' {
+                panic!("derive shim: explicit enum discriminants are not supported");
+            }
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+const VALUE: &str = "::serde::value::Value";
+const DE_ERROR: &str = "::serde::value::DeError";
+
+fn impl_header(item: &Item, trait_bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        return (String::new(), String::new());
+    }
+    let impl_params: Vec<String> = item
+        .generics
+        .iter()
+        .map(|p| {
+            if p.bounds.is_empty() {
+                format!("{}: {trait_bound}", p.name)
+            } else {
+                format!("{}: {} + {trait_bound}", p.name, p.bounds)
+            }
+        })
+        .collect();
+    let ty_params: Vec<String> = item.generics.iter().map(|p| p.name.clone()).collect();
+    (
+        format!("<{}>", impl_params.join(", ")),
+        format!("<{}>", ty_params.join(", ")),
+    )
+}
+
+fn ser_fields_named(prefix: &str, names: &[String]) -> String {
+    let entries: Vec<String> = names
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::serialize_value({prefix}{f}))"
+            )
+        })
+        .collect();
+    format!("{VALUE}::Map(::std::vec![{}])", entries.join(", "))
+}
+
+// A missing field deserialises from `Null` (so `Option` fields tolerate
+// absence, as with real serde); required fields then fail with the field
+// name attached for diagnosability.
+fn de_fields_named(ty_path: &str, names: &[String], entries_var: &str) -> String {
+    let fields: Vec<String> = names
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::deserialize_value(\
+                 ::serde::value::map_get({entries_var}, \"{f}\")\
+                 .unwrap_or(&{VALUE}::Null))\
+                 .map_err(|e| {DE_ERROR}::new(\
+                 ::std::format!(\"field `{f}` of {ty_path}: {{e}}\")))?"
+            )
+        })
+        .collect();
+    format!("{ty_path} {{ {} }}", fields.join(", "))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (impl_generics, ty_generics) = impl_header(item, "::serde::Serialize");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Unit) => format!("{VALUE}::Null"),
+        Body::Struct(Fields::Tuple(1)) => {
+            "::serde::Serialize::serialize_value(&self.0)".to_string()
+        }
+        Body::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|idx| format!("::serde::Serialize::serialize_value(&self.{idx})"))
+                .collect();
+            format!("{VALUE}::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Body::Struct(Fields::Named(names)) => ser_fields_named("&self.", names),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{vname} => {VALUE}::Str(::std::string::String::from(\"{vname}\")),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::serialize_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                                .collect();
+                            format!("{VALUE}::Seq(::std::vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "{name}::{vname}({}) => {VALUE}::Map(::std::vec![\
+                             (::std::string::String::from(\"{vname}\"), {payload})]),",
+                            binders.join(", ")
+                        )
+                    }
+                    Fields::Named(fnames) => {
+                        let payload = ser_fields_named("", fnames);
+                        format!(
+                            "{name}::{vname} {{ {} }} => {VALUE}::Map(::std::vec![\
+                             (::std::string::String::from(\"{vname}\"), {payload})]),",
+                            fnames.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl{impl_generics} ::serde::Serialize for {name}{ty_generics} {{\
+            fn serialize_value(&self) -> {VALUE} {{ {body} }}\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (impl_generics, ty_generics) = impl_header(item, "::serde::Deserialize");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Unit) => {
+            format!("::std::result::Result::Ok({name})")
+        }
+        Body::Struct(Fields::Tuple(1)) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(v)?))"
+        ),
+        Body::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::deserialize_value(&items[{k}])?"))
+                .collect();
+            format!(
+                "let items = v.as_seq().ok_or_else(|| {DE_ERROR}::expected(\"tuple struct {name}\", v))?;\
+                 if items.len() != {n} {{\
+                     return ::std::result::Result::Err({DE_ERROR}::new(\
+                         \"wrong number of fields for tuple struct {name}\"));\
+                 }}\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Body::Struct(Fields::Named(names)) => {
+            let build = de_fields_named(name, names, "entries");
+            format!(
+                "let entries = v.as_map().ok_or_else(|| {DE_ERROR}::expected(\"struct {name}\", v))?;\
+                 ::std::result::Result::Ok({build})"
+            )
+        }
+        Body::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "impl{impl_generics} ::serde::Deserialize for {name}{ty_generics} {{\
+            fn deserialize_value(v: &{VALUE}) -> ::std::result::Result<Self, {DE_ERROR}> {{ {body} }}\
+         }}"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, f)| matches!(f, Fields::Unit))
+        .map(|(vname, _)| format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"))
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, f)| !matches!(f, Fields::Unit))
+        .map(|(vname, fields)| match fields {
+            Fields::Unit => unreachable!(),
+            Fields::Tuple(1) => format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                 ::serde::Deserialize::deserialize_value(payload)?)),"
+            ),
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::deserialize_value(&items[{k}])?"))
+                    .collect();
+                format!(
+                    "\"{vname}\" => {{\
+                         let items = payload.as_seq().ok_or_else(|| \
+                             {DE_ERROR}::expected(\"fields of {name}::{vname}\", payload))?;\
+                         if items.len() != {n} {{\
+                             return ::std::result::Result::Err({DE_ERROR}::new(\
+                                 \"wrong number of fields for {name}::{vname}\"));\
+                         }}\
+                         ::std::result::Result::Ok({name}::{vname}({}))\
+                     }}",
+                    items.join(", ")
+                )
+            }
+            Fields::Named(fnames) => {
+                let build = de_fields_named(&format!("{name}::{vname}"), fnames, "inner");
+                format!(
+                    "\"{vname}\" => {{\
+                         let inner = payload.as_map().ok_or_else(|| \
+                             {DE_ERROR}::expected(\"fields of {name}::{vname}\", payload))?;\
+                         ::std::result::Result::Ok({build})\
+                     }}"
+                )
+            }
+        })
+        .collect();
+    format!(
+        "match v {{\
+             {VALUE}::Str(tag) => match tag.as_str() {{\
+                 {unit_arms}\
+                 other => ::std::result::Result::Err({DE_ERROR}::new(::std::format!(\
+                     \"unknown unit variant `{{other}}` of enum {name}\"))),\
+             }},\
+             {VALUE}::Map(entries) if entries.len() == 1 => {{\
+                 let (tag, payload) = &entries[0];\
+                 match tag.as_str() {{\
+                     {tagged_arms}\
+                     other => ::std::result::Result::Err({DE_ERROR}::new(::std::format!(\
+                         \"unknown variant `{{other}}` of enum {name}\"))),\
+                 }}\
+             }}\
+             other => ::std::result::Result::Err({DE_ERROR}::expected(\"enum {name}\", other)),\
+         }}",
+        unit_arms = unit_arms.join(" "),
+        tagged_arms = tagged_arms.join(" "),
+    )
+}

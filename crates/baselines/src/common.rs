@@ -421,7 +421,10 @@ impl BaselineReplica {
             }
             None => {
                 // The confirmation outran the message itself; remember it.
-                self.pending_confirms.entry(msg_id).or_default().insert(group);
+                self.pending_confirms
+                    .entry(msg_id)
+                    .or_default()
+                    .insert(group);
             }
         }
         self.try_deliver()
@@ -659,9 +662,10 @@ impl Node for BaselineClient {
                 }
             }
             Event::Message {
-                msg: BaselineMsg::ClientReply {
-                    msg_id, global_ts, ..
-                },
+                msg:
+                    BaselineMsg::ClientReply {
+                        msg_id, global_ts, ..
+                    },
                 ..
             } => {
                 if let Some((msg, submitted)) = self.pending.remove(&msg_id) {
@@ -701,17 +705,38 @@ mod tests {
         let mut leader = BaselineReplica::new(ProcessId(0), GroupId(0), cluster(), Mode::FtSkeen);
         let actions = leader.on_event(
             Duration::ZERO,
-            Event::message(ProcessId(6), BaselineMsg::Multicast { msg: msg(0, &[0, 1]) }),
+            Event::message(
+                ProcessId(6),
+                BaselineMsg::Multicast {
+                    msg: msg(0, &[0, 1]),
+                },
+            ),
         );
         // Three Paxos ACCEPTs, no cross-group traffic yet (FT-Skeen waits for
         // consensus to complete before exchanging proposals).
         let paxos_msgs = actions
             .iter()
-            .filter(|a| matches!(a, Action::Send { msg: BaselineMsg::Paxos(_), .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    Action::Send {
+                        msg: BaselineMsg::Paxos(_),
+                        ..
+                    }
+                )
+            })
             .count();
         let proposes = actions
             .iter()
-            .filter(|a| matches!(a, Action::Send { msg: BaselineMsg::Propose { .. }, .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    Action::Send {
+                        msg: BaselineMsg::Propose { .. },
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(paxos_msgs, 3);
         assert_eq!(proposes, 0);
@@ -722,13 +747,29 @@ mod tests {
         let mut leader = BaselineReplica::new(ProcessId(0), GroupId(0), cluster(), Mode::FastCast);
         let actions = leader.on_event(
             Duration::ZERO,
-            Event::message(ProcessId(6), BaselineMsg::Multicast { msg: msg(0, &[0, 1]) }),
+            Event::message(
+                ProcessId(6),
+                BaselineMsg::Multicast {
+                    msg: msg(0, &[0, 1]),
+                },
+            ),
         );
         let proposes = actions
             .iter()
-            .filter(|a| matches!(a, Action::Send { msg: BaselineMsg::Propose { .. }, .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    Action::Send {
+                        msg: BaselineMsg::Propose { .. },
+                        ..
+                    }
+                )
+            })
             .count();
-        assert_eq!(proposes, 1, "the proposal to g1's leader goes out immediately");
+        assert_eq!(
+            proposes, 1,
+            "the proposal to g1's leader goes out immediately"
+        );
     }
 
     #[test]
@@ -778,7 +819,10 @@ mod tests {
             group: GroupId(1),
             global_ts: Timestamp::new(2, GroupId(1)),
         };
-        let actions = c.on_event(Duration::from_millis(9), Event::message(ProcessId(3), reply));
+        let actions = c.on_event(
+            Duration::from_millis(9),
+            Event::message(ProcessId(3), reply),
+        );
         assert!(actions.iter().any(Action::is_delivery));
         assert_eq!(c.completed().len(), 1);
         assert_eq!(c.completed()[0].2, Duration::from_millis(9));
@@ -799,7 +843,15 @@ mod tests {
         );
         let resends = actions
             .iter()
-            .filter(|a| matches!(a, Action::Send { msg: BaselineMsg::Multicast { .. }, .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    Action::Send {
+                        msg: BaselineMsg::Multicast { .. },
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(resends, 1);
     }

@@ -30,9 +30,7 @@ mod tests {
     use super::*;
     use std::time::Duration;
     use wbam_simnet::{LatencyModel, SimConfig, Simulation};
-    use wbam_types::{
-        AppMessage, Destination, GroupId, MsgId, Payload, SiteId,
-    };
+    use wbam_types::{AppMessage, Destination, GroupId, MsgId, Payload, SiteId};
 
     use crate::common::{BaselineClient, BaselineMsg};
 

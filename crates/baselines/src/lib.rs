@@ -16,7 +16,7 @@
 //!   failure-free latency ~**8δ**.
 //!
 //! Both baselines share the wire message type [`BaselineMsg`] and the
-//! replicated command type [`Command`], and are sans-IO [`Node`]s runnable on
+//! replicated command type [`Command`], and are sans-IO [`Node`](wbam_types::Node)s runnable on
 //! the simulator or the threaded runtime, so the three protocols (these two
 //! plus the white-box protocol in `wbam-core`) can be compared on an identical
 //! substrate — this is what the Figure 7 / Figure 8 benchmarks do.

@@ -20,7 +20,10 @@ fn main() {
     let metrics = sim.metrics();
 
     println!("one-way delay δ = {delta:?}\n");
-    println!("{:<10} {:<9} {:>16} {:>12}", "process", "group", "delivery time", "in δ");
+    println!(
+        "{:<10} {:<9} {:>16} {:>12}",
+        "process", "group", "delivery time", "in δ"
+    );
     for gc in cluster.groups() {
         for member in gc.members() {
             let time = metrics
@@ -36,7 +39,12 @@ fn main() {
                     t.as_secs_f64() * 1e3,
                     t.as_secs_f64() / delta.as_secs_f64()
                 ),
-                None => println!("{:<10} {:<9} {:>16}", member.to_string(), gc.id().to_string(), "—"),
+                None => println!(
+                    "{:<10} {:<9} {:>16}",
+                    member.to_string(),
+                    gc.id().to_string(),
+                    "—"
+                ),
             }
         }
     }

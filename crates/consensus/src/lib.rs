@@ -351,13 +351,7 @@ impl<C: Clone + PartialEq> PaxosReplica<C> {
         out
     }
 
-    fn on_accept(
-        &mut self,
-        from: ProcessId,
-        ballot: Ballot,
-        slot: Slot,
-        cmd: C,
-    ) -> PaxosOutput<C> {
+    fn on_accept(&mut self, from: ProcessId, ballot: Ballot, slot: Slot, cmd: C) -> PaxosOutput<C> {
         let mut out = PaxosOutput::default();
         if ballot < self.promised {
             return out;
@@ -423,7 +417,11 @@ mod tests {
         vec![ProcessId(0), ProcessId(1), ProcessId(2)]
     }
 
-    fn trio() -> (PaxosReplica<String>, PaxosReplica<String>, PaxosReplica<String>) {
+    fn trio() -> (
+        PaxosReplica<String>,
+        PaxosReplica<String>,
+        PaxosReplica<String>,
+    ) {
         (
             PaxosReplica::new(PaxosConfig::new(ProcessId(0), members())),
             PaxosReplica::new(PaxosConfig::new(ProcessId(1), members())),
@@ -583,7 +581,10 @@ mod tests {
             .outgoing
             .iter()
             .any(|(_, m)| matches!(m, PaxosMsg::Accept { slot: 0, cmd, .. } if cmd == "a"));
-        assert!(reproposed, "accepted value must be re-proposed by the new leader");
+        assert!(
+            reproposed,
+            "accepted value must be re-proposed by the new leader"
+        );
     }
 
     #[test]

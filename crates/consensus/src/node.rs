@@ -84,7 +84,11 @@ impl Node for PaxosNode {
         self.id
     }
 
-    fn on_event(&mut self, _now: Duration, event: Event<PaxosNodeMsg>) -> Vec<Action<PaxosNodeMsg>> {
+    fn on_event(
+        &mut self,
+        _now: Duration,
+        event: Event<PaxosNodeMsg>,
+    ) -> Vec<Action<PaxosNodeMsg>> {
         match event {
             Event::Multicast(msg) => {
                 if self.core.is_leader() {
@@ -155,11 +159,7 @@ mod tests {
     fn commands_are_delivered_in_the_same_order_everywhere() {
         let mut sim = build_sim();
         for seq in 0..10 {
-            sim.schedule_multicast(
-                Duration::from_millis(seq),
-                ProcessId(0),
-                app(seq),
-            );
+            sim.schedule_multicast(Duration::from_millis(seq), ProcessId(0), app(seq));
         }
         sim.run_until_quiescent(Duration::from_secs(5));
         let metrics = sim.metrics();

@@ -87,12 +87,7 @@ impl MulticastClient {
         msg.dest
             .iter()
             .filter_map(|g| self.cur_leader.get(&g).copied())
-            .map(|leader| {
-                Action::send(
-                    leader,
-                    WhiteBoxMsg::Multicast { msg: msg.clone() },
-                )
-            })
+            .map(|leader| Action::send(leader, WhiteBoxMsg::Multicast { msg: msg.clone() }))
             .collect()
     }
 
@@ -240,7 +235,10 @@ mod tests {
         let targets: Vec<_> = actions
             .iter()
             .filter_map(|a| match a {
-                Action::Send { to, msg: WhiteBoxMsg::Multicast { .. } } => Some(*to),
+                Action::Send {
+                    to,
+                    msg: WhiteBoxMsg::Multicast { .. },
+                } => Some(*to),
                 _ => None,
             })
             .collect();
@@ -280,8 +278,14 @@ mod tests {
             group: GroupId(0),
             global_ts: Timestamp::new(1, GroupId(0)),
         };
-        c.on_event(Duration::from_millis(1), Event::message(ProcessId(0), reply.clone()));
-        let actions = c.on_event(Duration::from_millis(2), Event::message(ProcessId(1), reply));
+        c.on_event(
+            Duration::from_millis(1),
+            Event::message(ProcessId(0), reply.clone()),
+        );
+        let actions = c.on_event(
+            Duration::from_millis(2),
+            Event::message(ProcessId(1), reply),
+        );
         assert!(actions.is_empty());
         assert_eq!(c.completed().len(), 1);
     }

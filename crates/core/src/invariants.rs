@@ -1,7 +1,7 @@
 //! Checkers for the key protocol invariants of Figure 6.
 //!
 //! These functions operate on a trace of sent protocol messages (as recorded
-//! by the simulator with [`SimConfig::record_trace`](wbam_simnet)) and on the
+//! by the simulator with `SimConfig::record_trace` in `wbam-simnet`) and on the
 //! delivery log. They are used by the integration and property tests to
 //! validate runs of the protocol under random workloads, delays and crashes:
 //!
@@ -463,7 +463,10 @@ mod tests {
 
         let mut disagree = BTreeMap::new();
         disagree.insert(ProcessId(0), vec![mk(1, 1)]);
-        disagree.insert(ProcessId(3), vec![(MsgId::new(ProcessId(9), 1), Timestamp::new(4, GroupId(0)))]);
+        disagree.insert(
+            ProcessId(3),
+            vec![(MsgId::new(ProcessId(9), 1), Timestamp::new(4, GroupId(0)))],
+        );
         assert!(check_total_order(&disagree).is_err());
     }
 

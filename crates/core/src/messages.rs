@@ -221,7 +221,10 @@ mod tests {
     #[test]
     fn kinds_and_subjects() {
         let m = msg();
-        assert_eq!(WhiteBoxMsg::Multicast { msg: m.clone() }.kind(), "MULTICAST");
+        assert_eq!(
+            WhiteBoxMsg::Multicast { msg: m.clone() }.kind(),
+            "MULTICAST"
+        );
         assert_eq!(
             WhiteBoxMsg::Multicast { msg: m.clone() }.subject(),
             Some(m.id)

@@ -67,10 +67,7 @@ impl MessageRecord {
     /// Whether `ACCEPT`s from the leaders of all destination groups have been
     /// received.
     pub fn has_all_accepts(&self) -> bool {
-        self.msg
-            .dest
-            .iter()
-            .all(|g| self.accepts.contains_key(&g))
+        self.msg.dest.iter().all(|g| self.accepts.contains_key(&g))
     }
 
     /// The local timestamps proposed by each destination group, if complete.
@@ -78,12 +75,7 @@ impl MessageRecord {
         if !self.has_all_accepts() {
             return None;
         }
-        Some(
-            self.accepts
-                .iter()
-                .map(|(g, (_, ts))| (*g, *ts))
-                .collect(),
-        )
+        Some(self.accepts.iter().map(|(g, (_, ts))| (*g, *ts)).collect())
     }
 
     /// The global timestamp implied by the currently known proposals (max of

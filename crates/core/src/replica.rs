@@ -20,7 +20,7 @@ use std::time::Duration;
 use serde::{Deserialize, Serialize};
 use wbam_types::{
     Action, AppMessage, Ballot, DeliveredMessage, Event, GroupId, MsgId, Node, Phase, ProcessId,
-    Timestamp, TimerId,
+    TimerId, Timestamp,
 };
 
 use crate::config::ReplicaConfig;
@@ -396,14 +396,15 @@ impl WhiteBoxReplica {
             return actions;
         };
         // Line 17 also requires the matching ACCEPTs to have been received.
-        let matches_accepts = record
-            .msg
-            .dest
-            .iter()
-            .all(|g| match (record.accepts.get(&g), vector.get(&g)) {
-                (Some((b, _)), Some(vb)) => b == vb,
-                _ => false,
-            });
+        let matches_accepts =
+            record
+                .msg
+                .dest
+                .iter()
+                .all(|g| match (record.accepts.get(&g), vector.get(&g)) {
+                    (Some((b, _)), Some(vb)) => b == vb,
+                    _ => false,
+                });
         if !matches_accepts {
             return actions;
         }
@@ -773,7 +774,11 @@ impl WhiteBoxReplica {
 
     /// Figure 4, lines 63–68: the new leader finishes recovery once a quorum is
     /// in sync with its state.
-    fn handle_new_state_ack(&mut self, from: ProcessId, ballot: Ballot) -> Vec<Action<WhiteBoxMsg>> {
+    fn handle_new_state_ack(
+        &mut self,
+        from: ProcessId,
+        ballot: Ballot,
+    ) -> Vec<Action<WhiteBoxMsg>> {
         if self.status != Status::Recovering || self.ballot != ballot {
             return Vec::new();
         }
@@ -1014,7 +1019,11 @@ mod tests {
         )
     }
 
-    fn drive(replica: &mut WhiteBoxReplica, from: ProcessId, msg: WhiteBoxMsg) -> Vec<Action<WhiteBoxMsg>> {
+    fn drive(
+        replica: &mut WhiteBoxReplica,
+        from: ProcessId,
+        msg: WhiteBoxMsg,
+    ) -> Vec<Action<WhiteBoxMsg>> {
         replica.on_event(Duration::ZERO, Event::message(from, msg))
     }
 
@@ -1036,11 +1045,23 @@ mod tests {
     fn leader_proposes_on_multicast() {
         let mut leader = replica(0, 0);
         let m = app_msg(0, &[0, 1]);
-        let actions = drive(&mut leader, ProcessId(6), WhiteBoxMsg::Multicast { msg: m.clone() });
+        let actions = drive(
+            &mut leader,
+            ProcessId(6),
+            WhiteBoxMsg::Multicast { msg: m.clone() },
+        );
         // ACCEPT goes to all six destination replicas.
         let accepts: Vec<_> = actions
             .iter()
-            .filter(|a| matches!(a, Action::Send { msg: WhiteBoxMsg::Accept { .. }, .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    Action::Send {
+                        msg: WhiteBoxMsg::Accept { .. },
+                        ..
+                    }
+                )
+            })
             .collect();
         assert_eq!(accepts.len(), 6);
         assert_eq!(leader.phase_of(m.id), Some(Phase::Proposed));
@@ -1051,10 +1072,22 @@ mod tests {
     fn duplicate_multicast_does_not_advance_clock() {
         let mut leader = replica(0, 0);
         let m = app_msg(0, &[0]);
-        drive(&mut leader, ProcessId(6), WhiteBoxMsg::Multicast { msg: m.clone() });
+        drive(
+            &mut leader,
+            ProcessId(6),
+            WhiteBoxMsg::Multicast { msg: m.clone() },
+        );
         assert_eq!(leader.clock(), 1);
-        let actions = drive(&mut leader, ProcessId(6), WhiteBoxMsg::Multicast { msg: m.clone() });
-        assert_eq!(leader.clock(), 1, "Invariant 1: one local timestamp per ballot");
+        let actions = drive(
+            &mut leader,
+            ProcessId(6),
+            WhiteBoxMsg::Multicast { msg: m.clone() },
+        );
+        assert_eq!(
+            leader.clock(),
+            1,
+            "Invariant 1: one local timestamp per ballot"
+        );
         // The proposal is re-sent with the stored timestamp.
         assert!(actions.iter().any(|a| matches!(
             a,
@@ -1069,7 +1102,11 @@ mod tests {
     fn follower_forwards_multicast_to_leader() {
         let mut follower = replica(1, 0);
         let m = app_msg(0, &[0]);
-        let actions = drive(&mut follower, ProcessId(6), WhiteBoxMsg::Multicast { msg: m });
+        let actions = drive(
+            &mut follower,
+            ProcessId(6),
+            WhiteBoxMsg::Multicast { msg: m },
+        );
         assert_eq!(actions.len(), 1);
         assert!(matches!(
             &actions[0],
@@ -1089,7 +1126,10 @@ mod tests {
             local_ts: Timestamp::new(1, GroupId(0)),
         };
         let actions = drive(&mut follower, ProcessId(0), a0);
-        assert!(actions.is_empty(), "must wait for the other group's proposal");
+        assert!(
+            actions.is_empty(),
+            "must wait for the other group's proposal"
+        );
         // ACCEPT from the other group's leader.
         let a1 = WhiteBoxMsg::Accept {
             msg: m.clone(),
@@ -1101,7 +1141,10 @@ mod tests {
         let acks: Vec<_> = actions
             .iter()
             .filter_map(|a| match a {
-                Action::Send { to, msg: WhiteBoxMsg::AcceptAck { .. } } => Some(*to),
+                Action::Send {
+                    to,
+                    msg: WhiteBoxMsg::AcceptAck { .. },
+                } => Some(*to),
                 _ => None,
             })
             .collect();
@@ -1119,18 +1162,26 @@ mod tests {
             .without_speculative_clock_update();
         let mut follower = WhiteBoxReplica::new(cfg);
         let m = app_msg(0, &[0, 1]);
-        drive(&mut follower, ProcessId(0), WhiteBoxMsg::Accept {
-            msg: m.clone(),
-            group: GroupId(0),
-            ballot: Ballot::new(1, ProcessId(0)),
-            local_ts: Timestamp::new(1, GroupId(0)),
-        });
-        drive(&mut follower, ProcessId(3), WhiteBoxMsg::Accept {
-            msg: m.clone(),
-            group: GroupId(1),
-            ballot: Ballot::new(1, ProcessId(3)),
-            local_ts: Timestamp::new(4, GroupId(1)),
-        });
+        drive(
+            &mut follower,
+            ProcessId(0),
+            WhiteBoxMsg::Accept {
+                msg: m.clone(),
+                group: GroupId(0),
+                ballot: Ballot::new(1, ProcessId(0)),
+                local_ts: Timestamp::new(1, GroupId(0)),
+            },
+        );
+        drive(
+            &mut follower,
+            ProcessId(3),
+            WhiteBoxMsg::Accept {
+                msg: m.clone(),
+                group: GroupId(1),
+                ballot: Ballot::new(1, ProcessId(3)),
+                local_ts: Timestamp::new(4, GroupId(1)),
+            },
+        );
         assert_eq!(follower.clock(), 0, "no speculative update in the ablation");
         assert_eq!(follower.phase_of(m.id), Some(Phase::Accepted));
     }
@@ -1167,9 +1218,13 @@ mod tests {
         };
         let actions = drive(&mut follower, ProcessId(0), stale);
         assert!(
-            !actions
-                .iter()
-                .any(|a| matches!(a, Action::Send { msg: WhiteBoxMsg::AcceptAck { .. }, .. })),
+            !actions.iter().any(|a| matches!(
+                a,
+                Action::Send {
+                    msg: WhiteBoxMsg::AcceptAck { .. },
+                    ..
+                }
+            )),
             "stale-ballot proposals must not be acknowledged"
         );
     }
@@ -1181,8 +1236,24 @@ mod tests {
         let mut leader = replica(0, 0);
         let m = app_msg(0, &[0]);
         // Leader proposes.
-        let actions = drive(&mut leader, ProcessId(6), WhiteBoxMsg::Multicast { msg: m.clone() });
-        assert_eq!(actions.iter().filter(|a| matches!(a, Action::Send { msg: WhiteBoxMsg::Accept { .. }, .. })).count(), 3);
+        let actions = drive(
+            &mut leader,
+            ProcessId(6),
+            WhiteBoxMsg::Multicast { msg: m.clone() },
+        );
+        assert_eq!(
+            actions
+                .iter()
+                .filter(|a| matches!(
+                    a,
+                    Action::Send {
+                        msg: WhiteBoxMsg::Accept { .. },
+                        ..
+                    }
+                ))
+                .count(),
+            3
+        );
         // Leader receives its own ACCEPT and acknowledges.
         let accept = WhiteBoxMsg::Accept {
             msg: m.clone(),
@@ -1194,9 +1265,10 @@ mod tests {
         let self_ack = actions
             .iter()
             .find_map(|a| match a {
-                Action::Send { to, msg: msg @ WhiteBoxMsg::AcceptAck { .. } } if *to == ProcessId(0) => {
-                    Some(msg.clone())
-                }
+                Action::Send {
+                    to,
+                    msg: msg @ WhiteBoxMsg::AcceptAck { .. },
+                } if *to == ProcessId(0) => Some(msg.clone()),
                 _ => None,
             })
             .expect("leader acks its own proposal");
@@ -1204,7 +1276,9 @@ mod tests {
         drive(&mut leader, ProcessId(0), self_ack.clone());
         assert_eq!(leader.phase_of(m.id), Some(Phase::Accepted));
         let follower_ack = match self_ack {
-            WhiteBoxMsg::AcceptAck { msg_id, ballots, .. } => WhiteBoxMsg::AcceptAck {
+            WhiteBoxMsg::AcceptAck {
+                msg_id, ballots, ..
+            } => WhiteBoxMsg::AcceptAck {
                 msg_id,
                 group: GroupId(0),
                 ballots,
@@ -1216,16 +1290,25 @@ mod tests {
         assert_eq!(leader.phase_of(m.id), Some(Phase::Committed));
         let delivers = actions
             .iter()
-            .filter(|a| matches!(a, Action::Send { msg: WhiteBoxMsg::Deliver { .. }, .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    Action::Send {
+                        msg: WhiteBoxMsg::Deliver { .. },
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(delivers, 3);
         // Handling its own DELIVER makes the leader deliver to the application.
         let deliver_to_self = actions
             .iter()
             .find_map(|a| match a {
-                Action::Send { to, msg: msg @ WhiteBoxMsg::Deliver { .. } } if *to == ProcessId(0) => {
-                    Some(msg.clone())
-                }
+                Action::Send {
+                    to,
+                    msg: msg @ WhiteBoxMsg::Deliver { .. },
+                } if *to == ProcessId(0) => Some(msg.clone()),
                 _ => None,
             })
             .unwrap();
@@ -1272,10 +1355,18 @@ mod tests {
         let mut leader = replica(0, 0);
         // Propose m1 (gets local/pending ts (1, g0)).
         let m1 = app_msg(0, &[0, 1]);
-        drive(&mut leader, ProcessId(6), WhiteBoxMsg::Multicast { msg: m1.clone() });
+        drive(
+            &mut leader,
+            ProcessId(6),
+            WhiteBoxMsg::Multicast { msg: m1.clone() },
+        );
         // Propose m2 (local ts (2, g0)).
         let m2 = app_msg(1, &[0]);
-        drive(&mut leader, ProcessId(6), WhiteBoxMsg::Multicast { msg: m2.clone() });
+        drive(
+            &mut leader,
+            ProcessId(6),
+            WhiteBoxMsg::Multicast { msg: m2.clone() },
+        );
         // Commit m2 via accepts + quorum acks.
         let accept2 = WhiteBoxMsg::Accept {
             msg: m2.clone(),
@@ -1287,13 +1378,18 @@ mod tests {
         let ack = actions
             .iter()
             .find_map(|a| match a {
-                Action::Send { msg: msg @ WhiteBoxMsg::AcceptAck { .. }, to } if *to == ProcessId(0) => Some(msg.clone()),
+                Action::Send {
+                    msg: msg @ WhiteBoxMsg::AcceptAck { .. },
+                    to,
+                } if *to == ProcessId(0) => Some(msg.clone()),
                 _ => None,
             })
             .unwrap();
         drive(&mut leader, ProcessId(0), ack.clone());
         let ack_from_follower = match ack {
-            WhiteBoxMsg::AcceptAck { msg_id, ballots, .. } => WhiteBoxMsg::AcceptAck {
+            WhiteBoxMsg::AcceptAck {
+                msg_id, ballots, ..
+            } => WhiteBoxMsg::AcceptAck {
                 msg_id,
                 group: GroupId(0),
                 ballots,
@@ -1306,9 +1402,13 @@ mod tests {
         // Figure 4 line 21.
         assert_eq!(leader.phase_of(m2.id), Some(Phase::Committed));
         assert!(
-            !actions
-                .iter()
-                .any(|a| matches!(a, Action::Send { msg: WhiteBoxMsg::Deliver { .. }, .. })),
+            !actions.iter().any(|a| matches!(
+                a,
+                Action::Send {
+                    msg: WhiteBoxMsg::Deliver { .. },
+                    ..
+                }
+            )),
             "delivery must be blocked by the pending lower-timestamped message"
         );
     }
@@ -1320,7 +1420,10 @@ mod tests {
         let targets: Vec<_> = actions
             .iter()
             .filter_map(|a| match a {
-                Action::Send { to, msg: WhiteBoxMsg::NewLeader { ballot } } => Some((*to, *ballot)),
+                Action::Send {
+                    to,
+                    msg: WhiteBoxMsg::NewLeader { ballot },
+                } => Some((*to, *ballot)),
                 _ => None,
             })
             .collect();
@@ -1395,9 +1498,10 @@ mod tests {
         let new_state_to_p2 = install_actions
             .iter()
             .find_map(|a| match a {
-                Action::Send { to, msg: msg @ WhiteBoxMsg::NewState { .. } } if *to == ProcessId(2) => {
-                    Some(msg.clone())
-                }
+                Action::Send {
+                    to,
+                    msg: msg @ WhiteBoxMsg::NewState { .. },
+                } if *to == ProcessId(2) => Some(msg.clone()),
                 _ => None,
             })
             .expect("NEW_STATE must be sent to followers");
@@ -1436,14 +1540,20 @@ mod tests {
 
         // p1 recovers with votes from itself and p2.
         let actions = p1.on_event(Duration::ZERO, Event::BecomeLeader);
-        let to_p1 = actions.iter().find_map(|a| match a {
-            Action::Send { to, msg } if *to == ProcessId(1) => Some(msg.clone()),
-            _ => None,
-        }).unwrap();
-        let to_p2 = actions.iter().find_map(|a| match a {
-            Action::Send { to, msg } if *to == ProcessId(2) => Some(msg.clone()),
-            _ => None,
-        }).unwrap();
+        let to_p1 = actions
+            .iter()
+            .find_map(|a| match a {
+                Action::Send { to, msg } if *to == ProcessId(1) => Some(msg.clone()),
+                _ => None,
+            })
+            .unwrap();
+        let to_p2 = actions
+            .iter()
+            .find_map(|a| match a {
+                Action::Send { to, msg } if *to == ProcessId(2) => Some(msg.clone()),
+                _ => None,
+            })
+            .unwrap();
         let self_ack = drive(&mut p1, ProcessId(1), to_p1)
             .iter()
             .find_map(|a| match a {
@@ -1466,9 +1576,10 @@ mod tests {
         let new_state = install
             .iter()
             .find_map(|a| match a {
-                Action::Send { to, msg: msg @ WhiteBoxMsg::NewState { .. } } if *to == ProcessId(2) => {
-                    Some(msg.clone())
-                }
+                Action::Send {
+                    to,
+                    msg: msg @ WhiteBoxMsg::NewState { .. },
+                } if *to == ProcessId(2) => Some(msg.clone()),
                 _ => None,
             })
             .unwrap();
@@ -1482,9 +1593,13 @@ mod tests {
         let finish = drive(&mut p1, ProcessId(2), ack);
         assert_eq!(p1.status(), Status::Leader);
         // The new leader re-sends DELIVER for the committed message.
-        assert!(finish
-            .iter()
-            .any(|a| matches!(a, Action::Send { msg: WhiteBoxMsg::Deliver { .. }, .. })));
+        assert!(finish.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: WhiteBoxMsg::Deliver { .. },
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -1522,7 +1637,15 @@ mod tests {
         );
         let heartbeats = actions
             .iter()
-            .filter(|a| matches!(a, Action::Send { msg: WhiteBoxMsg::Heartbeat { .. }, .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    Action::Send {
+                        msg: WhiteBoxMsg::Heartbeat { .. },
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(heartbeats, 2);
         assert!(actions
@@ -1544,9 +1667,13 @@ mod tests {
                 now: Duration::from_millis(30),
             },
         );
-        assert!(!quiet
-            .iter()
-            .any(|a| matches!(a, Action::Send { msg: WhiteBoxMsg::NewLeader { .. }, .. })));
+        assert!(!quiet.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: WhiteBoxMsg::NewLeader { .. },
+                ..
+            }
+        )));
         // Rank 1 waits 2 * 20 ms; by 100 ms it starts an election.
         let actions = follower.on_event(
             Duration::from_millis(100),
@@ -1555,9 +1682,13 @@ mod tests {
                 now: Duration::from_millis(100),
             },
         );
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::Send { msg: WhiteBoxMsg::NewLeader { .. }, .. })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: WhiteBoxMsg::NewLeader { .. },
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -1568,7 +1699,12 @@ mod tests {
         follower.on_event(Duration::ZERO, Event::Init);
         follower.on_event(
             Duration::from_millis(95),
-            Event::message(ProcessId(0), WhiteBoxMsg::Heartbeat { ballot: Ballot::new(1, ProcessId(0)) }),
+            Event::message(
+                ProcessId(0),
+                WhiteBoxMsg::Heartbeat {
+                    ballot: Ballot::new(1, ProcessId(0)),
+                },
+            ),
         );
         let actions = follower.on_event(
             Duration::from_millis(100),
@@ -1577,9 +1713,13 @@ mod tests {
                 now: Duration::from_millis(100),
             },
         );
-        assert!(!actions
-            .iter()
-            .any(|a| matches!(a, Action::Send { msg: WhiteBoxMsg::NewLeader { .. }, .. })));
+        assert!(!actions.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: WhiteBoxMsg::NewLeader { .. },
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -1611,7 +1751,10 @@ mod tests {
         let targets: Vec<_> = retry
             .iter()
             .filter_map(|a| match a {
-                Action::Send { to, msg: WhiteBoxMsg::Multicast { .. } } => Some(*to),
+                Action::Send {
+                    to,
+                    msg: WhiteBoxMsg::Multicast { .. },
+                } => Some(*to),
                 _ => None,
             })
             .collect();

@@ -109,7 +109,9 @@ impl ClusterSpec {
             .groups(self.num_groups, self.group_size)
             .clients(self.num_clients);
         if self.num_sites > 1 {
-            b = b.spread_over_sites(self.num_sites).clients_at_site(SiteId(0));
+            b = b
+                .spread_over_sites(self.num_sites)
+                .clients_at_site(SiteId(0));
         }
         b.build()
     }
@@ -123,7 +125,7 @@ impl ClusterSpec {
             gst: None,
             pre_gst_extra_delay: Duration::ZERO,
             record_trace: false,
-            }
+        }
     }
 }
 
@@ -142,6 +144,12 @@ pub struct ProtocolSim {
     next_seq: Vec<u64>,
     delivery_cursor: usize,
 }
+
+/// Client retry timeout used for every protocol's clients (2 s of simulated
+/// time): well above any simulated delivery latency, so failure-free runs
+/// never retry, and short enough that the retry fallbacks fire well inside
+/// the horizons used by failover scenarios.
+const CLIENT_RETRY_TIMEOUT: Duration = Duration::from_secs(2);
 
 impl ProtocolSim {
     /// Builds a cluster of `spec` running `protocol`.
@@ -168,7 +176,7 @@ impl ProtocolSim {
                 }
                 for client in cluster.clients() {
                     let cfg = ClientConfig::new(*client, cluster.clone())
-                        .with_retry_timeout(Duration::from_secs(30));
+                        .with_retry_timeout(CLIENT_RETRY_TIMEOUT);
                     sim.add_client_at(
                         Box::new(MulticastClient::new(cfg)),
                         cluster.site_of(*client),
@@ -202,7 +210,7 @@ impl ProtocolSim {
                         Box::new(BaselineClient::new(
                             *client,
                             cluster.clone(),
-                            Duration::from_secs(30),
+                            CLIENT_RETRY_TIMEOUT,
                         )),
                         cluster.site_of(*client),
                     );

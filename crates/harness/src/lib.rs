@@ -13,7 +13,7 @@
 //!   multicast outstanding, as in the paper's evaluation) and their results.
 //! * [`probe`] — single-message latency probes used for the latency table and
 //!   the message-flow/convoy figures.
-//! * [`sweep`] — parameter sweeps over client counts and destination-group
+//! * [`mod@sweep`] — parameter sweeps over client counts and destination-group
 //!   counts, producing the rows of Figures 7 and 8.
 
 #![warn(missing_docs)]

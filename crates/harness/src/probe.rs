@@ -32,7 +32,11 @@ pub struct LatencyProbeResult {
 /// For the white-box protocol the expected result is 3δ (the first delivery in
 /// each group happens at its leader); for FastCast 4δ; for fault-tolerant
 /// Skeen 6δ; for plain Skeen (singleton groups) 2δ.
-pub fn latency_probe(protocol: Protocol, dest_groups: usize, delta: Duration) -> LatencyProbeResult {
+pub fn latency_probe(
+    protocol: Protocol,
+    dest_groups: usize,
+    delta: Duration,
+) -> LatencyProbeResult {
     let group_size = if protocol == Protocol::Skeen { 1 } else { 3 };
     let spec = ClusterSpec::constant_delta(dest_groups.max(2), group_size, delta);
     let mut sim = ProtocolSim::build(protocol, &spec);
@@ -83,7 +87,8 @@ pub fn convoy_probe(protocol: Protocol, delta: Duration) -> LatencyProbeResult {
     for _ in 0..4 {
         sim.submit(Duration::ZERO, 1, &[GroupId(1)], 20);
     }
-    let start = delta * 40; // long after the priming traffic has quiesced
+    // Start long after the priming traffic has quiesced.
+    let start = delta * 40;
     // Phase 2: the probed message.
     let m = sim.submit(start, 0, &dest, 20);
     // Phase 3: the conflicting message, timed to arrive at group 0's leader
@@ -169,7 +174,10 @@ mod tests {
             convoy > collision_free + 0.5,
             "convoy ({convoy:.2}δ) should exceed collision-free ({collision_free:.2}δ)"
         );
-        assert!(convoy <= 4.2, "Skeen's failure-free latency is bounded by 4δ");
+        assert!(
+            convoy <= 4.2,
+            "Skeen's failure-free latency is bounded by 4δ"
+        );
     }
 
     #[test]
@@ -177,7 +185,10 @@ mod tests {
         let wb = convoy_probe(Protocol::WhiteBox, DELTA).delta_multiples;
         let fc = convoy_probe(Protocol::FastCast, DELTA).delta_multiples;
         let fts = convoy_probe(Protocol::FtSkeen, DELTA).delta_multiples;
-        assert!(wb <= 5.2, "white-box failure-free latency must stay ≤ 5δ, got {wb:.2}δ");
+        assert!(
+            wb <= 5.2,
+            "white-box failure-free latency must stay ≤ 5δ, got {wb:.2}δ"
+        );
         assert!(
             wb < fc && fc < fts,
             "expected WbCast < FastCast < FT-Skeen under collisions, got {wb:.2} / {fc:.2} / {fts:.2}"

@@ -108,9 +108,7 @@ impl SweepResult {
 
     /// Renders the result as an aligned text table (one row per point).
     pub fn to_table(&self) -> String {
-        let mut out = String::from(
-            "protocol   groups  clients    latency_ms   throughput_msg_s\n",
-        );
+        let mut out = String::from("protocol   groups  clients    latency_ms   throughput_msg_s\n");
         for p in &self.points {
             out.push_str(&format!(
                 "{:<10} {:<7} {:<10} {:<12.3} {:<12.1}\n",
@@ -178,8 +176,14 @@ mod tests {
         let wb = latency_of("WbCast");
         let fc = latency_of("FastCast");
         let fts = latency_of("Skeen");
-        assert!(wb < fc, "WbCast ({wb:.2} ms) must beat FastCast ({fc:.2} ms)");
-        assert!(fc < fts, "FastCast ({fc:.2} ms) must beat FT-Skeen ({fts:.2} ms)");
+        assert!(
+            wb < fc,
+            "WbCast ({wb:.2} ms) must beat FastCast ({fc:.2} ms)"
+        );
+        assert!(
+            fc < fts,
+            "FastCast ({fc:.2} ms) must beat FT-Skeen ({fts:.2} ms)"
+        );
         let table = result.to_table();
         assert!(table.contains("WbCast"));
         assert!(table.lines().count() >= 4);

@@ -70,7 +70,7 @@ pub fn run_closed_loop(sim: &mut ProtocolSim, workload: &ClosedLoopWorkload) -> 
     let horizon = workload.warmup + workload.duration;
     let mut submitted = 0usize;
 
-    let mut pick_dest = |rng: &mut StdRng| -> Vec<GroupId> {
+    let pick_dest = |rng: &mut StdRng| -> Vec<GroupId> {
         let mut ids = group_ids.clone();
         ids.shuffle(rng);
         ids.truncate(dest_count);

@@ -152,7 +152,7 @@ impl KvCommand {
         id: MsgId,
         partitioner: &Partitioner,
     ) -> Result<AppMessage, WbamError> {
-        let dest = partitioner.destination_of(self.keys().into_iter())?;
+        let dest = partitioner.destination_of(self.keys())?;
         let body = serde_json::to_vec(self).map_err(|e| WbamError::Codec(e.to_string()))?;
         Ok(AppMessage::new(id, dest, Payload::from(body)))
     }
@@ -326,7 +326,7 @@ mod tests {
     fn destination_covers_all_touched_keys() {
         let p = Partitioner::new(8);
         let cmd = KvCommand::transfer("alice", "bob", 10);
-        let dest = p.destination_of(cmd.keys().into_iter()).unwrap();
+        let dest = p.destination_of(cmd.keys()).unwrap();
         assert!(dest.contains(p.partition_of("alice")));
         assert!(dest.contains(p.partition_of("bob")));
     }

@@ -102,6 +102,9 @@ impl Ord for PendingTimer {
     }
 }
 
+/// A sans-IO node as the runtime executes it: boxed, sendable to its thread.
+pub type BoxedNode<M> = Box<dyn Node<Msg = M> + Send>;
+
 /// Handle to a running in-process cluster.
 pub struct InProcessCluster<M> {
     senders: HashMap<ProcessId, Sender<Envelope<M>>>,
@@ -112,11 +115,11 @@ pub struct InProcessCluster<M> {
 
 impl<M: Send + Clone + 'static> InProcessCluster<M> {
     /// Spawns one thread per node and wires them together with channels.
-    pub fn spawn(nodes: Vec<Box<dyn Node<Msg = M> + Send>>) -> Self {
+    pub fn spawn(nodes: Vec<BoxedNode<M>>) -> Self {
         let started = Instant::now();
         let deliveries: Arc<Mutex<Vec<RuntimeDelivery>>> = Arc::new(Mutex::new(Vec::new()));
         let mut senders: HashMap<ProcessId, Sender<Envelope<M>>> = HashMap::new();
-        let mut receivers: Vec<(Box<dyn Node<Msg = M> + Send>, Receiver<Envelope<M>>)> = Vec::new();
+        let mut receivers: Vec<(BoxedNode<M>, Receiver<Envelope<M>>)> = Vec::new();
         for node in nodes {
             let (tx, rx) = unbounded();
             senders.insert(node.id(), tx);
@@ -188,7 +191,7 @@ impl<M: Send + Clone + 'static> InProcessCluster<M> {
 }
 
 fn run_node<M: Send + Clone + 'static>(
-    mut node: Box<dyn Node<Msg = M> + Send>,
+    mut node: BoxedNode<M>,
     rx: Receiver<Envelope<M>>,
     senders: HashMap<ProcessId, Sender<Envelope<M>>>,
     deliveries: Arc<Mutex<Vec<RuntimeDelivery>>>,
@@ -198,11 +201,9 @@ fn run_node<M: Send + Clone + 'static>(
     let mut timers: BinaryHeap<PendingTimer> = BinaryHeap::new();
     let mut generations: HashMap<TimerId, u64> = HashMap::new();
 
-    let mut execute = |node: &mut Box<dyn Node<Msg = M> + Send>,
-                       actions: Vec<Action<M>>,
-                       timers: &mut BinaryHeap<PendingTimer>,
-                       generations: &mut HashMap<TimerId, u64>| {
-        let _ = node;
+    let execute = |actions: Vec<Action<M>>,
+                   timers: &mut BinaryHeap<PendingTimer>,
+                   generations: &mut HashMap<TimerId, u64>| {
         for action in actions {
             match action {
                 Action::Send { to, msg } => {
@@ -234,7 +235,7 @@ fn run_node<M: Send + Clone + 'static>(
 
     // Initialise the node.
     let init_actions = node.on_event(started.elapsed(), Event::Init);
-    execute(&mut node, init_actions, &mut timers, &mut generations);
+    execute(init_actions, &mut timers, &mut generations);
 
     loop {
         // Fire any due timers.
@@ -248,8 +249,14 @@ fn run_node<M: Send + Clone + 'static>(
                 continue; // cancelled or re-armed
             }
             let elapsed = started.elapsed();
-            let actions = node.on_event(elapsed, Event::Timer { id: t.id, now: elapsed });
-            execute(&mut node, actions, &mut timers, &mut generations);
+            let actions = node.on_event(
+                elapsed,
+                Event::Timer {
+                    id: t.id,
+                    now: elapsed,
+                },
+            );
+            execute(actions, &mut timers, &mut generations);
         }
         // Wait for the next message or the next timer deadline.
         let wait = timers
@@ -264,11 +271,13 @@ fn run_node<M: Send + Clone + 'static>(
         let elapsed = started.elapsed();
         let actions = match envelope {
             Envelope::Shutdown => break,
-            Envelope::FromPeer { from, msg } => node.on_event(elapsed, Event::Message { from, msg }),
+            Envelope::FromPeer { from, msg } => {
+                node.on_event(elapsed, Event::Message { from, msg })
+            }
             Envelope::Submit(msg) => node.on_event(elapsed, Event::Multicast(msg)),
             Envelope::BecomeLeader => node.on_event(elapsed, Event::BecomeLeader),
         };
-        execute(&mut node, actions, &mut timers, &mut generations);
+        execute(actions, &mut timers, &mut generations);
     }
 }
 
@@ -278,14 +287,12 @@ mod tests {
     use wbam_core::{ClientConfig, MulticastClient, ReplicaConfig, WhiteBoxMsg, WhiteBoxReplica};
     use wbam_types::{ClusterConfig, Destination, GroupId, MsgId, Payload};
 
-    fn build_nodes(
-        cluster: &ClusterConfig,
-    ) -> Vec<Box<dyn Node<Msg = WhiteBoxMsg> + Send>> {
-        let mut nodes: Vec<Box<dyn Node<Msg = WhiteBoxMsg> + Send>> = Vec::new();
+    fn build_nodes(cluster: &ClusterConfig) -> Vec<BoxedNode<WhiteBoxMsg>> {
+        let mut nodes: Vec<BoxedNode<WhiteBoxMsg>> = Vec::new();
         for gc in cluster.groups() {
             for member in gc.members() {
-                let cfg = ReplicaConfig::new(*member, gc.id(), cluster.clone())
-                    .without_auto_election();
+                let cfg =
+                    ReplicaConfig::new(*member, gc.id(), cluster.clone()).without_auto_election();
                 nodes.push(Box::new(WhiteBoxReplica::new(cfg)));
             }
         }
@@ -329,7 +336,11 @@ mod tests {
         let reference = order_of(ProcessId(0));
         assert_eq!(reference.len(), 5);
         for p in 1..6u32 {
-            assert_eq!(order_of(ProcessId(p)), reference, "replica p{p} order differs");
+            assert_eq!(
+                order_of(ProcessId(p)),
+                reference,
+                "replica p{p} order differs"
+            );
         }
         handle.shutdown();
     }

@@ -210,7 +210,11 @@ impl MetricsView {
         ThroughputStats {
             delivered_messages: delivered,
             duration,
-            messages_per_second: if secs > 0.0 { delivered as f64 / secs } else { 0.0 },
+            messages_per_second: if secs > 0.0 {
+                delivered as f64 / secs
+            } else {
+                0.0
+            },
         }
     }
 
@@ -331,7 +335,10 @@ mod tests {
         let v = sample_view();
         assert_eq!(v.delivery_order_at(ProcessId(0)), vec![mid(1), mid(2)]);
         assert_eq!(v.delivery_order_at(ProcessId(3)), vec![mid(1)]);
-        assert_eq!(v.delivering_processes(), vec![ProcessId(0), ProcessId(1), ProcessId(3)]);
+        assert_eq!(
+            v.delivering_processes(),
+            vec![ProcessId(0), ProcessId(1), ProcessId(3)]
+        );
     }
 
     #[test]

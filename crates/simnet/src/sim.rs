@@ -23,9 +23,7 @@ use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use wbam_types::{
-    Action, AppMessage, Event, GroupId, MsgId, Node, ProcessId, SiteId, TimerId,
-};
+use wbam_types::{Action, AppMessage, Event, GroupId, MsgId, Node, ProcessId, SiteId, TimerId};
 
 use crate::latency::LatencyModel;
 use crate::metrics::{DeliveryRecord, MetricsView};
@@ -263,10 +261,14 @@ impl<M: Clone + 'static> Simulation<M> {
             },
         );
         // Deliver the Init event at time zero.
-        self.push(Duration::ZERO, id, Payload::Timer {
-            id: TimerId(u64::MAX),
-            generation: u64::MAX,
-        });
+        self.push(
+            Duration::ZERO,
+            id,
+            Payload::Timer {
+                id: TimerId(u64::MAX),
+                generation: u64::MAX,
+            },
+        );
         id
     }
 
@@ -397,8 +399,7 @@ impl<M: Clone + 'static> Simulation<M> {
             }
             Payload::Receive { from, msg } => {
                 self.stats.messages_received += 1;
-                let deliveries =
-                    self.dispatch(target, ev.time, Event::Message { from, msg });
+                let deliveries = self.dispatch(target, ev.time, Event::Message { from, msg });
                 Some(StepOutcome::MessageHandled {
                     process: target,
                     deliveries,
@@ -526,7 +527,9 @@ impl<M: Clone + 'static> Simulation<M> {
         let mut delay = if from == to {
             Duration::ZERO
         } else {
-            self.config.latency.sample(&mut self.rng, from_site, to_site)
+            self.config
+                .latency
+                .sample(&mut self.rng, from_site, to_site)
         };
         if let Some(gst) = self.config.gst {
             if sent_at < gst && !self.config.pre_gst_extra_delay.is_zero() {
@@ -536,10 +539,7 @@ impl<M: Clone + 'static> Simulation<M> {
         }
         let mut arrival = sent_at + delay;
         // Enforce FIFO per channel: arrival times never decrease.
-        let last = self
-            .fifo_last
-            .entry((from, to))
-            .or_insert(Duration::ZERO);
+        let last = self.fifo_last.entry((from, to)).or_insert(Duration::ZERO);
         if arrival < *last {
             arrival = *last;
         }
@@ -850,10 +850,7 @@ mod tests {
     fn determinism_same_seed_same_run() {
         let run = |seed: u64| -> (NetStats, Duration) {
             let mut sim = Simulation::new(SimConfig {
-                latency: LatencyModel::uniform(
-                    Duration::from_millis(1),
-                    Duration::from_millis(20),
-                ),
+                latency: LatencyModel::uniform(Duration::from_millis(1), Duration::from_millis(20)),
                 seed,
                 ..SimConfig::default()
             });

@@ -51,8 +51,7 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 use wbam_types::{
-    Action, AppMessage, DeliveredMessage, Event, GroupId, MsgId, Node, Phase, ProcessId,
-    Timestamp,
+    Action, AppMessage, DeliveredMessage, Event, GroupId, MsgId, Node, Phase, ProcessId, Timestamp,
 };
 
 /// Wire messages of Skeen's protocol.
@@ -178,17 +177,14 @@ impl SkeenProcess {
         }
         let group = self.group;
         let clock = &mut self.clock;
-        let record = self
-            .records
-            .entry(msg.id)
-            .or_insert_with(|| SkeenRecord {
-                msg: msg.clone(),
-                phase: Phase::Start,
-                local_ts: Timestamp::BOTTOM,
-                global_ts: Timestamp::BOTTOM,
-                delivered: false,
-                proposals: BTreeMap::new(),
-            });
+        let record = self.records.entry(msg.id).or_insert_with(|| SkeenRecord {
+            msg: msg.clone(),
+            phase: Phase::Start,
+            local_ts: Timestamp::BOTTOM,
+            global_ts: Timestamp::BOTTOM,
+            delivered: false,
+            proposals: BTreeMap::new(),
+        });
         if record.phase == Phase::Start {
             *clock += 1;
             record.local_ts = Timestamp::new(*clock, group);
@@ -413,11 +409,23 @@ mod tests {
     #[test]
     fn multicast_assigns_increasing_local_timestamps() {
         let mut p0 = p(0);
-        deliver_msg(&mut p0, 9, SkeenMsg::Multicast { msg: msg(0, &[0, 1]) });
+        deliver_msg(
+            &mut p0,
+            9,
+            SkeenMsg::Multicast {
+                msg: msg(0, &[0, 1]),
+            },
+        );
         deliver_msg(&mut p0, 9, SkeenMsg::Multicast { msg: msg(1, &[0]) });
         assert_eq!(p0.clock(), 2);
-        assert_eq!(p0.phase_of(MsgId::new(ProcessId(9), 0)), Some(Phase::Proposed));
-        assert_eq!(p0.phase_of(MsgId::new(ProcessId(9), 1)), Some(Phase::Proposed));
+        assert_eq!(
+            p0.phase_of(MsgId::new(ProcessId(9), 0)),
+            Some(Phase::Proposed)
+        );
+        assert_eq!(
+            p0.phase_of(MsgId::new(ProcessId(9), 1)),
+            Some(Phase::Proposed)
+        );
     }
 
     #[test]
@@ -495,8 +503,20 @@ mod tests {
         let blocker = msg(1, &[0, 1]);
         // The blocker keeps a *lower* local timestamp than the global
         // timestamp of the blocked message (the convoy effect of Figure 2).
-        deliver_msg(&mut p0, 9, SkeenMsg::Multicast { msg: blocker.clone() });
-        deliver_msg(&mut p0, 9, SkeenMsg::Multicast { msg: blocked.clone() });
+        deliver_msg(
+            &mut p0,
+            9,
+            SkeenMsg::Multicast {
+                msg: blocker.clone(),
+            },
+        );
+        deliver_msg(
+            &mut p0,
+            9,
+            SkeenMsg::Multicast {
+                msg: blocked.clone(),
+            },
+        );
         deliver_msg(
             &mut p0,
             0,
@@ -547,7 +567,13 @@ mod tests {
     #[test]
     fn messages_not_addressed_to_us_are_ignored() {
         let mut p2 = p(2);
-        let actions = deliver_msg(&mut p2, 9, SkeenMsg::Multicast { msg: msg(0, &[0, 1]) });
+        let actions = deliver_msg(
+            &mut p2,
+            9,
+            SkeenMsg::Multicast {
+                msg: msg(0, &[0, 1]),
+            },
+        );
         assert!(actions.is_empty());
         assert_eq!(p2.clock(), 0);
     }
@@ -564,7 +590,10 @@ mod tests {
             group: GroupId(0),
             global_ts: Timestamp::new(3, GroupId(1)),
         };
-        let actions = c.on_event(Duration::from_millis(35), Event::message(ProcessId(0), reply));
+        let actions = c.on_event(
+            Duration::from_millis(35),
+            Event::message(ProcessId(0), reply),
+        );
         assert!(actions.iter().any(Action::is_delivery));
         assert_eq!(c.completed().len(), 1);
         assert_eq!(c.completed()[0].2, Duration::from_millis(25));
@@ -581,8 +610,14 @@ mod tests {
             group: GroupId(0),
             global_ts: Timestamp::new(1, GroupId(0)),
         };
-        c.on_event(Duration::from_millis(1), Event::message(ProcessId(0), reply.clone()));
-        let actions = c.on_event(Duration::from_millis(2), Event::message(ProcessId(1), reply));
+        c.on_event(
+            Duration::from_millis(1),
+            Event::message(ProcessId(0), reply.clone()),
+        );
+        let actions = c.on_event(
+            Duration::from_millis(2),
+            Event::message(ProcessId(1), reply),
+        );
         assert!(actions.is_empty());
         assert_eq!(c.completed().len(), 1);
     }

@@ -155,10 +155,7 @@ impl ClusterConfig {
 
     /// The group a process belongs to, or `None` for clients.
     pub fn group_of(&self, p: ProcessId) -> Option<GroupId> {
-        self.groups
-            .iter()
-            .find(|g| g.contains(p))
-            .map(|g| g.id())
+        self.groups.iter().find(|g| g.contains(p)).map(|g| g.id())
     }
 
     /// Whether the process is a client (not a member of any group).
@@ -338,7 +335,13 @@ mod tests {
     fn quorum_arithmetic() {
         let g = GroupConfig::new(
             GroupId(0),
-            vec![ProcessId(0), ProcessId(1), ProcessId(2), ProcessId(3), ProcessId(4)],
+            vec![
+                ProcessId(0),
+                ProcessId(1),
+                ProcessId(2),
+                ProcessId(3),
+                ProcessId(4),
+            ],
         )
         .unwrap();
         assert_eq!(g.size(), 5);

@@ -28,7 +28,10 @@ impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConfigError::EvenGroupSize { group, size } => {
-                write!(f, "group {group} has {size} members, expected an odd number (2f + 1)")
+                write!(
+                    f,
+                    "group {group} has {size} members, expected an odd number (2f + 1)"
+                )
             }
             ConfigError::NoGroups => write!(f, "cluster configuration contains no groups"),
             ConfigError::DuplicateProcess(p) => {
@@ -110,8 +113,12 @@ mod tests {
             WbamError::EmptyDestination.to_string(),
             "destination group set is empty"
         );
-        assert!(WbamError::UnknownGroup(GroupId(7)).to_string().contains("g7"));
-        assert!(WbamError::UnknownProcess(ProcessId(7)).to_string().contains("p7"));
+        assert!(WbamError::UnknownGroup(GroupId(7))
+            .to_string()
+            .contains("g7"));
+        assert!(WbamError::UnknownProcess(ProcessId(7))
+            .to_string()
+            .contains("p7"));
     }
 
     #[test]

@@ -83,9 +83,7 @@ mod tests {
         assert_eq!(node.id(), ProcessId(0));
         let out = node.on_event(Duration::ZERO, Event::message(ProcessId(1), 41));
         assert_eq!(out, vec![Action::send(ProcessId(1), 42)]);
-        assert!(node
-            .on_event(Duration::ZERO, Event::Init)
-            .is_empty());
+        assert!(node.on_event(Duration::ZERO, Event::Init).is_empty());
     }
 
     #[test]

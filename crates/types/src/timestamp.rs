@@ -150,10 +150,7 @@ mod tests {
             Timestamp::new(7, GroupId(1)),
             Timestamp::new(7, GroupId(0)),
         ];
-        assert_eq!(
-            Timestamp::global_of(locals),
-            Timestamp::new(7, GroupId(1))
-        );
+        assert_eq!(Timestamp::global_of(locals), Timestamp::new(7, GroupId(1)));
         assert_eq!(Timestamp::global_of(Vec::new()), Timestamp::BOTTOM);
     }
 

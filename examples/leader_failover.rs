@@ -46,11 +46,20 @@ fn main() {
     println!("--------------------------------------------");
     println!("crashed p0 (leader of g0) at {crash_at:?}; p1 took over at {takeover_at:?}");
     println!();
-    let delivered_before = before.iter().filter(|m| metrics.is_partially_delivered(**m)).count();
-    let delivered_after = after.iter().filter(|m| metrics.is_partially_delivered(**m)).count();
+    let delivered_before = before
+        .iter()
+        .filter(|m| metrics.is_partially_delivered(**m))
+        .count();
+    let delivered_after = after
+        .iter()
+        .filter(|m| metrics.is_partially_delivered(**m))
+        .count();
     println!("messages submitted before the crash and delivered: {delivered_before}/5");
     println!("messages submitted after the failover and delivered: {delivered_after}/5");
-    assert_eq!(delivered_after, 5, "post-failover messages must all be delivered");
+    assert_eq!(
+        delivered_after, 5,
+        "post-failover messages must all be delivered"
+    );
 
     // Surviving replicas of group 0 (p1, p2) agree; group 1 replicas agree.
     let order_p1 = metrics.delivery_order_at(ProcessId(1));
@@ -62,7 +71,10 @@ fn main() {
         "surviving replicas of g0 disagree"
     );
     println!();
-    println!("surviving g0 replicas agree on a delivery order of {} messages", common);
+    println!(
+        "surviving g0 replicas agree on a delivery order of {} messages",
+        common
+    );
     let order_p3 = metrics.delivery_order_at(ProcessId(3));
     println!("g1 leader delivered {} messages", order_p3.len());
     println!("failover preserved agreement ✓");

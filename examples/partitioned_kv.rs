@@ -26,10 +26,7 @@ fn main() {
     // Build a small banking workload: credit ten accounts, then transfer
     // between random pairs (many of which cross partitions).
     let accounts: Vec<String> = (0..10).map(|i| format!("acct-{i}")).collect();
-    let mut commands: Vec<KvCommand> = accounts
-        .iter()
-        .map(|a| KvCommand::put(a, 100))
-        .collect();
+    let mut commands: Vec<KvCommand> = accounts.iter().map(|a| KvCommand::put(a, 100)).collect();
     for i in 0..20 {
         let from = &accounts[i % accounts.len()];
         let to = &accounts[(i * 7 + 3) % accounts.len()];
@@ -98,7 +95,10 @@ fn main() {
         .iter()
         .map(|gc| stores[&gc.members()[0]].total())
         .sum();
-    println!("total balance across partitions: {total} (expected {})", 100 * accounts.len());
+    println!(
+        "total balance across partitions: {total} (expected {})",
+        100 * accounts.len()
+    );
     assert_eq!(total, 100 * accounts.len() as i64);
     println!("cross-partition transfers preserved the balance invariant ✓");
 }

@@ -56,8 +56,5 @@ fn main() {
         println!("  {p} ({group}): {}", order.join(" , "));
     }
     println!();
-    println!(
-        "protocol messages sent: {}",
-        sim.stats().messages_sent
-    );
+    println!("protocol messages sent: {}", sim.stats().messages_sent);
 }

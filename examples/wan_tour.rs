@@ -11,9 +11,7 @@
 
 use std::time::Duration;
 
-use wbam::harness::{
-    run_closed_loop, ClosedLoopWorkload, ClusterSpec, Protocol, ProtocolSim,
-};
+use wbam::harness::{run_closed_loop, ClosedLoopWorkload, ClusterSpec, Protocol, ProtocolSim};
 use wbam::types::GroupId;
 
 fn main() {

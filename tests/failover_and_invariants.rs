@@ -16,10 +16,7 @@ use wbam::types::{
 };
 
 /// Builds a white-box cluster with trace recording enabled.
-fn build_traced_sim(
-    cluster: &ClusterConfig,
-    auto_election: bool,
-) -> Simulation<WhiteBoxMsg> {
+fn build_traced_sim(cluster: &ClusterConfig, auto_election: bool) -> Simulation<WhiteBoxMsg> {
     let mut sim = Simulation::new(SimConfig {
         latency: LatencyModel::constant(Duration::from_millis(2)),
         record_trace: true,
@@ -31,10 +28,8 @@ fn build_traced_sim(
             let mut cfg = ReplicaConfig::new(*member, gc.id(), cluster.clone())
                 .with_retry_timeout(Duration::from_millis(50));
             if auto_election {
-                cfg = cfg.with_election_timeouts(
-                    Duration::from_millis(20),
-                    Duration::from_millis(60),
-                );
+                cfg = cfg
+                    .with_election_timeouts(Duration::from_millis(20), Duration::from_millis(60));
             } else {
                 cfg = cfg.without_auto_election();
             }
