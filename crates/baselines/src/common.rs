@@ -16,8 +16,11 @@ use serde::{Deserialize, Serialize};
 use wbam_consensus::{PaxosConfig, PaxosMsg, PaxosOutput, PaxosReplica};
 use wbam_types::{
     Action, AppMessage, ClusterConfig, DeliveredMessage, Event, GroupId, MsgId, Node, Phase,
-    ProcessId, Timestamp,
+    ProcessId, TimerId, Timestamp,
 };
+
+/// Timer used by a batching baseline leader to flush a partial batch.
+const BATCH_TIMER: TimerId = TimerId(1);
 
 /// Commands replicated within a group by the baselines' consensus layer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -166,6 +169,17 @@ pub struct BaselineReplica {
     /// message itself (possible with jittery links); merged into the record as
     /// soon as it is created.
     pending_confirms: BTreeMap<MsgId, BTreeSet<GroupId>>,
+    /// Maximum number of multicasts accumulated before a batched Paxos
+    /// proposal is flushed (see [`Self::with_batching`]).
+    max_batch: usize,
+    /// How long a partial batch waits for more multicasts before flushing.
+    /// Zero disables batching (per-message consensus, the paper's behaviour).
+    batch_delay: Duration,
+    /// Multicasts with assigned tentative timestamps awaiting the next
+    /// batched `AssignLocal` consensus round (leader only).
+    batch_buffer: Vec<MsgId>,
+    /// Whether the batch-flush timer is armed.
+    batch_timer_armed: bool,
 }
 
 impl BaselineReplica {
@@ -193,6 +207,10 @@ impl BaselineReplica {
             delivered_count: 0,
             max_delivered_gts: Timestamp::BOTTOM,
             pending_confirms: BTreeMap::new(),
+            max_batch: 1,
+            batch_delay: Duration::ZERO,
+            batch_buffer: Vec::new(),
+            batch_timer_armed: false,
             cluster,
         }
     }
@@ -201,6 +219,23 @@ impl BaselineReplica {
     pub fn without_sender_notification(mut self) -> Self {
         self.notify_sender = false;
         self
+    }
+
+    /// Enables batched ordering: the leader accumulates up to `max_batch`
+    /// multicasts (flushing earlier after `batch_delay`) and persists their
+    /// local-timestamp assignments through a *single* batched Paxos proposal
+    /// ([`PaxosReplica::propose_all`]). The baselines' counterpart of the
+    /// white-box protocol's `ACCEPT_BATCH`, so throughput comparisons stay
+    /// apples-to-apples. A zero `batch_delay` disables batching.
+    pub fn with_batching(mut self, max_batch: usize, batch_delay: Duration) -> Self {
+        self.max_batch = max_batch.max(1);
+        self.batch_delay = batch_delay;
+        self
+    }
+
+    /// Whether batched ordering is enabled.
+    pub fn batching_enabled(&self) -> bool {
+        !self.batch_delay.is_zero() && self.max_batch > 1
     }
 
     /// Whether this replica is its group's (consensus) leader.
@@ -281,6 +316,23 @@ impl BaselineReplica {
         *clock += 1;
         let local_ts = Timestamp::new(*clock, group);
         record.tentative_lts = local_ts;
+        if self.batching_enabled() {
+            // Buffer the assignment; it is persisted through one batched
+            // consensus round when the buffer fills or the timer fires. The
+            // tentative timestamp already blocks delivery of later messages,
+            // so buffering cannot reorder anything.
+            self.batch_buffer.push(msg.id);
+            if self.batch_buffer.len() >= self.max_batch {
+                actions.extend(self.flush_batch());
+            } else if !self.batch_timer_armed {
+                self.batch_timer_armed = true;
+                actions.push(Action::SetTimer {
+                    id: BATCH_TIMER,
+                    delay: self.batch_delay,
+                });
+            }
+            return actions;
+        }
         // Persist the assignment through consensus.
         let out = self.paxos.propose(Command::AssignLocal {
             msg: msg.clone(),
@@ -291,6 +343,55 @@ impl BaselineReplica {
             // Speculation: forward the (not yet durable) proposal right away.
             actions.extend(self.send_proposals(&msg, local_ts));
             actions.extend(self.note_proposal(&msg, self.group, local_ts));
+        }
+        actions
+    }
+
+    /// Flushes the batch buffer: one batched Paxos proposal covering every
+    /// buffered `AssignLocal`, plus (FastCast) the speculative cross-group
+    /// proposal exchange for each flushed message.
+    fn flush_batch(&mut self) -> Vec<Action<BaselineMsg>> {
+        let mut actions = Vec::new();
+        if self.batch_timer_armed {
+            self.batch_timer_armed = false;
+            actions.push(Action::CancelTimer(BATCH_TIMER));
+        }
+        if !self.paxos.is_leader() {
+            // Deposed with a non-empty buffer: forget the tentative
+            // assignments so a retried MULTICAST can be proposed afresh
+            // (by the new leader, or by us if re-elected).
+            for id in std::mem::take(&mut self.batch_buffer) {
+                if let Some(record) = self.records.get_mut(&id) {
+                    record.assign_proposed = false;
+                }
+            }
+            return actions;
+        }
+        if self.batch_buffer.is_empty() {
+            return actions;
+        }
+        let ids = std::mem::take(&mut self.batch_buffer);
+        let mut flushed: Vec<(AppMessage, Timestamp)> = Vec::new();
+        let mut cmds = Vec::new();
+        for id in ids {
+            let Some(record) = self.records.get(&id) else {
+                continue;
+            };
+            let msg = record.msg.clone();
+            let local_ts = record.tentative_lts;
+            cmds.push(Command::AssignLocal {
+                msg: msg.clone(),
+                local_ts,
+            });
+            flushed.push((msg, local_ts));
+        }
+        let out = self.paxos.propose_all(cmds);
+        actions.extend(self.convert_paxos(out));
+        if self.mode == Mode::FastCast {
+            for (msg, local_ts) in flushed {
+                actions.extend(self.send_proposals(&msg, local_ts));
+                actions.extend(self.note_proposal(&msg, self.group, local_ts));
+            }
         }
         actions
     }
@@ -557,6 +658,12 @@ impl Node for BaselineReplica {
                 let out = self.paxos.campaign();
                 self.convert_paxos(out)
             }
+            Event::Timer {
+                id: BATCH_TIMER, ..
+            } => {
+                self.batch_timer_armed = false;
+                self.flush_batch()
+            }
             Event::Message { from, msg } => match msg {
                 BaselineMsg::Multicast { msg } => self.handle_multicast(msg),
                 BaselineMsg::Propose {
@@ -770,6 +877,77 @@ mod tests {
             proposes, 1,
             "the proposal to g1's leader goes out immediately"
         );
+    }
+
+    #[test]
+    fn batching_leader_buffers_and_flushes_one_paxos_batch() {
+        let mut leader = BaselineReplica::new(ProcessId(0), GroupId(0), cluster(), Mode::FtSkeen)
+            .with_batching(2, Duration::from_millis(5));
+        let m1 = msg(0, &[0]);
+        let m2 = msg(1, &[0]);
+        let actions = leader.on_event(
+            Duration::ZERO,
+            Event::message(ProcessId(6), BaselineMsg::Multicast { msg: m1 }),
+        );
+        // Buffered: no consensus traffic yet, only the flush timer.
+        assert!(!actions.iter().any(|a| matches!(a, Action::Send { .. })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::SetTimer {
+                id: BATCH_TIMER,
+                ..
+            }
+        )));
+        let actions = leader.on_event(
+            Duration::ZERO,
+            Event::message(ProcessId(6), BaselineMsg::Multicast { msg: m2 }),
+        );
+        // The full batch goes out as ONE AcceptMany per member (3 wire
+        // messages for 2 commands, instead of 6).
+        let batched = actions
+            .iter()
+            .filter(|a| {
+                matches!(
+                    a,
+                    Action::Send {
+                        msg: BaselineMsg::Paxos(PaxosMsg::AcceptMany { .. }),
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(batched, 3);
+        assert_eq!(leader.clock(), 2);
+    }
+
+    #[test]
+    fn batch_timer_flushes_partial_baseline_batch() {
+        let mut leader = BaselineReplica::new(ProcessId(0), GroupId(0), cluster(), Mode::FtSkeen)
+            .with_batching(8, Duration::from_millis(5));
+        leader.on_event(
+            Duration::ZERO,
+            Event::message(ProcessId(6), BaselineMsg::Multicast { msg: msg(0, &[0]) }),
+        );
+        let actions = leader.on_event(
+            Duration::from_millis(5),
+            Event::Timer {
+                id: BATCH_TIMER,
+                now: Duration::from_millis(5),
+            },
+        );
+        let batched = actions
+            .iter()
+            .filter(|a| {
+                matches!(
+                    a,
+                    Action::Send {
+                        msg: BaselineMsg::Paxos(PaxosMsg::AcceptMany { .. }),
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(batched, 3);
     }
 
     #[test]

@@ -29,6 +29,8 @@ fn bench_lan_throughput(c: &mut Criterion) {
                         latency: LatencyModel::constant(Duration::from_micros(100)),
                         service_time: Duration::from_micros(10),
                         seed: 11,
+                        max_batch: 1,
+                        batch_delay: Duration::ZERO,
                     };
                     let mut sim = ProtocolSim::build(*protocol, &spec);
                     let workload = ClosedLoopWorkload {

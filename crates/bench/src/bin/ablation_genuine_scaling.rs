@@ -21,6 +21,8 @@ fn run(num_groups: usize) -> f64 {
         latency: LatencyModel::constant(Duration::from_micros(100)),
         service_time: Duration::from_micros(10),
         seed: 5,
+        max_batch: 1,
+        batch_delay: Duration::ZERO,
     };
     let mut sim = ProtocolSim::build(Protocol::WhiteBox, &spec);
     let horizon = Duration::from_millis(200);

@@ -1,0 +1,177 @@
+//! Throughput under batched, pipelined ordering: sweeps batch size × client
+//! count for the white-box protocol and fault-tolerant Skeen on the LAN and
+//! WAN models, and appends one machine-readable JSON record per sweep point
+//! to `BENCH_throughput.json`.
+//!
+//! Per-message ordering pays a full `ACCEPT`/`ACCEPT_ACK` round (white-box)
+//! or consensus round (baselines) per multicast, so simulated throughput
+//! saturates on per-message CPU cost. Batching amortises that cost: the
+//! leader accumulates up to `max_batch` messages (flushing a partial batch
+//! after `batch_delay`) and orders them in a single round.
+//!
+//! Usage:
+//!
+//! ```text
+//! throughput_batching            # full sweep (LAN + WAN), appends JSON records
+//! throughput_batching --smoke    # tiny LAN sweep (<2 min) + regression gate:
+//!                                # exits non-zero if batched peak throughput
+//!                                # fell below the unbatched peak
+//! ```
+//!
+//! `WBAM_SCALE` scales the client counts of the full sweep, as in `fig7_lan`.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use wbam_bench::{header, scale};
+use wbam_harness::{sweep, ClusterSpec, Protocol, SweepResult, SweepSpec};
+
+/// File the machine-readable records are appended to, one JSON object per
+/// line. CI uploads it as a workflow artifact.
+const BENCH_FILE: &str = "BENCH_throughput.json";
+
+/// Destination groups per multicast (the paper's default comparison point).
+const DEST_GROUPS: usize = 2;
+
+struct EnvPlan {
+    label: &'static str,
+    base: ClusterSpec,
+    /// Flush timeout used whenever `max_batch > 1`.
+    batch_delay: Duration,
+    batch_sizes: Vec<usize>,
+    client_counts: Vec<usize>,
+    duration: Duration,
+    warmup: Duration,
+}
+
+/// Runs the batch-size × client-count sweep of one environment and returns
+/// all points in a single result.
+fn run_env(plan: &EnvPlan) -> SweepResult {
+    let mut combined = SweepResult::default();
+    for &batch in &plan.batch_sizes {
+        // `max_batch = 1` runs with a zero delay: the exact per-message
+        // behaviour of Figure 4, which is the baseline batching must beat.
+        let delay = if batch > 1 {
+            plan.batch_delay
+        } else {
+            Duration::ZERO
+        };
+        let spec = SweepSpec {
+            base: plan.base.clone().with_batching(batch, delay),
+            protocols: vec![Protocol::WhiteBox, Protocol::FtSkeen],
+            client_counts: plan.client_counts.clone(),
+            dest_group_counts: vec![DEST_GROUPS],
+            workload: wbam_harness::ClosedLoopWorkload {
+                duration: plan.duration,
+                warmup: plan.warmup,
+                ..wbam_harness::ClosedLoopWorkload::default()
+            },
+        };
+        let result = sweep(&spec);
+        combined.points.extend(result.points);
+    }
+    combined
+}
+
+/// Peak (over client counts) throughput of `protocol` at `max_batch`.
+fn peak_throughput(result: &SweepResult, protocol: &str, max_batch: usize) -> f64 {
+    result
+        .points
+        .iter()
+        .filter(|p| p.protocol == protocol && p.max_batch == max_batch)
+        .map(|p| p.throughput())
+        .fold(0.0, f64::max)
+}
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    header("Throughput under batched ordering (batch size × clients)");
+
+    let s = scale() as usize;
+    let plans = if smoke {
+        vec![EnvPlan {
+            label: "lan",
+            base: ClusterSpec::lan(0),
+            batch_delay: Duration::from_micros(200),
+            batch_sizes: vec![1, 16],
+            client_counts: vec![160],
+            duration: Duration::from_millis(300),
+            warmup: Duration::from_millis(60),
+        }]
+    } else {
+        vec![
+            EnvPlan {
+                label: "lan",
+                base: ClusterSpec::lan(0),
+                batch_delay: Duration::from_micros(200),
+                batch_sizes: vec![1, 4, 16, 64],
+                client_counts: [16, 64, 160, 320].iter().map(|c| c * s).collect(),
+                duration: Duration::from_millis(400),
+                warmup: Duration::from_millis(80),
+            },
+            EnvPlan {
+                label: "wan",
+                base: ClusterSpec::wan(0),
+                batch_delay: Duration::from_millis(5),
+                batch_sizes: vec![1, 16],
+                client_counts: [64, 256].iter().map(|c| c * s).collect(),
+                duration: Duration::from_secs(4),
+                warmup: Duration::from_secs(1),
+            },
+        ]
+    };
+
+    let mut lan_result: Option<SweepResult> = None;
+    for plan in &plans {
+        println!(
+            "\n[{}] batch sizes {:?}, clients {:?}, {} destination groups",
+            plan.label, plan.batch_sizes, plan.client_counts, DEST_GROUPS
+        );
+        let result = run_env(plan);
+        print!("{}", result.to_table());
+        match result.append_json_records(BENCH_FILE, "throughput_batching", plan.label) {
+            Ok(n) => println!("appended {n} records to {BENCH_FILE}"),
+            Err(e) => {
+                eprintln!("failed to write {BENCH_FILE}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if plan.label == "lan" {
+            lan_result = Some(result);
+        }
+    }
+
+    // Regression gate on the LAN model: batching must not lose to the
+    // per-message baseline, and at max_batch >= 16 the white-box protocol's
+    // peak should be well above it (the PR's acceptance bar is >= 2x).
+    let lan = lan_result.expect("LAN environment always runs");
+    let wb = Protocol::WhiteBox.label();
+    let unbatched = peak_throughput(&lan, wb, 1);
+    // The bar is on the best batched configuration with max_batch >= 16, not
+    // on the largest swept batch size (over-batching may peak lower).
+    let (best_batch, batched) = lan
+        .points
+        .iter()
+        .filter(|p| p.protocol == wb && p.max_batch >= 16)
+        .map(|p| p.max_batch)
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .map(|b| (b, peak_throughput(&lan, wb, b)))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("a batch size >= 16 is always swept");
+    let speedup = batched / unbatched;
+    println!(
+        "\nLAN peak white-box throughput: {unbatched:.0} msg/s unbatched, \
+         {batched:.0} msg/s at max_batch={best_batch} ({speedup:.2}x)"
+    );
+    if batched < unbatched {
+        eprintln!("REGRESSION: batched throughput fell below the unbatched baseline");
+        return ExitCode::FAILURE;
+    }
+    if !smoke && speedup < 2.0 {
+        eprintln!("REGRESSION: batched speedup {speedup:.2}x is below the recorded 2x bar");
+        return ExitCode::FAILURE;
+    }
+    println!("ok: batched ordering beats the per-message baseline");
+    ExitCode::SUCCESS
+}

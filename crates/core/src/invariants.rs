@@ -127,8 +127,50 @@ pub struct SentMessage {
     pub msg: WhiteBoxMsg,
 }
 
+/// The proposals carried by a protocol message: one for a standalone
+/// `ACCEPT`, one per entry for an `ACCEPT_BATCH`, none otherwise. Batch
+/// entries are subject to exactly the same invariants as standalone accepts.
+fn accept_views(msg: &WhiteBoxMsg) -> Vec<(MsgId, GroupId, Ballot, Timestamp)> {
+    match msg {
+        WhiteBoxMsg::Accept {
+            msg,
+            group,
+            ballot,
+            local_ts,
+        } => vec![(msg.id, *group, *ballot, *local_ts)],
+        WhiteBoxMsg::AcceptBatch {
+            group,
+            ballot,
+            entries,
+        } => entries
+            .iter()
+            .map(|e| (e.msg.id, *group, *ballot, e.local_ts))
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// The deliveries carried by a protocol message: one for a standalone
+/// `DELIVER`, one per entry for a `DELIVER_BATCH`, none otherwise.
+fn deliver_views(msg: &WhiteBoxMsg) -> Vec<(MsgId, Timestamp, Timestamp)> {
+    match msg {
+        WhiteBoxMsg::Deliver {
+            msg,
+            local_ts,
+            global_ts,
+            ..
+        } => vec![(msg.id, *local_ts, *global_ts)],
+        WhiteBoxMsg::DeliverBatch { entries, .. } => entries
+            .iter()
+            .map(|e| (e.msg.id, e.local_ts, e.global_ts))
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
 /// Checks Invariant 1 over a trace: in a given ballot, a group proposes at
-/// most one local timestamp per message.
+/// most one local timestamp per message. Batched accepts are checked entry by
+/// entry.
 ///
 /// # Errors
 ///
@@ -139,24 +181,18 @@ where
 {
     let mut seen: BTreeMap<(MsgId, GroupId, Ballot), Timestamp> = BTreeMap::new();
     for entry in trace {
-        if let WhiteBoxMsg::Accept {
-            msg,
-            group,
-            ballot,
-            local_ts,
-        } = &entry.msg
-        {
-            match seen.get(&(msg.id, *group, *ballot)) {
+        for (msg_id, group, ballot, local_ts) in accept_views(&entry.msg) {
+            match seen.get(&(msg_id, group, ballot)) {
                 None => {
-                    seen.insert((msg.id, *group, *ballot), *local_ts);
+                    seen.insert((msg_id, group, ballot), local_ts);
                 }
-                Some(existing) if existing == local_ts => {}
+                Some(existing) if *existing == local_ts => {}
                 Some(existing) => {
                     return Err(Violation::ConflictingAccepts {
-                        msg_id: msg.id,
-                        group: *group,
-                        ballot: *ballot,
-                        timestamps: (*existing, *local_ts),
+                        msg_id,
+                        group,
+                        ballot,
+                        timestamps: (*existing, local_ts),
                     });
                 }
             }
@@ -178,43 +214,37 @@ where
     let mut global: BTreeMap<MsgId, Timestamp> = BTreeMap::new();
     let mut by_gts: BTreeMap<Timestamp, MsgId> = BTreeMap::new();
     for entry in trace {
-        if let WhiteBoxMsg::Deliver {
-            msg,
-            local_ts,
-            global_ts,
-            ..
-        } = &entry.msg
-        {
+        for (msg_id, local_ts, global_ts) in deliver_views(&entry.msg) {
             // Invariant 3(a): same local timestamp per group. Since each group
             // computes its own local timestamps, we key by message only within
             // traces of a single group's DELIVERs; across groups local
             // timestamps legitimately differ, so the caller should pass a
             // per-group trace. For whole-system traces we check 3(b) and 4.
-            match global.get(&msg.id) {
+            match global.get(&msg_id) {
                 None => {
-                    global.insert(msg.id, *global_ts);
+                    global.insert(msg_id, global_ts);
                 }
-                Some(existing) if existing == global_ts => {}
+                Some(existing) if *existing == global_ts => {}
                 Some(existing) => {
                     return Err(Violation::ConflictingDeliverGlobalTs {
-                        msg_id: msg.id,
-                        timestamps: (*existing, *global_ts),
+                        msg_id,
+                        timestamps: (*existing, global_ts),
                     });
                 }
             }
-            match by_gts.get(global_ts) {
+            match by_gts.get(&global_ts) {
                 None => {
-                    by_gts.insert(*global_ts, msg.id);
+                    by_gts.insert(global_ts, msg_id);
                 }
-                Some(existing) if *existing == msg.id => {}
+                Some(existing) if *existing == msg_id => {}
                 Some(existing) => {
                     return Err(Violation::DuplicateGlobalTs {
-                        msgs: (*existing, msg.id),
-                        ts: *global_ts,
+                        msgs: (*existing, msg_id),
+                        ts: global_ts,
                     });
                 }
             }
-            let _ = local.entry(msg.id).or_insert(*local_ts);
+            let _ = local.entry(msg_id).or_insert(local_ts);
         }
     }
     Ok(())
@@ -235,19 +265,19 @@ where
 {
     let mut seen: BTreeMap<(MsgId, GroupId), Timestamp> = BTreeMap::new();
     for entry in trace {
-        if let WhiteBoxMsg::Deliver { msg, local_ts, .. } = &entry.msg {
+        for (msg_id, local_ts, _) in deliver_views(&entry.msg) {
             let Some(group) = group_of(entry.to) else {
                 continue;
             };
-            match seen.get(&(msg.id, group)) {
+            match seen.get(&(msg_id, group)) {
                 None => {
-                    seen.insert((msg.id, group), *local_ts);
+                    seen.insert((msg_id, group), local_ts);
                 }
-                Some(existing) if existing == local_ts => {}
+                Some(existing) if *existing == local_ts => {}
                 Some(existing) => {
                     return Err(Violation::ConflictingDeliverLocalTs {
-                        msg_id: msg.id,
-                        timestamps: (*existing, *local_ts),
+                        msg_id,
+                        timestamps: (*existing, local_ts),
                     });
                 }
             }

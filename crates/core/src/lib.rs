@@ -76,6 +76,8 @@ pub mod replica;
 
 pub use client::{CompletedMulticast, MulticastClient};
 pub use config::{ClientConfig, ReplicaConfig};
-pub use messages::{BallotVector, RecordSnapshot, StateSnapshot, WhiteBoxMsg};
+pub use messages::{
+    AcceptEntry, BallotVector, DeliverEntry, RecordSnapshot, StateSnapshot, WhiteBoxMsg,
+};
 pub use record::MessageRecord;
 pub use replica::{Status, WhiteBoxReplica};

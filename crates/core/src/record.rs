@@ -10,7 +10,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use wbam_types::{AppMessage, Ballot, GroupId, MsgId, Phase, ProcessId, Timestamp};
 
-use crate::messages::{BallotVector, RecordSnapshot};
+use crate::messages::{AcceptEntry, BallotVector, RecordSnapshot};
 
 /// Everything a replica knows about one application message.
 #[derive(Debug, Clone, PartialEq)]
@@ -136,6 +136,17 @@ impl MessageRecord {
             return Some(vector.clone());
         }
         None
+    }
+
+    /// The entry this record contributes to a batched `ACCEPT`
+    /// ([`WhiteBoxMsg::AcceptBatch`](crate::messages::WhiteBoxMsg::AcceptBatch)):
+    /// the stored proposal, re-sendable verbatim. Only meaningful once a local
+    /// timestamp has been assigned (phase past `START`).
+    pub fn accept_entry(&self) -> AcceptEntry {
+        AcceptEntry {
+            msg: self.msg.clone(),
+            local_ts: self.local_ts,
+        }
     }
 
     /// Whether the message is pending in the sense of the delivery condition

@@ -24,13 +24,17 @@ use wbam_types::{
 };
 
 use crate::config::ReplicaConfig;
-use crate::messages::{ballot_vector, StateSnapshot, WhiteBoxMsg};
+use crate::messages::{
+    ballot_vector, AcceptEntry, BallotVector, DeliverEntry, StateSnapshot, WhiteBoxMsg,
+};
 use crate::record::MessageRecord;
 
 /// Timer used by a leader to send heartbeats to its followers.
 const HEARTBEAT_TIMER: TimerId = TimerId(1);
 /// Timer used by a follower to monitor its leader's liveness.
 const ELECTION_TIMER: TimerId = TimerId(2);
+/// Timer used by a batching leader to flush a partially filled batch.
+const BATCH_TIMER: TimerId = TimerId(3);
 /// Base for per-message retry timers; retry timer `n` is `RETRY_BASE + n`.
 const RETRY_TIMER_BASE: u64 = 1_000;
 
@@ -98,6 +102,20 @@ pub struct WhiteBoxReplica {
     last_leader_activity: Duration,
     /// Number of application messages this replica has delivered.
     delivered_count: u64,
+    /// Proposed-but-unflushed multicasts awaiting the next batched `ACCEPT`
+    /// round (leader only; empty unless batching is enabled).
+    batch_buffer: Vec<MsgId>,
+    /// Whether the batch-flush timer is currently armed.
+    batch_timer_armed: bool,
+    /// Delivery-condition index: the local timestamps of records whose phase
+    /// is `PROPOSED` or `ACCEPTED`, ordered. Its minimum is the `min pending`
+    /// bound of Figure 4 line 21; keeping it incrementally avoids a full
+    /// record scan on every commit (O(log n) instead of O(n)).
+    pending_lts: BTreeSet<(Timestamp, MsgId)>,
+    /// Delivery-condition index: global timestamps of committed-but-not-yet
+    /// delivered records, ordered — the delivery candidates of Figure 4
+    /// line 21.
+    committed_undelivered: BTreeSet<(Timestamp, MsgId)>,
 }
 
 impl WhiteBoxReplica {
@@ -152,8 +170,29 @@ impl WhiteBoxReplica {
             next_retry_timer: 0,
             last_leader_activity: Duration::ZERO,
             delivered_count: 0,
+            batch_buffer: Vec::new(),
+            batch_timer_armed: false,
+            pending_lts: BTreeSet::new(),
+            committed_undelivered: BTreeSet::new(),
             config,
         }
+    }
+
+    /// Rebuilds the delivery-condition indexes from scratch. Called whenever
+    /// the record map is replaced wholesale (leader recovery).
+    fn rebuild_delivery_index(&mut self) {
+        self.pending_lts = self
+            .records
+            .values()
+            .filter(|r| r.is_pending())
+            .map(|r| (r.local_ts, r.id()))
+            .collect();
+        self.committed_undelivered = self
+            .records
+            .values()
+            .filter(|r| r.phase == Phase::Committed && !r.delivered)
+            .map(|r| (r.global_ts, r.id()))
+            .collect();
     }
 
     /// The replica's current role.
@@ -268,15 +307,44 @@ impl WhiteBoxReplica {
             .records
             .entry(msg.id)
             .or_insert_with(|| MessageRecord::new(msg.clone()));
-        if record.phase == Phase::Start {
+        let fresh = record.phase == Phase::Start;
+        if fresh {
             // Lines 5–8: assign a fresh local timestamp.
             *clock += 1;
             record.local_ts = Timestamp::new(*clock, group);
             record.phase = Phase::Proposed;
+            let pending_entry = (record.local_ts, msg.id);
+            self.pending_lts.insert(pending_entry);
+        }
+        if self.config.batching_enabled() {
+            if fresh {
+                // Buffer the proposal; it goes out with the next batched
+                // ACCEPT round (when the buffer fills or the timer fires).
+                self.batch_buffer.push(msg.id);
+                actions.extend(self.arm_retry_timer(msg.id));
+                if self.batch_buffer.len() >= self.config.max_batch {
+                    actions.extend(self.flush_batch());
+                } else if !self.batch_timer_armed {
+                    self.batch_timer_armed = true;
+                    actions.push(Action::SetTimer {
+                        id: BATCH_TIMER,
+                        delay: self.config.batch_delay,
+                    });
+                }
+                return actions;
+            }
+            if self.batch_buffer.contains(&msg.id) {
+                // Duplicate MULTICAST for a still-buffered message: the stored
+                // proposal will go out with the batch; nothing to re-send yet.
+                return actions;
+            }
+            // Duplicate MULTICAST for an already-flushed message: fall through
+            // and re-send the stored proposal as a standalone ACCEPT, which is
+            // what makes message recovery work (§IV "Message recovery").
         }
         // Line 9: send ACCEPT to every process of every destination group.
-        // (On a duplicate MULTICAST this re-sends the stored proposal, which is
-        // what makes message recovery work — §IV "Message recovery".)
+        // (On a duplicate MULTICAST this re-sends the stored proposal.)
+        let record = &self.records[&msg.id];
         let accept = WhiteBoxMsg::Accept {
             msg: record.msg.clone(),
             group,
@@ -289,6 +357,67 @@ impl WhiteBoxReplica {
         actions
     }
 
+    /// Flushes the batch buffer: one `ACCEPT_BATCH` per destination process,
+    /// each carrying only the entries addressed to that process's group (so
+    /// batching never violates genuineness).
+    fn flush_batch(&mut self) -> Vec<Action<WhiteBoxMsg>> {
+        let mut actions = Vec::new();
+        if self.batch_timer_armed {
+            self.batch_timer_armed = false;
+            actions.push(Action::CancelTimer(BATCH_TIMER));
+        }
+        if self.batch_buffer.is_empty() {
+            return actions;
+        }
+        let ids = std::mem::take(&mut self.batch_buffer);
+        let group = self.own_group();
+        let ballot = self.cballot;
+        let mut per_recipient: BTreeMap<ProcessId, Vec<AcceptEntry>> = BTreeMap::new();
+        for id in ids {
+            let Some(record) = self.records.get(&id) else {
+                continue;
+            };
+            let entry = record.accept_entry();
+            let recipients = self.destination_processes(&record.msg);
+            for to in recipients {
+                per_recipient.entry(to).or_default().push(entry.clone());
+            }
+        }
+        for (to, entries) in per_recipient {
+            actions.push(Action::send(
+                to,
+                WhiteBoxMsg::AcceptBatch {
+                    group,
+                    ballot,
+                    entries,
+                },
+            ));
+        }
+        actions
+    }
+
+    /// Drops any buffered-but-unflushed batch (on losing leadership). The
+    /// records stay PROPOSED; they are either recovered from a quorum during
+    /// the leader change or re-proposed when the multicast is retried.
+    fn clear_batch(&mut self) -> Vec<Action<WhiteBoxMsg>> {
+        self.batch_buffer.clear();
+        if self.batch_timer_armed {
+            self.batch_timer_armed = false;
+            vec![Action::CancelTimer(BATCH_TIMER)]
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// The batch timer fired: flush whatever has accumulated.
+    fn handle_batch_timer(&mut self) -> Vec<Action<WhiteBoxMsg>> {
+        self.batch_timer_armed = false;
+        if self.status != Status::Leader {
+            return self.clear_batch();
+        }
+        self.flush_batch()
+    }
+
     /// Figure 4, lines 10–16: a destination process handles `ACCEPT`.
     fn handle_accept(
         &mut self,
@@ -297,9 +426,72 @@ impl WhiteBoxReplica {
         ballot: Ballot,
         local_ts: Timestamp,
     ) -> Vec<Action<WhiteBoxMsg>> {
-        let mut actions = Vec::new();
+        let own_group = self.own_group();
+        match self.process_accept(msg, group, ballot, local_ts) {
+            None => Vec::new(),
+            Some((msg_id, ballots, leaders)) => {
+                let ack = WhiteBoxMsg::AcceptAck {
+                    msg_id,
+                    group: own_group,
+                    ballots,
+                };
+                leaders
+                    .into_iter()
+                    .map(|to| Action::send(to, ack.clone()))
+                    .collect()
+            }
+        }
+    }
+
+    /// A batched `ACCEPT`: record every entry, then coalesce the resulting
+    /// acknowledgements into one `ACCEPT_ACK_BATCH` per destination leader —
+    /// this is what amortises the ack leg of the ordering round.
+    fn handle_accept_batch(
+        &mut self,
+        group: GroupId,
+        ballot: Ballot,
+        entries: Vec<AcceptEntry>,
+    ) -> Vec<Action<WhiteBoxMsg>> {
+        let own_group = self.own_group();
+        let mut per_leader: BTreeMap<ProcessId, Vec<(MsgId, BallotVector)>> = BTreeMap::new();
+        for entry in entries {
+            if let Some((msg_id, ballots, leaders)) =
+                self.process_accept(entry.msg, group, ballot, entry.local_ts)
+            {
+                for to in leaders {
+                    per_leader
+                        .entry(to)
+                        .or_default()
+                        .push((msg_id, ballots.clone()));
+                }
+            }
+        }
+        per_leader
+            .into_iter()
+            .map(|(to, entries)| {
+                Action::send(
+                    to,
+                    WhiteBoxMsg::AcceptAckBatch {
+                        group: own_group,
+                        entries,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Core of the `ACCEPT` handler. Records the proposal and, when the
+    /// message becomes ready to acknowledge, returns the ack's content and
+    /// the destination leaders it must go to.
+    fn process_accept(
+        &mut self,
+        msg: AppMessage,
+        group: GroupId,
+        ballot: Ballot,
+        local_ts: Timestamp,
+    ) -> Option<(MsgId, BallotVector, Vec<ProcessId>)> {
         if !msg.is_addressed_to(self.own_group()) {
-            return actions;
+            return None;
         }
         // Remember who currently leads the proposing group (useful for retries).
         if let Some(leader) = ballot.leader() {
@@ -325,23 +517,24 @@ impl WhiteBoxReplica {
         // with. Proposals from remote groups are deliberately *not* checked
         // against any ballot (§IV, "Discussion of normal operation").
         if !all_accepts {
-            return actions;
+            return None;
         }
         if self.status == Status::Recovering {
-            return actions;
+            return None;
         }
-        let Some((own_ballot, own_lts)) = own_accept else {
-            return actions;
-        };
+        let (own_ballot, own_lts) = own_accept?;
         if own_ballot != cballot {
-            return actions;
+            return None;
         }
         // Lines 12–14 (state update is guarded; the acknowledgement is not).
         let implied_gts = implied_gts.expect("all accepts present implies a global timestamp");
         let record = self.records.get_mut(&msg.id).expect("record just created");
         if matches!(record.phase, Phase::Start | Phase::Proposed) {
+            let old_pending = (record.local_ts, msg.id);
             record.phase = Phase::Accepted;
             record.local_ts = own_lts;
+            self.pending_lts.remove(&old_pending);
+            self.pending_lts.insert((own_lts, msg.id));
             if speculative {
                 // The speculative clock update: advance the clock past the
                 // *future* global timestamp before it is known to be durable.
@@ -351,17 +544,12 @@ impl WhiteBoxReplica {
         // Lines 15–16: acknowledge to the leader of every destination group.
         let record = &self.records[&msg.id];
         let vector = ballot_vector(&record.accepts);
-        let ack = WhiteBoxMsg::AcceptAck {
-            msg_id: msg.id,
-            group: own_group,
-            ballots: vector,
-        };
-        for (_, (b, _)) in record.accepts.iter() {
-            if let Some(leader) = b.leader() {
-                actions.push(Action::send(leader, ack.clone()));
-            }
-        }
-        actions
+        let leaders = record
+            .accepts
+            .values()
+            .filter_map(|(b, _)| b.leader())
+            .collect();
+        Some((msg.id, vector, leaders))
     }
 
     /// Figure 4, lines 17–23: the leader handles `ACCEPT_ACK`s and commits.
@@ -370,15 +558,56 @@ impl WhiteBoxReplica {
         from: ProcessId,
         msg_id: MsgId,
         group: GroupId,
-        ballots: crate::messages::BallotVector,
+        ballots: BallotVector,
     ) -> Vec<Action<WhiteBoxMsg>> {
         let mut actions = Vec::new();
+        if self.process_accept_ack(from, msg_id, group, ballots) {
+            actions.extend(self.cancel_retry_timer(msg_id));
+            // Line 21: deliver every committed message that is no longer
+            // blocked.
+            actions.extend(self.try_deliver());
+        }
+        actions
+    }
+
+    /// A batched `ACCEPT_ACK`: record every entry and run the delivery rule
+    /// *once* for the whole batch, so a single incoming message can commit —
+    /// and deliver — many messages (pipelined delivery).
+    fn handle_accept_ack_batch(
+        &mut self,
+        from: ProcessId,
+        group: GroupId,
+        entries: Vec<(MsgId, BallotVector)>,
+    ) -> Vec<Action<WhiteBoxMsg>> {
+        let mut actions = Vec::new();
+        let mut committed_any = false;
+        for (msg_id, ballots) in entries {
+            if self.process_accept_ack(from, msg_id, group, ballots) {
+                committed_any = true;
+                actions.extend(self.cancel_retry_timer(msg_id));
+            }
+        }
+        if committed_any {
+            actions.extend(self.try_deliver());
+        }
+        actions
+    }
+
+    /// Core of the `ACCEPT_ACK` handler (Figure 4, lines 17–20). Returns
+    /// whether the message newly committed.
+    fn process_accept_ack(
+        &mut self,
+        from: ProcessId,
+        msg_id: MsgId,
+        group: GroupId,
+        ballots: BallotVector,
+    ) -> bool {
         // Line 18 precondition.
         if self.status != Status::Leader {
-            return actions;
+            return false;
         }
         if ballots.get(&self.own_group()) != Some(&self.cballot) {
-            return actions;
+            return false;
         }
         let own_group = self.own_group();
         let own_id = self.config.id;
@@ -386,14 +615,14 @@ impl WhiteBoxReplica {
         let Some(record) = self.records.get_mut(&msg_id) else {
             // We have not proposed this message yet; the ack will be re-sent
             // when the proposal eventually reaches the sender again.
-            return actions;
+            return false;
         };
         if record.phase == Phase::Committed {
-            return actions;
+            return false;
         }
         record.record_ack(ballots, group, from);
         let Some(vector) = record.quorum_acked(&quorum_sizes, Some((own_group, own_id))) else {
-            return actions;
+            return false;
         };
         // Line 17 also requires the matching ACCEPTs to have been received.
         let matches_accepts =
@@ -406,7 +635,7 @@ impl WhiteBoxReplica {
                     _ => false,
                 });
         if !matches_accepts {
-            return actions;
+            return false;
         }
         // Lines 19–20: commit.
         let gts = record
@@ -414,10 +643,9 @@ impl WhiteBoxReplica {
             .expect("accepts complete for committed message");
         record.global_ts = gts;
         record.phase = Phase::Committed;
-        actions.extend(self.cancel_retry_timer(msg_id));
-        // Line 21: deliver every committed message that is no longer blocked.
-        actions.extend(self.try_deliver());
-        actions
+        self.pending_lts.remove(&(record.local_ts, msg_id));
+        self.committed_undelivered.insert((gts, msg_id));
+        true
     }
 
     /// Figure 4, line 21 (and line 66 after recovery): deliver committed
@@ -430,41 +658,55 @@ impl WhiteBoxReplica {
         }
         // The smallest local timestamp of any message that is still PROPOSED or
         // ACCEPTED; committed messages with a global timestamp above it must
-        // wait (the pending message might end up ordered before them).
-        let min_pending_lts = self
-            .records
-            .values()
-            .filter(|r| r.is_pending())
-            .map(|r| r.local_ts)
-            .min();
-        let mut candidates: Vec<(Timestamp, MsgId)> = self
-            .records
-            .values()
-            .filter(|r| r.phase == Phase::Committed && !r.delivered)
-            .map(|r| (r.global_ts, r.id()))
-            .collect();
-        candidates.sort();
-        for (gts, id) in candidates {
+        // wait (the pending message might end up ordered before them). Both
+        // bounds come from the incrementally maintained indexes, so a commit
+        // costs O(log n) rather than a scan of every record.
+        let min_pending_lts = self.pending_lts.first().map(|(ts, _)| *ts);
+        let mut deliverable: Vec<DeliverEntry> = Vec::new();
+        while let Some(&(gts, id)) = self.committed_undelivered.first() {
             if let Some(pending) = min_pending_lts {
                 if pending <= gts {
                     break;
                 }
             }
+            self.committed_undelivered.pop_first();
             let record = self.records.get_mut(&id).expect("candidate exists");
             record.delivered = true;
-            let deliver = WhiteBoxMsg::Deliver {
+            deliverable.push(DeliverEntry {
                 msg: record.msg.clone(),
-                ballot: self.cballot,
                 local_ts: record.local_ts,
                 global_ts: gts,
+            });
+        }
+        if deliverable.is_empty() {
+            return actions;
+        }
+        // Line 23: send DELIVER to the whole group, ourselves included, so
+        // that the actual delivery to the application happens uniformly in
+        // the DELIVER handler. With batching enabled, several deliveries
+        // ready at once travel in a single DELIVER_BATCH per member.
+        if self.config.batching_enabled() && deliverable.len() > 1 {
+            let batch = WhiteBoxMsg::DeliverBatch {
+                ballot: self.cballot,
+                entries: deliverable,
             };
-            // Line 23: send DELIVER to the whole group, ourselves included, so
-            // that the actual delivery to the application happens uniformly in
-            // the DELIVER handler.
             actions.extend(Action::send_to_all(
                 self.group_members.iter().copied(),
-                deliver,
+                batch,
             ));
+        } else {
+            for entry in deliverable {
+                let deliver = WhiteBoxMsg::Deliver {
+                    msg: entry.msg,
+                    ballot: self.cballot,
+                    local_ts: entry.local_ts,
+                    global_ts: entry.global_ts,
+                };
+                actions.extend(Action::send_to_all(
+                    self.group_members.iter().copied(),
+                    deliver,
+                ));
+            }
         }
         actions
     }
@@ -492,11 +734,16 @@ impl WhiteBoxReplica {
         let msg_id = msg.id;
         let sender = msg.id.sender;
         let record = self.record_entry(&msg);
+        let old_local_ts = record.local_ts;
+        let old_global_ts = record.global_ts;
         // Lines 26–30.
         record.phase = Phase::Committed;
         record.local_ts = local_ts;
         record.global_ts = global_ts;
         record.delivered = true;
+        self.pending_lts.remove(&(old_local_ts, msg_id));
+        self.committed_undelivered.remove(&(old_global_ts, msg_id));
+        self.committed_undelivered.remove(&(global_ts, msg_id));
         self.clock = self.clock.max(global_ts.time());
         self.max_delivered_gts = global_ts;
         self.delivered_count += 1;
@@ -513,6 +760,21 @@ impl WhiteBoxReplica {
                     global_ts,
                 },
             ));
+        }
+        actions
+    }
+
+    /// A batched `DELIVER`: handle the entries in order (they are sorted by
+    /// increasing global timestamp, so the `max_delivered_gts` duplicate
+    /// filter of the per-message handler keeps working entry by entry).
+    fn handle_deliver_batch(
+        &mut self,
+        ballot: Ballot,
+        entries: Vec<DeliverEntry>,
+    ) -> Vec<Action<WhiteBoxMsg>> {
+        let mut actions = Vec::new();
+        for entry in entries {
+            actions.extend(self.handle_deliver(entry.msg, ballot, entry.local_ts, entry.global_ts));
         }
         actions
     }
@@ -604,8 +866,12 @@ impl WhiteBoxReplica {
         if let Some(leader) = ballot.leader() {
             self.cur_leader.insert(self.own_group(), leader);
         }
+        // Losing leadership drops any unflushed batch: its records stay
+        // PROPOSED and are reported in the snapshot below, so the new leader
+        // (or a retrying multicaster) re-proposes them.
+        let mut actions = self.clear_batch();
         let snapshot = self.snapshot();
-        vec![Action::send(
+        actions.push(Action::send(
             from,
             WhiteBoxMsg::NewLeaderAck {
                 ballot,
@@ -614,7 +880,8 @@ impl WhiteBoxReplica {
                 snapshot,
                 max_delivered_gts: self.max_delivered_gts,
             },
-        )]
+        ));
+        actions
     }
 
     fn snapshot(&self) -> StateSnapshot {
@@ -717,6 +984,7 @@ impl WhiteBoxReplica {
         recovery.state_acks.insert(self.config.id);
 
         self.records = new_records;
+        self.rebuild_delivery_index();
         self.clock = new_clock;
         // Line 55: cballot ← b.
         self.cballot = new_ballot;
@@ -765,6 +1033,7 @@ impl WhiteBoxReplica {
                 (id, rec)
             })
             .collect();
+        self.rebuild_delivery_index();
         if let Some(leader) = ballot.leader() {
             self.cur_leader.insert(self.own_group(), leader);
         }
@@ -828,6 +1097,10 @@ impl WhiteBoxReplica {
             // leader too) and keep retrying until it commits.
             actions.extend(self.handle_multicast(self.records[&id].msg.clone()));
         }
+        // With batching enabled the re-proposals above were buffered; push the
+        // in-flight batch out immediately rather than waiting for the timer,
+        // so recovery does not add a batch delay to every recovered message.
+        actions.extend(self.flush_batch());
         // Announce leadership and restart heartbeats.
         if self.config.auto_election_enabled() {
             actions.push(Action::SetTimer {
@@ -946,6 +1219,7 @@ impl Node for WhiteBoxReplica {
             Event::Timer { id, now } => match id {
                 HEARTBEAT_TIMER => self.handle_heartbeat_timer(),
                 ELECTION_TIMER => self.handle_election_timer(now),
+                BATCH_TIMER => self.handle_batch_timer(),
                 other => self.handle_retry_timer(other),
             },
             Event::Message { from, msg } => {
@@ -962,11 +1236,22 @@ impl Node for WhiteBoxReplica {
                         ballot,
                         local_ts,
                     } => self.handle_accept(msg, group, ballot, local_ts),
+                    WhiteBoxMsg::AcceptBatch {
+                        group,
+                        ballot,
+                        entries,
+                    } => self.handle_accept_batch(group, ballot, entries),
                     WhiteBoxMsg::AcceptAck {
                         msg_id,
                         group,
                         ballots,
                     } => self.handle_accept_ack(from, msg_id, group, ballots),
+                    WhiteBoxMsg::AcceptAckBatch { group, entries } => {
+                        self.handle_accept_ack_batch(from, group, entries)
+                    }
+                    WhiteBoxMsg::DeliverBatch { ballot, entries } => {
+                        self.handle_deliver_batch(ballot, entries)
+                    }
                     WhiteBoxMsg::Deliver {
                         msg,
                         ballot,
@@ -1720,6 +2005,234 @@ mod tests {
                 ..
             }
         )));
+    }
+
+    fn batching_replica(id: u32, group: u32, max_batch: usize) -> WhiteBoxReplica {
+        let cfg = ReplicaConfig::new(ProcessId(id), GroupId(group), cluster())
+            .without_auto_election()
+            .without_sender_notification()
+            .with_retry_timeout(Duration::ZERO)
+            .with_batching(max_batch, Duration::from_millis(5));
+        WhiteBoxReplica::new(cfg)
+    }
+
+    #[test]
+    fn batching_leader_buffers_until_batch_fills() {
+        let mut leader = batching_replica(0, 0, 2);
+        let m1 = app_msg(0, &[0]);
+        let actions = drive(
+            &mut leader,
+            ProcessId(6),
+            WhiteBoxMsg::Multicast { msg: m1.clone() },
+        );
+        // The first multicast is buffered: no ACCEPT traffic, only the flush
+        // timer is armed. The local timestamp is assigned immediately.
+        assert!(!actions.iter().any(|a| matches!(a, Action::Send { .. })));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::SetTimer { id, .. } if *id == BATCH_TIMER)));
+        assert_eq!(leader.phase_of(m1.id), Some(Phase::Proposed));
+        assert_eq!(leader.clock(), 1);
+
+        // The second multicast fills the batch: one ACCEPT_BATCH per group
+        // member, carrying both proposals, and the timer is cancelled.
+        let m2 = app_msg(1, &[0]);
+        let actions = drive(
+            &mut leader,
+            ProcessId(6),
+            WhiteBoxMsg::Multicast { msg: m2.clone() },
+        );
+        let batches: Vec<_> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send {
+                    msg: WhiteBoxMsg::AcceptBatch { entries, .. },
+                    ..
+                } => Some(entries.len()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(batches, vec![2, 2, 2]);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::CancelTimer(id) if *id == BATCH_TIMER)));
+    }
+
+    #[test]
+    fn batch_timer_flushes_partial_batch() {
+        let mut leader = batching_replica(0, 0, 8);
+        let m = app_msg(0, &[0, 1]);
+        drive(
+            &mut leader,
+            ProcessId(6),
+            WhiteBoxMsg::Multicast { msg: m.clone() },
+        );
+        let actions = leader.on_event(
+            Duration::from_millis(5),
+            Event::Timer {
+                id: BATCH_TIMER,
+                now: Duration::from_millis(5),
+            },
+        );
+        // The single buffered proposal goes out to all six destination
+        // replicas of both groups.
+        let batches = actions
+            .iter()
+            .filter(|a| {
+                matches!(
+                    a,
+                    Action::Send {
+                        msg: WhiteBoxMsg::AcceptBatch { .. },
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(batches, 6);
+    }
+
+    #[test]
+    fn batch_entries_respect_genuineness() {
+        // m1 goes to {g0}, m2 to {g0, g1}: g1's members must only receive the
+        // m2 entry.
+        let mut leader = batching_replica(0, 0, 2);
+        let m1 = app_msg(0, &[0]);
+        let m2 = app_msg(1, &[0, 1]);
+        drive(
+            &mut leader,
+            ProcessId(6),
+            WhiteBoxMsg::Multicast { msg: m1.clone() },
+        );
+        let actions = drive(
+            &mut leader,
+            ProcessId(6),
+            WhiteBoxMsg::Multicast { msg: m2.clone() },
+        );
+        for a in &actions {
+            if let Action::Send {
+                to,
+                msg: WhiteBoxMsg::AcceptBatch { entries, .. },
+            } = a
+            {
+                let ids: Vec<MsgId> = entries.iter().map(|e| e.msg.id).collect();
+                if to.0 >= 3 {
+                    assert_eq!(ids, vec![m2.id], "g1 member saw a foreign entry");
+                } else {
+                    assert_eq!(ids, vec![m1.id, m2.id]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_round_commits_and_delivers_in_order() {
+        let mut leader = batching_replica(0, 0, 2);
+        let m1 = app_msg(0, &[0]);
+        let m2 = app_msg(1, &[0]);
+        drive(
+            &mut leader,
+            ProcessId(6),
+            WhiteBoxMsg::Multicast { msg: m1.clone() },
+        );
+        let actions = drive(
+            &mut leader,
+            ProcessId(6),
+            WhiteBoxMsg::Multicast { msg: m2.clone() },
+        );
+        let self_batch = actions
+            .iter()
+            .find_map(|a| match a {
+                Action::Send {
+                    to,
+                    msg: msg @ WhiteBoxMsg::AcceptBatch { .. },
+                } if *to == ProcessId(0) => Some(msg.clone()),
+                _ => None,
+            })
+            .unwrap();
+        // The leader handles its own batch and acknowledges both entries in a
+        // single ACCEPT_ACK_BATCH.
+        let actions = drive(&mut leader, ProcessId(0), self_batch);
+        let self_ack = actions
+            .iter()
+            .find_map(|a| match a {
+                Action::Send {
+                    to,
+                    msg: msg @ WhiteBoxMsg::AcceptAckBatch { .. },
+                } if *to == ProcessId(0) => Some(msg.clone()),
+                _ => None,
+            })
+            .expect("acks must be batched");
+        match &self_ack {
+            WhiteBoxMsg::AcceptAckBatch { entries, .. } => assert_eq!(entries.len(), 2),
+            _ => unreachable!(),
+        }
+        drive(&mut leader, ProcessId(0), self_ack.clone());
+        // A follower ack completes the quorum for both messages at once; the
+        // two deliveries travel in one DELIVER_BATCH per member.
+        let actions = drive(&mut leader, ProcessId(1), self_ack);
+        assert_eq!(leader.phase_of(m1.id), Some(Phase::Committed));
+        assert_eq!(leader.phase_of(m2.id), Some(Phase::Committed));
+        let deliver_batch = actions
+            .iter()
+            .find_map(|a| match a {
+                Action::Send {
+                    to,
+                    msg: msg @ WhiteBoxMsg::DeliverBatch { .. },
+                } if *to == ProcessId(0) => Some(msg.clone()),
+                _ => None,
+            })
+            .expect("deliveries must be batched");
+        let actions = drive(&mut leader, ProcessId(0), deliver_batch);
+        let delivered: Vec<MsgId> = actions
+            .iter()
+            .filter_map(|a| a.as_delivery().map(|d| d.msg.id))
+            .collect();
+        assert_eq!(delivered, vec![m1.id, m2.id]);
+        assert_eq!(leader.delivered_count(), 2);
+    }
+
+    #[test]
+    fn deposed_leader_drops_buffered_batch_but_reports_records() {
+        let mut leader = batching_replica(0, 0, 8);
+        let m = app_msg(0, &[0]);
+        drive(
+            &mut leader,
+            ProcessId(6),
+            WhiteBoxMsg::Multicast { msg: m.clone() },
+        );
+        // A higher ballot deposes the leader mid-batch.
+        let actions = drive(
+            &mut leader,
+            ProcessId(1),
+            WhiteBoxMsg::NewLeader {
+                ballot: Ballot::new(2, ProcessId(1)),
+            },
+        );
+        assert_eq!(leader.status(), Status::Recovering);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::CancelTimer(id) if *id == BATCH_TIMER)));
+        // The buffered proposal is still reported in the NEWLEADER_ACK
+        // snapshot, so the new leader can decide its fate.
+        let reported = actions.iter().any(|a| {
+            matches!(
+                a,
+                Action::Send {
+                    msg: WhiteBoxMsg::NewLeaderAck { snapshot, .. },
+                    ..
+                } if snapshot.records.contains_key(&m.id)
+            )
+        });
+        assert!(reported, "snapshot must include the buffered proposal");
+        // A later batch timer fires harmlessly.
+        let actions = leader.on_event(
+            Duration::from_millis(9),
+            Event::Timer {
+                id: BATCH_TIMER,
+                now: Duration::from_millis(9),
+            },
+        );
+        assert!(actions.is_empty());
     }
 
     #[test]

@@ -58,6 +58,14 @@ pub struct ClusterSpec {
     pub service_time: Duration,
     /// Random seed.
     pub seed: u64,
+    /// Maximum number of multicasts a leader accumulates per batched ordering
+    /// round (white-box `ACCEPT_BATCH` / baseline batched Paxos proposals).
+    /// Only meaningful when [`batch_delay`](Self::batch_delay) is non-zero.
+    pub max_batch: usize,
+    /// How long a partial batch waits before being flushed. Zero (the
+    /// default of every constructor) disables batching — the paper's
+    /// per-message behaviour.
+    pub batch_delay: Duration,
 }
 
 impl ClusterSpec {
@@ -72,6 +80,8 @@ impl ClusterSpec {
             latency: LatencyModel::lan(),
             service_time: Duration::from_micros(10),
             seed: 42,
+            max_batch: 1,
+            batch_delay: Duration::ZERO,
         }
     }
 
@@ -86,6 +96,8 @@ impl ClusterSpec {
             latency: LatencyModel::wan_three_sites(),
             service_time: Duration::from_micros(10),
             seed: 42,
+            max_batch: 1,
+            batch_delay: Duration::ZERO,
         }
     }
 
@@ -100,7 +112,19 @@ impl ClusterSpec {
             latency: LatencyModel::constant(delta),
             service_time: Duration::ZERO,
             seed: 7,
+            max_batch: 1,
+            batch_delay: Duration::ZERO,
         }
+    }
+
+    /// Returns the spec with batched ordering enabled: leaders accumulate up
+    /// to `max_batch` multicasts (flushing earlier after `batch_delay`) and
+    /// run one ordering round per batch. Applies to the white-box protocol
+    /// and, via batched Paxos proposals, to the consensus-based baselines.
+    pub fn with_batching(mut self, max_batch: usize, batch_delay: Duration) -> Self {
+        self.max_batch = max_batch.max(1);
+        self.batch_delay = batch_delay;
+        self
     }
 
     /// Builds the corresponding static cluster configuration.
@@ -166,7 +190,8 @@ impl ProtocolSim {
                 for gc in cluster.groups() {
                     for member in gc.members() {
                         let cfg = ReplicaConfig::new(*member, gc.id(), cluster.clone())
-                            .without_auto_election();
+                            .without_auto_election()
+                            .with_batching(spec.max_batch, spec.batch_delay);
                         sim.add_replica(
                             Box::new(WhiteBoxReplica::new(cfg)),
                             gc.id(),
@@ -194,12 +219,10 @@ impl ProtocolSim {
                 for gc in cluster.groups() {
                     for member in gc.members() {
                         sim.add_replica(
-                            Box::new(BaselineReplica::new(
-                                *member,
-                                gc.id(),
-                                cluster.clone(),
-                                mode,
-                            )),
+                            Box::new(
+                                BaselineReplica::new(*member, gc.id(), cluster.clone(), mode)
+                                    .with_batching(spec.max_batch, spec.batch_delay),
+                            ),
                             gc.id(),
                             cluster.site_of(*member),
                         );

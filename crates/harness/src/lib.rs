@@ -26,5 +26,5 @@ pub mod workload;
 
 pub use cluster::{ClusterSpec, Protocol, ProtocolSim};
 pub use probe::{convoy_probe, latency_probe, LatencyProbeResult};
-pub use sweep::{sweep, SweepPoint, SweepResult, SweepSpec};
+pub use sweep::{sweep, BenchRecord, SweepPoint, SweepResult, SweepSpec};
 pub use workload::{run_closed_loop, ClosedLoopWorkload, WorkloadResult};

@@ -70,6 +70,8 @@ pub struct SweepPoint {
     pub clients: usize,
     /// Number of destination groups per multicast.
     pub dest_groups: usize,
+    /// Batch-size knob the cluster ran with (1 = unbatched).
+    pub max_batch: usize,
     /// Workload results.
     pub result: WorkloadResult,
 }
@@ -84,6 +86,50 @@ impl SweepPoint {
     pub fn throughput(&self) -> f64 {
         self.result.throughput.messages_per_second
     }
+
+    /// The machine-readable benchmark record for this point, tagged with the
+    /// emitting benchmark's name and environment label (e.g. `lan`, `wan`).
+    pub fn bench_record(&self, bench: &str, environment: &str) -> BenchRecord {
+        BenchRecord {
+            bench: bench.to_string(),
+            environment: environment.to_string(),
+            protocol: self.protocol.clone(),
+            max_batch: self.max_batch,
+            clients: self.clients,
+            dest_groups: self.dest_groups,
+            throughput_msg_s: self.throughput(),
+            latency_p50_ms: self.result.latency.p50_ms(),
+            latency_p99_ms: self.result.latency.p99_ms(),
+            latency_mean_ms: self.result.latency.mean_ms(),
+        }
+    }
+}
+
+/// One machine-readable benchmark result, serialised as a single JSON object
+/// per line of `BENCH_throughput.json` so that successive runs (and CI jobs)
+/// can append without parsing the file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRecord {
+    /// Name of the emitting benchmark binary.
+    pub bench: String,
+    /// Environment label (`lan`, `wan`, ...).
+    pub environment: String,
+    /// Protocol label.
+    pub protocol: String,
+    /// Batch-size knob (1 = unbatched).
+    pub max_batch: usize,
+    /// Number of closed-loop clients.
+    pub clients: usize,
+    /// Destination groups per multicast.
+    pub dest_groups: usize,
+    /// Delivered messages per second of simulated time.
+    pub throughput_msg_s: f64,
+    /// Median delivery latency in milliseconds.
+    pub latency_p50_ms: f64,
+    /// 99th-percentile delivery latency in milliseconds.
+    pub latency_p99_ms: f64,
+    /// Mean delivery latency in milliseconds.
+    pub latency_mean_ms: f64,
 }
 
 /// The complete result of a sweep.
@@ -94,9 +140,39 @@ pub struct SweepResult {
 }
 
 impl SweepResult {
+    /// The distinct protocol labels present in the result.
+    pub fn known_labels(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.points.iter().map(|p| p.protocol.as_str()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
     /// Points for a given protocol and destination-group count, ordered by
     /// client count — one plotted curve of Figure 7/8.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `protocol` matches no point at all, or if `dest_groups` was
+    /// never swept: either means the calling benchmark queries a curve that
+    /// was never measured (a typo or a dropped sweep dimension), and silently
+    /// returning an empty series would let it print empty tables.
     pub fn series(&self, protocol: &str, dest_groups: usize) -> Vec<&SweepPoint> {
+        assert!(
+            self.points.iter().any(|p| p.protocol == protocol),
+            "unknown protocol label {protocol:?}: this sweep only measured {:?}",
+            self.known_labels()
+        );
+        assert!(
+            self.points.iter().any(|p| p.dest_groups == dest_groups),
+            "destination-group count {dest_groups} was never swept: this sweep only measured {:?}",
+            {
+                let mut v: Vec<usize> = self.points.iter().map(|p| p.dest_groups).collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            }
+        );
         let mut v: Vec<&SweepPoint> = self
             .points
             .iter()
@@ -108,18 +184,47 @@ impl SweepResult {
 
     /// Renders the result as an aligned text table (one row per point).
     pub fn to_table(&self) -> String {
-        let mut out = String::from("protocol   groups  clients    latency_ms   throughput_msg_s\n");
+        let mut out =
+            String::from("protocol   groups  clients    batch  latency_ms   throughput_msg_s\n");
         for p in &self.points {
             out.push_str(&format!(
-                "{:<10} {:<7} {:<10} {:<12.3} {:<12.1}\n",
+                "{:<10} {:<7} {:<10} {:<6} {:<12.3} {:<12.1}\n",
                 p.protocol,
                 p.dest_groups,
                 p.clients,
+                p.max_batch,
                 p.latency_ms(),
                 p.throughput()
             ));
         }
         out
+    }
+
+    /// Appends one JSON record per point (JSON-lines format) to `path` —
+    /// by convention `BENCH_throughput.json` at the repository root. Returns
+    /// the number of records written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures opening or writing the file.
+    pub fn append_json_records(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        bench: &str,
+        environment: &str,
+    ) -> std::io::Result<usize> {
+        use std::io::Write;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        for p in &self.points {
+            let record = p.bench_record(bench, environment);
+            let line =
+                serde_json::to_string(&record).map_err(|e| std::io::Error::other(e.to_string()))?;
+            writeln!(file, "{line}")?;
+        }
+        Ok(self.points.len())
     }
 }
 
@@ -141,6 +246,7 @@ pub fn sweep(spec: &SweepSpec) -> SweepResult {
                     protocol: protocol.label().to_string(),
                     clients,
                     dest_groups,
+                    max_batch: spec.base.max_batch,
                     result: run,
                 });
             }
@@ -187,5 +293,88 @@ mod tests {
         let table = result.to_table();
         assert!(table.contains("WbCast"));
         assert!(table.lines().count() >= 4);
+    }
+
+    fn tiny_result() -> SweepResult {
+        let mut spec = SweepSpec::lan(vec![2], vec![1]);
+        spec.base.num_groups = 2;
+        spec.base.latency = LatencyModel::constant(Duration::from_millis(1));
+        spec.protocols = vec![crate::cluster::Protocol::WhiteBox];
+        spec.workload.duration = Duration::from_millis(100);
+        spec.workload.warmup = Duration::from_millis(20);
+        sweep(&spec)
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown protocol label")]
+    fn series_rejects_unknown_protocol_labels() {
+        // Guards against bench binaries printing empty tables because of a
+        // typo'd or never-swept label.
+        let result = tiny_result();
+        let _ = result.series("WbCsat", 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "never swept")]
+    fn series_rejects_unswept_destination_group_counts() {
+        let result = tiny_result();
+        let _ = result.series("WbCast", 3);
+    }
+
+    #[test]
+    fn json_records_round_trip_and_append() {
+        let result = tiny_result();
+        assert_eq!(result.points.len(), 1);
+        let record = result.points[0].bench_record("unit_test", "lan");
+        assert_eq!(record.protocol, "WbCast");
+        assert_eq!(record.max_batch, 1);
+        assert!(record.throughput_msg_s > 0.0);
+        let json = serde_json::to_string(&record).unwrap();
+        let back: BenchRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, record);
+
+        let path =
+            std::env::temp_dir().join(format!("wbam_bench_test_{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(
+            result
+                .append_json_records(&path, "unit_test", "lan")
+                .unwrap(),
+            1
+        );
+        assert_eq!(
+            result
+                .append_json_records(&path, "unit_test", "lan")
+                .unwrap(),
+            1
+        );
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            contents.lines().count(),
+            2,
+            "records must append, not overwrite"
+        );
+        for line in contents.lines() {
+            let rec: BenchRecord = serde_json::from_str(line).unwrap();
+            assert_eq!(rec.bench, "unit_test");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn batched_sweep_points_carry_the_knob() {
+        let mut spec = SweepSpec::lan(vec![4], vec![1]);
+        spec.base.num_groups = 2;
+        spec.base = spec.base.with_batching(8, Duration::from_micros(200));
+        spec.base.latency = LatencyModel::constant(Duration::from_millis(1));
+        spec.protocols = vec![crate::cluster::Protocol::WhiteBox];
+        spec.workload.duration = Duration::from_millis(200);
+        spec.workload.warmup = Duration::from_millis(40);
+        let result = sweep(&spec);
+        assert_eq!(result.points[0].max_batch, 8);
+        assert!(
+            result.points[0].result.latency.count > 0,
+            "batched runs must still deliver"
+        );
     }
 }

@@ -50,6 +50,21 @@ pub struct LatencyStats {
 }
 
 impl LatencyStats {
+    /// Mean latency in fractional milliseconds (for machine-readable output).
+    pub fn mean_ms(&self) -> f64 {
+        self.mean.as_secs_f64() * 1e3
+    }
+
+    /// Median latency in fractional milliseconds.
+    pub fn p50_ms(&self) -> f64 {
+        self.p50.as_secs_f64() * 1e3
+    }
+
+    /// 99th-percentile latency in fractional milliseconds.
+    pub fn p99_ms(&self) -> f64 {
+        self.p99.as_secs_f64() * 1e3
+    }
+
     /// Computes summary statistics from a set of samples.
     ///
     /// Returns a zeroed record when `samples` is empty.
@@ -96,6 +111,10 @@ pub struct MetricsView {
     multicast_times: BTreeMap<MsgId, Duration>,
     /// Destination groups of each multicast message.
     destinations: BTreeMap<MsgId, Vec<GroupId>>,
+    /// Earliest delivery time per `(message, group)`, precomputed so that the
+    /// per-message latency queries cost a lookup instead of a scan over every
+    /// delivery record (throughput runs produce hundreds of thousands).
+    first_delivery: BTreeMap<(MsgId, GroupId), Duration>,
 }
 
 impl MetricsView {
@@ -105,10 +124,20 @@ impl MetricsView {
         multicast_times: BTreeMap<MsgId, Duration>,
         destinations: BTreeMap<MsgId, Vec<GroupId>>,
     ) -> Self {
+        let mut first_delivery: BTreeMap<(MsgId, GroupId), Duration> = BTreeMap::new();
+        for d in &deliveries {
+            if let Some(g) = d.group {
+                first_delivery
+                    .entry((d.msg_id, g))
+                    .and_modify(|t| *t = (*t).min(d.time))
+                    .or_insert(d.time);
+            }
+        }
         MetricsView {
             deliveries,
             multicast_times,
             destinations,
+            first_delivery,
         }
     }
 
@@ -124,11 +153,7 @@ impl MetricsView {
 
     /// The earliest delivery of `m` by any process of group `g`.
     pub fn first_delivery_in_group(&self, m: MsgId, g: GroupId) -> Option<Duration> {
-        self.deliveries
-            .iter()
-            .filter(|d| d.msg_id == m && d.group == Some(g))
-            .map(|d| d.time)
-            .min()
+        self.first_delivery.get(&(m, g)).copied()
     }
 
     /// The delivery latency of `m` with respect to group `g`
@@ -346,6 +371,17 @@ mod tests {
         let stats = LatencyStats::from_samples(Vec::new());
         assert_eq!(stats.count, 0);
         assert_eq!(stats.mean, Duration::ZERO);
+    }
+
+    #[test]
+    fn millisecond_helpers_convert_durations() {
+        let stats = LatencyStats::from_samples(vec![
+            Duration::from_micros(1500),
+            Duration::from_micros(2500),
+        ]);
+        assert!((stats.mean_ms() - 2.0).abs() < 1e-9);
+        assert!((stats.p50_ms() - 2.5).abs() < 1e-9);
+        assert!((stats.p99_ms() - 2.5).abs() < 1e-9);
     }
 
     #[test]

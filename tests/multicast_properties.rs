@@ -39,6 +39,8 @@ fn run_random_workload(
         latency: LatencyModel::uniform(Duration::from_micros(500), Duration::from_millis(3)),
         service_time: Duration::ZERO,
         seed,
+        max_batch: 1,
+        batch_delay: Duration::ZERO,
     };
     let mut sim = ProtocolSim::build(protocol, &spec);
     let group_ids: Vec<GroupId> = (0..num_groups as u32).map(GroupId).collect();
@@ -135,6 +137,64 @@ fn assert_core_properties(
     }
 }
 
+/// Runs a workload of mutually conflicting multicasts (destinations drawn
+/// from groups 0..3 of a 4-group cluster, 2–3 destinations each) under
+/// batched ordering, leaving group 3 untouched as a genuineness control.
+fn run_batched_conflicting_workload(
+    max_batch: usize,
+    messages: usize,
+    seed: u64,
+) -> (
+    DeliverySequences,
+    BTreeMap<MsgId, Vec<GroupId>>,
+    ProtocolSim,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let batch_delay = if max_batch > 1 {
+        Duration::from_micros(500)
+    } else {
+        Duration::ZERO
+    };
+    let spec = ClusterSpec {
+        num_groups: 4,
+        group_size: 3,
+        num_clients: 2,
+        num_sites: 1,
+        latency: LatencyModel::uniform(Duration::from_micros(500), Duration::from_millis(3)),
+        service_time: Duration::ZERO,
+        seed,
+        max_batch,
+        batch_delay,
+    };
+    let mut sim = ProtocolSim::build(Protocol::WhiteBox, &spec);
+    // Conflicting destinations: always at least two of the first three groups.
+    let conflict_groups: Vec<GroupId> = (0..3u32).map(GroupId).collect();
+    let mut destinations = BTreeMap::new();
+    for _ in 0..messages {
+        let count = rng.gen_range(2..=3);
+        let mut dest = conflict_groups.clone();
+        dest.shuffle(&mut rng);
+        dest.truncate(count);
+        let at = Duration::from_micros(rng.gen_range(0..10_000));
+        let client = rng.gen_range(0..2);
+        let id = sim.submit(at, client, &dest, 20);
+        destinations.insert(id, dest);
+    }
+    sim.run_until_quiescent(Duration::from_secs(120));
+    let metrics = sim.metrics();
+    let mut sequences: DeliverySequences = BTreeMap::new();
+    for rec in metrics.deliveries() {
+        if rec.group.is_none() {
+            continue;
+        }
+        sequences
+            .entry(rec.process)
+            .or_default()
+            .push((rec.msg_id, rec.global_ts.unwrap_or(Timestamp::BOTTOM)));
+    }
+    (sequences, destinations, sim)
+}
+
 #[test]
 fn whitebox_satisfies_atomic_multicast_properties() {
     for seed in [1, 2, 3] {
@@ -218,6 +278,33 @@ fn conflicting_and_disjoint_mix_keeps_projection_property() {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Batched ordering must preserve the four atomic-multicast properties
+    /// plus genuineness for every batch size, including the unbatched
+    /// baseline, under conflicting destination sets. The workload leaves
+    /// group 3 out of every destination set, so any delivery (or any
+    /// protocol activity producing one) at its members is a genuineness
+    /// violation introduced by batching.
+    #[test]
+    fn whitebox_batched_properties_hold_for_random_batch_sizes(
+        seed in 0u64..500,
+        max_batch in prop_oneof![Just(1usize), Just(4usize), Just(32usize)],
+        messages in 8usize..32,
+    ) {
+        let (sequences, destinations, sim) =
+            run_batched_conflicting_workload(max_batch, messages, seed);
+        assert_core_properties(&sequences, &destinations, &sim, true);
+        // Genuineness control: group 3 never appears in a destination set and
+        // must deliver nothing, whatever the batch size.
+        let metrics = sim.metrics();
+        let cluster = sim.cluster();
+        for member in cluster.group(GroupId(3)).unwrap().members() {
+            prop_assert!(
+                metrics.delivery_order_at(*member).is_empty(),
+                "batching leaked a message to uninvolved group 3 (member {member})"
+            );
+        }
+    }
 
     /// Property test: for random topologies, workloads and jittery delays the
     /// white-box protocol preserves the ordering / integrity / validity
