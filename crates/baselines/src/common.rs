@@ -15,8 +15,8 @@ use std::time::Duration;
 use serde::{Deserialize, Serialize};
 use wbam_consensus::{PaxosConfig, PaxosMsg, PaxosOutput, PaxosReplica};
 use wbam_types::{
-    Action, AppMessage, ClusterConfig, DeliveredMessage, Event, GroupId, MsgId, Node, Phase,
-    ProcessId, TimerId, Timestamp,
+    Action, AppMessage, ClusterConfig, ConfigError, DeliveredMessage, Event, GroupId, MsgId, Node,
+    Phase, ProcessId, TimerId, Timestamp,
 };
 
 /// Timer used by a batching baseline leader to flush a partial batch.
@@ -188,14 +188,34 @@ impl BaselineReplica {
     /// # Panics
     ///
     /// Panics if the group does not exist in the cluster or does not contain
-    /// the replica.
+    /// the replica. Use [`Self::try_new`] to handle misconfigurations as
+    /// values instead.
     pub fn new(id: ProcessId, group: GroupId, cluster: ClusterConfig, mode: Mode) -> Self {
+        Self::try_new(id, group, cluster, mode).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a baseline replica, reporting misconfigurations as a typed
+    /// [`ConfigError`] instead of aborting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::UnknownGroup`] if the group does not exist in
+    /// the cluster and [`ConfigError::NotAMember`] if it does not contain the
+    /// replica.
+    pub fn try_new(
+        id: ProcessId,
+        group: GroupId,
+        cluster: ClusterConfig,
+        mode: Mode,
+    ) -> Result<Self, ConfigError> {
         let gc = cluster
             .group(group)
-            .unwrap_or_else(|| panic!("group {group} not in cluster configuration"));
-        assert!(gc.contains(id), "replica {id} is not a member of {group}");
+            .ok_or(ConfigError::UnknownGroup { group })?;
+        if !gc.contains(id) {
+            return Err(ConfigError::NotAMember { process: id, group });
+        }
         let members = gc.members().to_vec();
-        BaselineReplica {
+        Ok(BaselineReplica {
             id,
             group,
             mode,
@@ -212,7 +232,7 @@ impl BaselineReplica {
             batch_buffer: Vec::new(),
             batch_timer_armed: false,
             cluster,
-        }
+        })
     }
 
     /// Disables delivery replies to message senders.
@@ -286,6 +306,19 @@ impl BaselineReplica {
 
     /// Leader entry point: a client (or remote leader) submitted `m`.
     fn handle_multicast(&mut self, msg: AppMessage) -> Vec<Action<BaselineMsg>> {
+        self.handle_multicast_inner(msg, true)
+    }
+
+    /// `retryable` distinguishes a real `MULTICAST` (client submission or
+    /// retry — worth answering with recovery re-sends) from the internal call
+    /// made while handling a remote leader's `PROPOSE`. Re-sending our own
+    /// proposal in the latter case would let two leaders' duplicate handlers
+    /// re-trigger each other forever (a PROPOSE ping-pong storm).
+    fn handle_multicast_inner(
+        &mut self,
+        msg: AppMessage,
+        retryable: bool,
+    ) -> Vec<Action<BaselineMsg>> {
         let mut actions = Vec::new();
         if !msg.is_addressed_to(self.group) {
             return actions;
@@ -310,6 +343,34 @@ impl BaselineReplica {
             record.confirms.extend(confirms);
         }
         if record.assign_proposed {
+            if !retryable {
+                return actions;
+            }
+            // Message recovery on a duplicate MULTICAST (a client or remote
+            // leader retry): a delivered record re-sends the client reply
+            // (the original may have been lost, or the client restarted); an
+            // in-flight record whose local timestamp is already decided
+            // re-sends this group's proposal to the other destination
+            // leaders, so one lost PROPOSE does not stall the message
+            // forever. Both are idempotent at the receiver.
+            let delivered = record.delivered;
+            let global_ts = record.global_ts;
+            let local_ts = record.local_ts;
+            let stored = record.msg.clone();
+            if delivered {
+                if self.notify_sender && !self.group_members.contains(&stored.id.sender) {
+                    actions.push(Action::send(
+                        stored.id.sender,
+                        BaselineMsg::ClientReply {
+                            msg_id: stored.id,
+                            group,
+                            global_ts,
+                        },
+                    ));
+                }
+            } else if local_ts != Timestamp::BOTTOM {
+                actions.extend(self.send_proposals(&stored, local_ts));
+            }
             return actions;
         }
         record.assign_proposed = true;
@@ -664,6 +725,22 @@ impl Node for BaselineReplica {
                 self.batch_timer_armed = false;
                 self.flush_batch()
             }
+            // A restarted replica keeps its durable state (records, Paxos
+            // log, clock) but lost its volatile context: the batch buffer and
+            // its flush timer died with the process. Re-flush anything that
+            // was buffered — the records already carry tentative timestamps —
+            // and, if this replica led its group's consensus, re-establish
+            // the leadership through a fresh campaign so in-flight slots are
+            // re-learned from a quorum.
+            Event::Restart => {
+                self.batch_timer_armed = false;
+                let mut actions = self.flush_batch();
+                if self.paxos.is_leader() {
+                    let out = self.paxos.campaign();
+                    actions.extend(self.convert_paxos(out));
+                }
+                actions
+            }
             Event::Message { from, msg } => match msg {
                 BaselineMsg::Multicast { msg } => self.handle_multicast(msg),
                 BaselineMsg::Propose {
@@ -673,7 +750,7 @@ impl Node for BaselineReplica {
                 } => {
                     // Make sure we are ordering the message ourselves too (the
                     // client's MULTICAST to us may still be in flight or lost).
-                    let mut actions = self.handle_multicast(msg.clone());
+                    let mut actions = self.handle_multicast_inner(msg.clone(), false);
                     actions.extend(self.note_proposal(&msg, group, local_ts));
                     actions
                 }
@@ -784,6 +861,24 @@ impl Node for BaselineClient {
                     ];
                 }
                 Vec::new()
+            }
+            // A restarted client lost its retry timers (and any replies that
+            // arrived while it was down): re-send every in-flight multicast
+            // and re-arm its timer. Replicas answer duplicates of delivered
+            // messages with a fresh reply.
+            Event::Restart => {
+                let mut actions = Vec::new();
+                let pending: Vec<AppMessage> =
+                    self.pending.values().map(|(m, _)| m.clone()).collect();
+                for msg in pending {
+                    let id = msg.id;
+                    actions.extend(self.send_to_leaders(&msg));
+                    actions.push(Action::SetTimer {
+                        id: wbam_types::TimerId(id.seq),
+                        delay: self.retry_timeout,
+                    });
+                }
+                actions
             }
             _ => Vec::new(),
         }

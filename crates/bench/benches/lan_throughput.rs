@@ -31,6 +31,9 @@ fn bench_lan_throughput(c: &mut Criterion) {
                         seed: 11,
                         max_batch: 1,
                         batch_delay: Duration::ZERO,
+                        nemesis: wbam_types::NemesisPlan::quiet(),
+                        record_trace: false,
+                        auto_election: false,
                     };
                     let mut sim = ProtocolSim::build(*protocol, &spec);
                     let workload = ClosedLoopWorkload {

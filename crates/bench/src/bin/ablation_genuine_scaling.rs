@@ -23,6 +23,9 @@ fn run(num_groups: usize) -> f64 {
         seed: 5,
         max_batch: 1,
         batch_delay: Duration::ZERO,
+        nemesis: wbam_types::NemesisPlan::quiet(),
+        record_trace: false,
+        auto_election: false,
     };
     let mut sim = ProtocolSim::build(Protocol::WhiteBox, &spec);
     let horizon = Duration::from_millis(200);

@@ -199,6 +199,22 @@ impl Node for MulticastClient {
                 // semantically (e.g. a stray ACCEPT caused by misconfiguration).
                 _ => Vec::new(),
             },
+            // A restarted client lost its armed retry timers; re-arm one per
+            // in-flight multicast (and re-send straight away — the original
+            // sends may have died with the crash).
+            Event::Restart => {
+                let mut actions = Vec::new();
+                let pending: Vec<AppMessage> =
+                    self.pending.values().map(|p| p.msg.clone()).collect();
+                for msg in pending {
+                    actions.extend(self.send_to_leaders(&msg));
+                    actions.push(Action::SetTimer {
+                        id: Self::timer_for(msg.id),
+                        delay: self.config.retry_timeout,
+                    });
+                }
+                actions
+            }
             Event::Init | Event::BecomeLeader => Vec::new(),
         }
     }

@@ -19,8 +19,8 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 use wbam_types::{
-    Action, AppMessage, Ballot, DeliveredMessage, Event, GroupId, MsgId, Node, Phase, ProcessId,
-    TimerId, Timestamp,
+    Action, AppMessage, Ballot, ConfigError, DeliveredMessage, Event, GroupId, MsgId, Node, Phase,
+    ProcessId, TimerId, Timestamp,
 };
 
 use crate::config::ReplicaConfig;
@@ -127,18 +127,35 @@ impl WhiteBoxReplica {
     /// # Panics
     ///
     /// Panics if the configured group does not exist in the cluster or does
-    /// not contain the replica's own identifier.
+    /// not contain the replica's own identifier. Use [`Self::try_new`] to
+    /// handle misconfigurations as values instead.
     pub fn new(config: ReplicaConfig) -> Self {
+        Self::try_new(config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a replica from its configuration, reporting misconfigurations
+    /// as a typed [`ConfigError`] instead of aborting — randomized
+    /// configuration exploration depends on this surfacing as a finding
+    /// rather than a process abort.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::UnknownGroup`] if the configured group does not
+    /// exist in the cluster and [`ConfigError::NotAMember`] if it does not
+    /// contain the replica's own identifier.
+    pub fn try_new(config: ReplicaConfig) -> Result<Self, ConfigError> {
         let group = config
             .cluster
             .group(config.group)
-            .unwrap_or_else(|| panic!("group {} not in cluster configuration", config.group));
-        assert!(
-            group.contains(config.id),
-            "replica {} is not a member of group {}",
-            config.id,
-            config.group
-        );
+            .ok_or(ConfigError::UnknownGroup {
+                group: config.group,
+            })?;
+        if !group.contains(config.id) {
+            return Err(ConfigError::NotAMember {
+                process: config.id,
+                group: config.group,
+            });
+        }
         let initial_leader = group.initial_leader();
         let initial_ballot = Ballot::new(1, initial_leader);
         let status = if config.id == initial_leader {
@@ -154,7 +171,7 @@ impl WhiteBoxReplica {
             .map(|g| (g.id(), g.quorum_size()))
             .collect();
         let group_members = group.members().to_vec();
-        WhiteBoxReplica {
+        Ok(WhiteBoxReplica {
             status,
             clock: 0,
             cballot: initial_ballot,
@@ -175,7 +192,7 @@ impl WhiteBoxReplica {
             pending_lts: BTreeSet::new(),
             committed_undelivered: BTreeSet::new(),
             config,
-        }
+        })
     }
 
     /// Rebuilds the delivery-condition indexes from scratch. Called whenever
@@ -218,6 +235,20 @@ impl WhiteBoxReplica {
     /// The phase of a message at this replica, if it has heard of it.
     pub fn phase_of(&self, m: MsgId) -> Option<Phase> {
         self.records.get(&m).map(|r| r.phase)
+    }
+
+    /// Every known record's `(phase, delivered)` state, for inspection by
+    /// test harnesses and the schedule explorer's failure reports.
+    pub fn record_states(&self) -> Vec<(MsgId, Phase, bool)> {
+        self.records
+            .values()
+            .map(|r| (r.id(), r.phase, r.delivered))
+            .collect()
+    }
+
+    /// Debug rendering of a message's full record at this replica.
+    pub fn debug_record(&self, m: MsgId) -> Option<String> {
+        self.records.get(&m).map(|r| format!("{r:?}"))
     }
 
     /// The global timestamp of a message at this replica, if committed.
@@ -315,6 +346,28 @@ impl WhiteBoxReplica {
             record.phase = Phase::Proposed;
             let pending_entry = (record.local_ts, msg.id);
             self.pending_lts.insert(pending_entry);
+        }
+        if !fresh && self.records[&msg.id].phase == Phase::Committed {
+            // A duplicate MULTICAST for a record that already committed here
+            // tells us the sender may have lost our group's reply (or
+            // restarted and re-sent its in-flight messages): re-send the
+            // reply once delivered. Then fall through to the re-ACCEPT below
+            // — another destination leader may still be waiting for our
+            // proposal to complete its accept set (§IV, message recovery).
+            let record = &self.records[&msg.id];
+            if record.delivered
+                && self.config.notify_sender
+                && !self.group_members.contains(&msg.id.sender)
+            {
+                actions.push(Action::send(
+                    msg.id.sender,
+                    WhiteBoxMsg::ClientReply {
+                        msg_id: msg.id,
+                        group,
+                        global_ts: record.global_ts,
+                    },
+                ));
+            }
         }
         if self.config.batching_enabled() {
             if fresh {
@@ -814,6 +867,15 @@ impl WhiteBoxReplica {
             return actions;
         };
         let Some(record) = self.records.get(&msg_id) else {
+            // The record vanished wholesale — a leader recovery replaced the
+            // record map and dropped this proposed-only message. Unmap the
+            // timer: leaving the stale mapping behind would block
+            // `arm_retry_timer` forever when the message is re-proposed,
+            // leaving it pending with no retry pump — and one eternally
+            // pending record blocks delivery of every later committed one
+            // (found by the schedule explorer; see `tests/regressions/`).
+            self.retry_timer_msgs.remove(&timer);
+            self.retry_timer_of.remove(&msg_id);
             return actions;
         };
         if !record.is_pending() {
@@ -857,12 +919,20 @@ impl WhiteBoxReplica {
     }
 
     /// Figure 4, lines 37–41: vote for a prospective leader.
-    fn handle_new_leader(&mut self, from: ProcessId, ballot: Ballot) -> Vec<Action<WhiteBoxMsg>> {
+    fn handle_new_leader(
+        &mut self,
+        now: Duration,
+        from: ProcessId,
+        ballot: Ballot,
+    ) -> Vec<Action<WhiteBoxMsg>> {
         if ballot <= self.ballot {
             return Vec::new();
         }
         self.status = Status::Recovering;
         self.ballot = ballot;
+        // The campaign counts as leader activity; give the prospective leader
+        // one patience window to finish before we consider campaigning.
+        self.last_leader_activity = now;
         if let Some(leader) = ballot.leader() {
             self.cur_leader.insert(self.own_group(), leader);
         }
@@ -870,6 +940,18 @@ impl WhiteBoxReplica {
         // PROPOSED and are reported in the snapshot below, so the new leader
         // (or a retrying multicaster) re-proposes them.
         let mut actions = self.clear_batch();
+        // A replica that was the leader until this moment has no election
+        // timer running (leaders keep a heartbeat timer instead, and it dies
+        // with the demotion). Without (re)arming one here, a deposed leader
+        // whose NEW_STATE gets lost is unrescuable — it sits in `Recovering`
+        // with no timer at all while the group's usable quorum shrinks by
+        // one (found by the schedule explorer; see `tests/regressions/`).
+        if self.config.auto_election_enabled() {
+            actions.push(Action::SetTimer {
+                id: ELECTION_TIMER,
+                delay: self.config.election_timeout,
+            });
+        }
         let snapshot = self.snapshot();
         actions.push(Action::send(
             from,
@@ -1010,18 +1092,32 @@ impl WhiteBoxReplica {
     }
 
     /// Figure 4, lines 57–62: a follower installs the new leader's state.
+    ///
+    /// Beyond the paper's precondition (`Recovering` in exactly this ballot),
+    /// a `NEW_STATE` for a *strictly higher* ballot is accepted from any
+    /// status: it collapses joining the ballot and installing its state into
+    /// one step, which is how a replica that missed the whole `NEW_LEADER`
+    /// exchange (it was partitioned away, or is itself a stale leader) is
+    /// reconciled. This is safe for the same reason the two-step path is —
+    /// the sender computed the state from a quorum of the higher ballot,
+    /// whose snapshots cover everything any lower ballot could have
+    /// committed.
     fn handle_new_state(
         &mut self,
+        now: Duration,
         from: ProcessId,
         ballot: Ballot,
         clock: u64,
         snapshot: StateSnapshot,
     ) -> Vec<Action<WhiteBoxMsg>> {
-        if self.status != Status::Recovering || self.ballot != ballot {
+        let fresh_join = ballot > self.ballot;
+        if !fresh_join && (self.status != Status::Recovering || self.ballot != ballot) {
             return Vec::new();
         }
         self.status = Status::Follower;
+        self.ballot = ballot;
         self.cballot = ballot;
+        self.last_leader_activity = now;
         self.clock = clock;
         self.records = snapshot
             .records
@@ -1038,7 +1134,18 @@ impl WhiteBoxReplica {
             self.cur_leader.insert(self.own_group(), leader);
         }
         self.recovery = None;
-        vec![Action::send(from, WhiteBoxMsg::NewStateAck { ballot })]
+        let mut actions = Vec::new();
+        // Same reasoning as in `handle_new_leader`: this may be the moment a
+        // (possibly stale) leader is demoted to follower, and followers must
+        // always have a live election timer.
+        if self.config.auto_election_enabled() {
+            actions.push(Action::SetTimer {
+                id: ELECTION_TIMER,
+                delay: self.config.election_timeout,
+            });
+        }
+        actions.push(Action::send(from, WhiteBoxMsg::NewStateAck { ballot }));
+        actions
     }
 
     /// Figure 4, lines 63–68: the new leader finishes recovery once a quorum is
@@ -1133,10 +1240,50 @@ impl WhiteBoxReplica {
     }
 
     fn handle_heartbeat(&mut self, now: Duration, ballot: Ballot) -> Vec<Action<WhiteBoxMsg>> {
-        if ballot >= self.cballot {
+        // Liveness is judged against the highest ballot we have *joined*
+        // (`self.ballot`), not the one we last synchronised with (`cballot`).
+        // After joining ballot b' a replica waits for b's NEW_STATE; if the
+        // previous leader (ballot b < b') is still around, its heartbeats
+        // must not keep resetting the election timer — with the b' handshake
+        // messages lost, the whole group would otherwise sit in `Recovering`
+        // forever while the stale leader's heartbeats pacify everyone (a
+        // deadlock found by the schedule explorer; see `tests/regressions/`).
+        if self.status == Status::Recovering {
+            // Heartbeats while we are `Recovering` mean a leader is active
+            // although we never finished synchronising — either we are
+            // campaigning a ballot the others never joined, or we joined the
+            // heartbeat's ballot and its NEW_STATE got lost. Either way the
+            // heartbeat must *not* pacify our election timer: letting it
+            // expire re-campaigns with a higher ballot, which re-synchronises
+            // us through the normal handshake. (A `Recovering` replica cannot
+            // acknowledge proposals, so staying wedged here would silently
+            // shrink the group's usable quorum.)
+        } else if ballot >= self.ballot {
             self.last_leader_activity = now;
             if let Some(leader) = ballot.leader() {
                 self.cur_leader.insert(self.own_group(), leader);
+            }
+        } else if self.status == Status::Leader && ballot < self.cballot {
+            // A heartbeat from a *lower* ballot means another member still
+            // believes it leads an older ballot — possible after a partition
+            // in which both sides completed recoveries with disjoint-looking
+            // quorums that only overlapped in a since-crashed process. We
+            // hold the authoritative state of the higher ballot; re-send it
+            // so the stale leader rejoins (see `handle_new_state`'s
+            // higher-ballot acceptance). Without this repair the two leaders
+            // ignore each other forever and the group is wedged (found by
+            // the schedule explorer; see `tests/regressions/`).
+            if let Some(leader) = ballot.leader() {
+                if leader != self.config.id {
+                    return vec![Action::send(
+                        leader,
+                        WhiteBoxMsg::NewState {
+                            ballot: self.cballot,
+                            clock: self.clock,
+                            snapshot: self.snapshot(),
+                        },
+                    )];
+                }
             }
         }
         Vec::new()
@@ -1169,7 +1316,12 @@ impl WhiteBoxReplica {
             return Vec::new();
         }
         let mut actions = Vec::new();
-        if self.status == Status::Follower {
+        // A follower whose leader went quiet — or a replica whose own
+        // recovery stalled because NEW_LEADER / NEW_STATE traffic was lost —
+        // starts (re-)establishing a ballot. Without the `Recovering` case a
+        // group in which every member joined a stalled ballot would deadlock:
+        // election timers keep firing but nobody would ever campaign again.
+        if self.status != Status::Leader {
             let patience = self.config.election_timeout * (1 + self.election_rank());
             if now.saturating_sub(self.last_leader_activity) > patience {
                 self.last_leader_activity = now;
@@ -1180,6 +1332,49 @@ impl WhiteBoxReplica {
             id: ELECTION_TIMER,
             delay: self.config.election_timeout,
         });
+        actions
+    }
+
+    /// The process crashed and came back up with its durable state (records,
+    /// ballots, clock, `max_delivered_gts`) intact; everything volatile —
+    /// armed timers, the batch buffer, in-progress recovery bookkeeping — died
+    /// with it. The paper's model is crash-stop, so rejoin is our extension:
+    /// the replica re-establishes a *fresh ballot* through the normal
+    /// `NEW_LEADER` handshake, whatever its pre-crash role. The handshake is
+    /// what re-synchronises it with a quorum: the `NEW_LEADER_ACK` snapshots
+    /// teach it everything it slept through, and finishing recovery
+    /// re-delivers committed messages it missed (Figure 4 line 66).
+    /// Passively rejoining as a follower would *not* suffice — a follower
+    /// whose `cballot` went stale while it was down can never acknowledge the
+    /// current leader's proposals, and if the group's remaining quorum
+    /// includes the restarted process, the group would be wedged forever
+    /// (found by the schedule explorer; see `tests/regressions/`).
+    fn handle_restart(&mut self, now: Duration) -> Vec<Action<WhiteBoxMsg>> {
+        self.batch_buffer.clear();
+        self.batch_timer_armed = false;
+        self.recovery = None;
+        self.retry_timer_msgs.clear();
+        self.retry_timer_of.clear();
+        self.last_leader_activity = now;
+        self.status = Status::Follower;
+        let mut actions = self.start_recovery();
+        // Re-arm a retry timer for every pending record so stuck messages are
+        // re-proposed (the pre-crash timers are gone).
+        let pending: Vec<MsgId> = self
+            .records
+            .values()
+            .filter(|r| r.is_pending())
+            .map(|r| r.id())
+            .collect();
+        for id in pending {
+            actions.extend(self.arm_retry_timer(id));
+        }
+        if self.config.auto_election_enabled() {
+            actions.push(Action::SetTimer {
+                id: ELECTION_TIMER,
+                delay: self.config.election_timeout,
+            });
+        }
         actions
     }
 
@@ -1211,11 +1406,16 @@ impl Node for WhiteBoxReplica {
         self.config.id
     }
 
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn on_event(&mut self, now: Duration, event: Event<WhiteBoxMsg>) -> Vec<Action<WhiteBoxMsg>> {
         match event {
             Event::Init => self.handle_init(now),
             Event::Multicast(msg) => self.handle_multicast(msg),
             Event::BecomeLeader => self.start_recovery(),
+            Event::Restart => self.handle_restart(now),
             Event::Timer { id, now } => match id {
                 HEARTBEAT_TIMER => self.handle_heartbeat_timer(),
                 ELECTION_TIMER => self.handle_election_timer(now),
@@ -1223,11 +1423,14 @@ impl Node for WhiteBoxReplica {
                 other => self.handle_retry_timer(other),
             },
             Event::Message { from, msg } => {
-                // Any message from our group's current leader counts as a sign
-                // of life for the leader-monitoring oracle.
-                if Some(from) == self.cur_leader.get(&self.own_group()).copied() {
-                    self.last_leader_activity = now;
-                }
+                // Only heartbeats feed the leader-monitoring oracle (see
+                // `handle_heartbeat` for the ballot gate). Counting arbitrary
+                // traffic from `cur_leader` as a sign of life is unsound: two
+                // replicas stuck in `Recovering` keep exchanging per-message
+                // retry MULTICASTs, each pacifying the other's election timer
+                // while neither can make progress — a deadlock found by the
+                // schedule explorer.
+                let _ = from;
                 match msg {
                     WhiteBoxMsg::Multicast { msg } => self.handle_multicast(msg),
                     WhiteBoxMsg::Accept {
@@ -1258,7 +1461,7 @@ impl Node for WhiteBoxReplica {
                         local_ts,
                         global_ts,
                     } => self.handle_deliver(msg, ballot, local_ts, global_ts),
-                    WhiteBoxMsg::NewLeader { ballot } => self.handle_new_leader(from, ballot),
+                    WhiteBoxMsg::NewLeader { ballot } => self.handle_new_leader(now, from, ballot),
                     WhiteBoxMsg::NewLeaderAck {
                         ballot,
                         cballot,
@@ -1270,7 +1473,7 @@ impl Node for WhiteBoxReplica {
                         ballot,
                         clock,
                         snapshot,
-                    } => self.handle_new_state(from, ballot, clock, snapshot),
+                    } => self.handle_new_state(now, from, ballot, clock, snapshot),
                     WhiteBoxMsg::NewStateAck { ballot } => self.handle_new_state_ack(from, ballot),
                     WhiteBoxMsg::Heartbeat { ballot } => self.handle_heartbeat(now, ballot),
                     WhiteBoxMsg::ClientReply { .. } => Vec::new(),
@@ -2275,5 +2478,51 @@ mod tests {
         assert!(retry
             .iter()
             .any(|a| matches!(a, Action::SetTimer { id, .. } if *id == timer)));
+    }
+
+    /// A replica stuck in `Recovering` (it joined a ballot whose `NEW_STATE`
+    /// was lost) must not be pacified by the active leader's heartbeats: its
+    /// election timer has to fire eventually and re-campaign with a higher
+    /// ballot, or the group's usable quorum silently shrinks.
+    #[test]
+    fn heartbeats_do_not_pacify_a_recovering_replica() {
+        let cfg = ReplicaConfig::new(ProcessId(1), GroupId(0), cluster())
+            .with_election_timeouts(Duration::from_millis(50), Duration::from_millis(100));
+        let mut follower = WhiteBoxReplica::new(cfg);
+        follower.on_event(Duration::ZERO, Event::Init);
+        // Join ballot (2, p2); its NEW_STATE never arrives.
+        let joined = Ballot::new(2, ProcessId(2));
+        drive(
+            &mut follower,
+            ProcessId(2),
+            WhiteBoxMsg::NewLeader { ballot: joined },
+        );
+        assert_eq!(follower.status(), Status::Recovering);
+        // p2 finished recovery with the other members and heartbeats away.
+        for i in 1..=10u64 {
+            follower.on_event(
+                Duration::from_millis(i * 50),
+                Event::message(ProcessId(2), WhiteBoxMsg::Heartbeat { ballot: joined }),
+            );
+        }
+        // Patience for rank 1 is 2 × 100 ms; at 600 ms the timer must start a
+        // fresh campaign despite the steady heartbeats.
+        let actions = follower.on_event(
+            Duration::from_millis(600),
+            Event::Timer {
+                id: ELECTION_TIMER,
+                now: Duration::from_millis(600),
+            },
+        );
+        assert!(
+            actions.iter().any(|a| matches!(
+                a,
+                Action::Send {
+                    msg: WhiteBoxMsg::NewLeader { ballot },
+                    ..
+                } if *ballot > joined
+            )),
+            "stuck Recovering replica must re-campaign"
+        );
     }
 }

@@ -3,11 +3,13 @@
 use std::time::Duration;
 
 use wbam_baselines::common::{BaselineClient, BaselineMsg, BaselineReplica, Mode};
+use wbam_core::invariants::SentMessage;
 use wbam_core::{ClientConfig, MulticastClient, ReplicaConfig, WhiteBoxReplica};
-use wbam_simnet::{LatencyModel, MetricsView, NetStats, SimConfig, Simulation};
+use wbam_simnet::{DeliveryRecord, LatencyModel, MetricsView, NetStats, SimConfig, Simulation};
 use wbam_skeen::{SkeenClient, SkeenProcess};
 use wbam_types::{
-    AppMessage, ClusterConfig, Destination, GroupId, MsgId, Payload, ProcessId, SiteId,
+    AppMessage, ClusterConfig, ConfigError, Destination, GroupId, MsgId, NemesisPlan, Payload,
+    ProcessId, SiteId,
 };
 
 /// The protocols the harness can run.
@@ -66,6 +68,20 @@ pub struct ClusterSpec {
     /// default of every constructor) disables batching — the paper's
     /// per-message behaviour.
     pub batch_delay: Duration,
+    /// Fault schedule injected into the run (crashes/restarts, partitions,
+    /// probabilistic link faults, timer jitter). Quiet by default.
+    pub nemesis: NemesisPlan,
+    /// Record the protocol-message trace, as required by the Figure 6
+    /// invariant checkers. Off by default (costs memory on long runs).
+    pub record_trace: bool,
+    /// Run white-box replicas with their built-in heartbeat/election oracle
+    /// (150 ms heartbeats, 750 ms rank-staggered election timeout) instead of
+    /// externally injected leader changes. Off by default: the figure
+    /// benchmarks drive failovers explicitly and should not pay for
+    /// heartbeat traffic. The schedule explorer turns it on — under random
+    /// crashes and restarts only the protocol's own failure detector
+    /// reliably re-elects and re-synchronises groups.
+    pub auto_election: bool,
 }
 
 impl ClusterSpec {
@@ -82,6 +98,9 @@ impl ClusterSpec {
             seed: 42,
             max_batch: 1,
             batch_delay: Duration::ZERO,
+            nemesis: NemesisPlan::quiet(),
+            record_trace: false,
+            auto_election: false,
         }
     }
 
@@ -98,6 +117,9 @@ impl ClusterSpec {
             seed: 42,
             max_batch: 1,
             batch_delay: Duration::ZERO,
+            nemesis: NemesisPlan::quiet(),
+            record_trace: false,
+            auto_election: false,
         }
     }
 
@@ -114,6 +136,9 @@ impl ClusterSpec {
             seed: 7,
             max_batch: 1,
             batch_delay: Duration::ZERO,
+            nemesis: NemesisPlan::quiet(),
+            record_trace: false,
+            auto_election: false,
         }
     }
 
@@ -124,6 +149,29 @@ impl ClusterSpec {
     pub fn with_batching(mut self, max_batch: usize, batch_delay: Duration) -> Self {
         self.max_batch = max_batch.max(1);
         self.batch_delay = batch_delay;
+        self
+    }
+
+    /// Returns the spec with a fault schedule: the simulation executes the
+    /// plan's crashes/restarts and leader nudges and applies its link faults,
+    /// partitions and timer jitter throughout the run.
+    pub fn with_nemesis(mut self, nemesis: NemesisPlan) -> Self {
+        self.nemesis = nemesis;
+        self
+    }
+
+    /// Returns the spec with protocol-trace recording enabled (required by
+    /// the Figure 6 invariant checkers; see [`ProtocolSim::whitebox_trace`]).
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+
+    /// Returns the spec with the white-box replicas' built-in
+    /// heartbeat/election oracle enabled (see
+    /// [`auto_election`](Self::auto_election)).
+    pub fn with_auto_election(mut self) -> Self {
+        self.auto_election = true;
         self
     }
 
@@ -148,7 +196,8 @@ impl ClusterSpec {
             client_service_time: Duration::ZERO,
             gst: None,
             pre_gst_extra_delay: Duration::ZERO,
-            record_trace: false,
+            record_trace: self.record_trace,
+            nemesis: self.nemesis.clone(),
         }
     }
 }
@@ -180,8 +229,25 @@ impl ProtocolSim {
     ///
     /// # Panics
     ///
-    /// Panics if `protocol` is [`Protocol::Skeen`] and the group size is not 1.
+    /// Panics if `protocol` is [`Protocol::Skeen`] and the group size is not
+    /// 1, or if the spec produces a misconfigured replica (see
+    /// [`Self::try_build`]).
     pub fn build(protocol: Protocol, spec: &ClusterSpec) -> Self {
+        Self::try_build(protocol, spec).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a cluster of `spec` running `protocol`, reporting replica
+    /// misconfigurations as a typed [`ConfigError`] instead of aborting (the
+    /// schedule explorer turns these into findings).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] produced by a replica constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `protocol` is [`Protocol::Skeen`] and the group size is not 1.
+    pub fn try_build(protocol: Protocol, spec: &ClusterSpec) -> Result<Self, ConfigError> {
         let cluster = spec.cluster_config();
         let sim_config = spec.sim_config();
         let inner = match protocol {
@@ -189,11 +255,18 @@ impl ProtocolSim {
                 let mut sim = Simulation::new(sim_config);
                 for gc in cluster.groups() {
                     for member in gc.members() {
-                        let cfg = ReplicaConfig::new(*member, gc.id(), cluster.clone())
-                            .without_auto_election()
+                        let mut cfg = ReplicaConfig::new(*member, gc.id(), cluster.clone())
                             .with_batching(spec.max_batch, spec.batch_delay);
+                        cfg = if spec.auto_election {
+                            cfg.with_election_timeouts(
+                                Duration::from_millis(150),
+                                Duration::from_millis(750),
+                            )
+                        } else {
+                            cfg.without_auto_election()
+                        };
                         sim.add_replica(
-                            Box::new(WhiteBoxReplica::new(cfg)),
+                            Box::new(WhiteBoxReplica::try_new(cfg)?),
                             gc.id(),
                             cluster.site_of(*member),
                         );
@@ -220,7 +293,7 @@ impl ProtocolSim {
                     for member in gc.members() {
                         sim.add_replica(
                             Box::new(
-                                BaselineReplica::new(*member, gc.id(), cluster.clone(), mode)
+                                BaselineReplica::try_new(*member, gc.id(), cluster.clone(), mode)?
                                     .with_batching(spec.max_batch, spec.batch_delay),
                             ),
                             gc.id(),
@@ -268,13 +341,13 @@ impl ProtocolSim {
             }
         };
         let next_seq = vec![0; cluster.clients().len()];
-        ProtocolSim {
+        Ok(ProtocolSim {
             protocol,
             cluster,
             inner,
             next_seq,
             delivery_cursor: 0,
-        }
+        })
     }
 
     /// The protocol this cluster runs.
@@ -359,6 +432,56 @@ impl ProtocolSim {
             SimInner::WhiteBox(s) => s.schedule_crash(at, process),
             SimInner::Baseline(s) => s.schedule_crash(at, process),
             SimInner::Skeen(s) => s.schedule_crash(at, process),
+        }
+    }
+
+    /// Schedules a restart of a crashed `process` at `at` (see
+    /// [`Simulation::schedule_restart`]).
+    pub fn restart(&mut self, at: Duration, process: ProcessId) {
+        match &mut self.inner {
+            SimInner::WhiteBox(s) => s.schedule_restart(at, process),
+            SimInner::Baseline(s) => s.schedule_restart(at, process),
+            SimInner::Skeen(s) => s.schedule_restart(at, process),
+        }
+    }
+
+    /// All deliveries recorded so far (replica deliveries carry their group;
+    /// client completions have `group == None`).
+    pub fn deliveries(&self) -> &[DeliveryRecord] {
+        match &self.inner {
+            SimInner::WhiteBox(s) => s.deliveries(),
+            SimInner::Baseline(s) => s.deliveries(),
+            SimInner::Skeen(s) => s.deliveries(),
+        }
+    }
+
+    /// Read access to a white-box replica's state (via
+    /// [`Node::as_any`](wbam_types::Node::as_any)); `None` for other
+    /// protocols, clients, or unknown processes.
+    pub fn whitebox_replica(&self, p: ProcessId) -> Option<&WhiteBoxReplica> {
+        match &self.inner {
+            SimInner::WhiteBox(s) => s.node(p)?.as_any()?.downcast_ref(),
+            _ => None,
+        }
+    }
+
+    /// The recorded white-box protocol trace, as consumed by the Figure 6
+    /// invariant checkers in `wbam_core::invariants`. Returns `None` for
+    /// other protocols; empty unless the spec enabled
+    /// [`record_trace`](ClusterSpec::record_trace).
+    pub fn whitebox_trace(&self) -> Option<Vec<SentMessage>> {
+        match &self.inner {
+            SimInner::WhiteBox(s) => Some(
+                s.trace()
+                    .iter()
+                    .map(|e| SentMessage {
+                        from: e.from,
+                        to: e.to,
+                        msg: e.msg.clone(),
+                    })
+                    .collect(),
+            ),
+            _ => None,
         }
     }
 

@@ -15,16 +15,24 @@
 //!   the message-flow/convoy figures.
 //! * [`mod@sweep`] — parameter sweeps over client counts and destination-group
 //!   counts, producing the rows of Figures 7 and 8.
+//! * [`explorer`] — the seeded schedule explorer: randomized workloads and
+//!   nemesis fault plans, checked against the Figure 6 invariants and the
+//!   key-value store linearizability oracle, with replayable failure seeds.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod cluster;
+pub mod explorer;
 pub mod probe;
 pub mod sweep;
 pub mod workload;
 
 pub use cluster::{ClusterSpec, Protocol, ProtocolSim};
+pub use explorer::{
+    explore, generate_schedule, minimize, run_token, ExplorationReport, ExplorerConfig, Finding,
+    ScheduleReport, SeedToken,
+};
 pub use probe::{convoy_probe, latency_probe, LatencyProbeResult};
 pub use sweep::{sweep, BenchRecord, SweepPoint, SweepResult, SweepSpec};
 pub use workload::{run_closed_loop, ClosedLoopWorkload, WorkloadResult};

@@ -140,6 +140,9 @@ mod tests {
             seed: 3,
             max_batch: 1,
             batch_delay: Duration::ZERO,
+            nemesis: wbam_types::NemesisPlan::quiet(),
+            record_trace: false,
+            auto_election: false,
         }
     }
 

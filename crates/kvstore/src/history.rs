@@ -1,0 +1,763 @@
+//! History recording and the linearizability oracle.
+//!
+//! A [`KvHistory`] records one run of the key-value store over atomic
+//! multicast from two viewpoints:
+//!
+//! * **Client operations** ([`KvOp`]): when each command was invoked and when
+//!   its first completion reply reached the client.
+//! * **Replica applies** ([`KvApply`]): each replica's application of each
+//!   command, in that replica's own apply order, with the global timestamp
+//!   the protocol assigned and — for reads — the value the replica observed.
+//!
+//! [`KvHistory::check`] is a *white-box* linearizability oracle: atomic
+//! multicast exhibits the linearization order it claims (the global-timestamp
+//! order), so instead of searching all interleavings (NP-hard in general) the
+//! oracle verifies that this one order is a legal witness:
+//!
+//! 1. **Agreement** — every apply of an operation carries the same global
+//!    timestamp, and no two operations share one.
+//! 2. **Per-replica sanity** — every replica applies operations of its own
+//!    partition, at most once, in strictly increasing timestamp order.
+//! 3. **Real time** (*opt-in*, [`KvHistory::check_strict`]) — if operation
+//!    `a` completed (at its client) before operation `b` was invoked, then
+//!    `a` is ordered before `b`. This is deliberately not part of the default
+//!    check: *genuine* atomic multicast orders messages through per-group
+//!    logical clocks that only synchronise where destination sets intersect,
+//!    so a completed multi-group operation can legitimately be ordered after
+//!    a later operation whose groups never saw it (the classic
+//!    genuineness-vs-strictness trade-off). The default oracle therefore
+//!    verifies that the claimed order is a *serialization* that explains
+//!    every observation; the strict variant exists for histories that are
+//!    supposed to be real-time linearizable (e.g. single-group workloads).
+//! 4. **Read semantics** — replaying each partition's projection of the
+//!    order through a reference store predicts every read; each replica's
+//!    observed reads must match, as long as the replica's apply sequence is a
+//!    gap-free prefix of its partition's order. A gap (a missed delivery) is
+//!    tolerated only when the environment can explain it — the replica
+//!    crashed during the run, or the run lost messages (drops/partitions);
+//!    at a correct replica of a fault-free run a gap is itself a violation.
+//!
+//! If all checks pass, the global-timestamp order is a linearization of the
+//! client history, so the history is linearizable.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::time::Duration;
+
+use wbam_types::{GroupId, MsgId, ProcessId, Timestamp};
+
+use crate::{KvCommand, KvStore, Partitioner};
+
+/// One client operation of a recorded history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KvOp {
+    /// The multicast message carrying the command.
+    pub id: MsgId,
+    /// The command.
+    pub cmd: KvCommand,
+    /// When the client submitted it.
+    pub invoked_at: Duration,
+    /// When the client received its first completion reply; `None` if the
+    /// operation was still in flight when the run ended.
+    pub completed_at: Option<Duration>,
+}
+
+/// One replica-side application of an operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KvApply {
+    /// The applied operation.
+    pub op: MsgId,
+    /// The applying replica.
+    pub process: ProcessId,
+    /// The replica's partition (group).
+    pub group: GroupId,
+    /// The global timestamp the protocol delivered the operation with.
+    pub global_ts: Timestamp,
+    /// For a [`KvCommand::Get`] of a key this partition owns: the value the
+    /// replica observed (`Some(None)` for an absent key). `None` for writes.
+    pub read: Option<Option<i64>>,
+}
+
+/// A recorded run: operations, applies and the partitioning they ran under.
+#[derive(Debug, Clone, Default)]
+pub struct KvHistory {
+    /// Number of partitions (groups) keys were hashed over.
+    pub partitions: u32,
+    /// Client operations.
+    pub ops: Vec<KvOp>,
+    /// Replica applies. Entries of the same process must appear in that
+    /// process's apply order; interleaving between processes is irrelevant.
+    pub applies: Vec<KvApply>,
+}
+
+/// A violation found by the linearizability oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinearizabilityViolation {
+    /// An apply referenced an operation the history never invoked.
+    UnknownOp {
+        /// The unknown operation.
+        op: MsgId,
+        /// The replica that applied it.
+        process: ProcessId,
+    },
+    /// Two applies of one operation disagree on its global timestamp.
+    ConflictingGlobalTs {
+        /// The operation.
+        op: MsgId,
+        /// The two timestamps.
+        timestamps: (Timestamp, Timestamp),
+    },
+    /// Two different operations were applied with the same global timestamp.
+    SharedGlobalTs {
+        /// The two operations.
+        ops: (MsgId, MsgId),
+        /// The shared timestamp.
+        ts: Timestamp,
+    },
+    /// A replica applied an operation not addressed to its partition.
+    WrongPartition {
+        /// The replica.
+        process: ProcessId,
+        /// Its partition.
+        group: GroupId,
+        /// The misdelivered operation.
+        op: MsgId,
+    },
+    /// A replica applied the same operation twice.
+    DuplicateApply {
+        /// The replica.
+        process: ProcessId,
+        /// The operation.
+        op: MsgId,
+    },
+    /// A replica applied operations out of global-timestamp order.
+    OutOfOrderApply {
+        /// The replica.
+        process: ProcessId,
+        /// The operation applied earlier despite the larger timestamp.
+        earlier: MsgId,
+        /// The operation applied later despite the smaller timestamp.
+        later: MsgId,
+    },
+    /// Real-time order violated: `first` completed before `second` was
+    /// invoked, yet the linearization orders `second` first.
+    RealTimeViolation {
+        /// The operation that completed first.
+        first: MsgId,
+        /// The operation invoked after `first` completed.
+        second: MsgId,
+    },
+    /// An operation completed at its client but no replica recorded applying
+    /// it — a reply without a delivery.
+    CompletedWithoutApply {
+        /// The operation.
+        op: MsgId,
+    },
+    /// A read observed a value different from the reference replay.
+    StaleRead {
+        /// The replica that read.
+        process: ProcessId,
+        /// The read operation.
+        op: MsgId,
+        /// The value the reference replay predicts.
+        expected: Option<i64>,
+        /// The value the replica observed.
+        observed: Option<i64>,
+    },
+    /// A replica that never crashed, in a run that never lost messages,
+    /// skipped an operation of its partition.
+    MissedDelivery {
+        /// The replica.
+        process: ProcessId,
+        /// The first operation it skipped.
+        op: MsgId,
+    },
+}
+
+impl fmt::Display for LinearizabilityViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use LinearizabilityViolation::*;
+        match self {
+            UnknownOp { op, process } => {
+                write!(f, "{process} applied {op} which was never invoked")
+            }
+            ConflictingGlobalTs { op, timestamps } => write!(
+                f,
+                "{op} applied with global timestamps {} and {}",
+                timestamps.0, timestamps.1
+            ),
+            SharedGlobalTs { ops, ts } => write!(
+                f,
+                "{} and {} both applied with global timestamp {ts}",
+                ops.0, ops.1
+            ),
+            WrongPartition { process, group, op } => write!(
+                f,
+                "{process} (partition {group}) applied {op}, which is not addressed to {group}"
+            ),
+            DuplicateApply { process, op } => write!(f, "{process} applied {op} twice"),
+            OutOfOrderApply {
+                process,
+                earlier,
+                later,
+            } => write!(
+                f,
+                "{process} applied {earlier} before {later} despite a larger global timestamp"
+            ),
+            RealTimeViolation { first, second } => write!(
+                f,
+                "real-time order violated: {first} completed before {second} was invoked but is \
+                 linearized after it"
+            ),
+            CompletedWithoutApply { op } => {
+                write!(f, "{op} completed at its client but was never applied")
+            }
+            StaleRead {
+                process,
+                op,
+                expected,
+                observed,
+            } => write!(
+                f,
+                "stale read at {process}: {op} observed {observed:?}, linearization predicts \
+                 {expected:?}"
+            ),
+            MissedDelivery { process, op } => write!(
+                f,
+                "{process} never applied {op} although it never crashed and no message was lost"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LinearizabilityViolation {}
+
+/// Summary statistics of a successful oracle pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OracleReport {
+    /// Reads whose observed value was checked against the reference replay.
+    pub checked_reads: usize,
+    /// Reads skipped because they happened after an (excused) delivery gap.
+    pub skipped_reads: usize,
+    /// Replicas whose apply sequence had an excused gap.
+    pub gapped_processes: usize,
+    /// Operations with a global timestamp (applied somewhere).
+    pub ordered_ops: usize,
+}
+
+impl KvHistory {
+    /// Records an operation invocation.
+    pub fn invoke(&mut self, id: MsgId, cmd: KvCommand, at: Duration) {
+        self.ops.push(KvOp {
+            id,
+            cmd,
+            invoked_at: at,
+            completed_at: None,
+        });
+    }
+
+    /// Records the first completion of an operation (later calls win only if
+    /// earlier — the client's view is the *first* reply).
+    pub fn complete(&mut self, id: MsgId, at: Duration) {
+        if let Some(op) = self.ops.iter_mut().find(|o| o.id == id) {
+            op.completed_at = Some(match op.completed_at {
+                Some(existing) => existing.min(at),
+                None => at,
+            });
+        }
+    }
+
+    /// Records a replica-side apply. Calls for one process must arrive in
+    /// that process's apply order.
+    pub fn applied(
+        &mut self,
+        op: MsgId,
+        process: ProcessId,
+        group: GroupId,
+        global_ts: Timestamp,
+        read: Option<Option<i64>>,
+    ) {
+        self.applies.push(KvApply {
+            op,
+            process,
+            group,
+            global_ts,
+            read,
+        });
+    }
+
+    /// Runs the linearizability oracle over the history.
+    ///
+    /// `faulty` lists processes that crashed at some point during the run and
+    /// `lossy` says whether the run could lose messages (drops or
+    /// partitions); both only *excuse delivery gaps* — every other check is
+    /// unconditional. Real-time order is *not* checked (see the module docs
+    /// and [`Self::check_strict`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn check(
+        &self,
+        faulty: &BTreeSet<ProcessId>,
+        lossy: bool,
+    ) -> Result<OracleReport, LinearizabilityViolation> {
+        self.check_internal(faulty, lossy, false)
+    }
+
+    /// Like [`Self::check`] but additionally enforces real-time order:
+    /// an operation that completed at its client before another was invoked
+    /// must be linearized before it. Genuine multi-group multicast does not
+    /// promise this across groups (see the module docs); use the strict
+    /// variant for workloads where it should hold.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn check_strict(
+        &self,
+        faulty: &BTreeSet<ProcessId>,
+        lossy: bool,
+    ) -> Result<OracleReport, LinearizabilityViolation> {
+        self.check_internal(faulty, lossy, true)
+    }
+
+    fn check_internal(
+        &self,
+        faulty: &BTreeSet<ProcessId>,
+        lossy: bool,
+        strict_real_time: bool,
+    ) -> Result<OracleReport, LinearizabilityViolation> {
+        let partitioner = Partitioner::new(self.partitions.max(1));
+        let op_index: BTreeMap<MsgId, &KvOp> = self.ops.iter().map(|o| (o.id, o)).collect();
+
+        // 1. Global-timestamp agreement and uniqueness.
+        let mut gts_of: BTreeMap<MsgId, Timestamp> = BTreeMap::new();
+        let mut op_of: BTreeMap<Timestamp, MsgId> = BTreeMap::new();
+        for apply in &self.applies {
+            let Some(op) = op_index.get(&apply.op) else {
+                return Err(LinearizabilityViolation::UnknownOp {
+                    op: apply.op,
+                    process: apply.process,
+                });
+            };
+            match gts_of.get(&apply.op) {
+                None => {
+                    gts_of.insert(apply.op, apply.global_ts);
+                }
+                Some(existing) if *existing == apply.global_ts => {}
+                Some(existing) => {
+                    return Err(LinearizabilityViolation::ConflictingGlobalTs {
+                        op: apply.op,
+                        timestamps: (*existing, apply.global_ts),
+                    });
+                }
+            }
+            match op_of.get(&apply.global_ts) {
+                None => {
+                    op_of.insert(apply.global_ts, apply.op);
+                }
+                Some(existing) if *existing == apply.op => {}
+                Some(existing) => {
+                    return Err(LinearizabilityViolation::SharedGlobalTs {
+                        ops: (*existing, apply.op),
+                        ts: apply.global_ts,
+                    });
+                }
+            }
+            // 2a. Partition membership.
+            let dest = partitioner
+                .destination_of(op.cmd.keys())
+                .expect("commands touch at least one key");
+            if !dest.contains(apply.group) {
+                return Err(LinearizabilityViolation::WrongPartition {
+                    process: apply.process,
+                    group: apply.group,
+                    op: apply.op,
+                });
+            }
+        }
+
+        // 2b. Per-replica order and uniqueness.
+        let mut per_process: BTreeMap<ProcessId, Vec<&KvApply>> = BTreeMap::new();
+        for apply in &self.applies {
+            per_process.entry(apply.process).or_default().push(apply);
+        }
+        for (process, seq) in &per_process {
+            let mut seen: BTreeSet<MsgId> = BTreeSet::new();
+            let mut last: Option<(MsgId, Timestamp)> = None;
+            for apply in seq {
+                if !seen.insert(apply.op) {
+                    return Err(LinearizabilityViolation::DuplicateApply {
+                        process: *process,
+                        op: apply.op,
+                    });
+                }
+                if let Some((prev_op, prev_ts)) = last {
+                    if prev_ts > apply.global_ts {
+                        return Err(LinearizabilityViolation::OutOfOrderApply {
+                            process: *process,
+                            earlier: prev_op,
+                            later: apply.op,
+                        });
+                    }
+                }
+                last = Some((apply.op, apply.global_ts));
+            }
+        }
+
+        // 3. Real time: for operations in linearization (gts) order, no
+        // later-ordered operation may have completed before an
+        // earlier-ordered one was invoked. Using a suffix-minimum of the
+        // completion times keeps this O(n log n).
+        let mut ordered: Vec<(Timestamp, &KvOp)> = self
+            .ops
+            .iter()
+            .filter_map(|o| gts_of.get(&o.id).map(|ts| (*ts, o)))
+            .collect();
+        ordered.sort_by_key(|(ts, _)| *ts);
+        for op in &self.ops {
+            if op.completed_at.is_some() && !gts_of.contains_key(&op.id) {
+                return Err(LinearizabilityViolation::CompletedWithoutApply { op: op.id });
+            }
+        }
+        let mut suffix_min_complete: Vec<Duration> = vec![Duration::MAX; ordered.len() + 1];
+        for i in (0..ordered.len()).rev() {
+            let complete = ordered[i].1.completed_at.unwrap_or(Duration::MAX);
+            suffix_min_complete[i] = complete.min(suffix_min_complete[i + 1]);
+        }
+        for (i, (_, op)) in ordered.iter().enumerate() {
+            if strict_real_time && suffix_min_complete[i + 1] < op.invoked_at {
+                // Some operation ordered after `op` completed before `op` was
+                // invoked; find it for the report.
+                let witness = ordered[i + 1..]
+                    .iter()
+                    .find(|(_, o)| o.completed_at.unwrap_or(Duration::MAX) < op.invoked_at)
+                    .map(|(_, o)| o.id)
+                    .expect("suffix minimum came from some operation");
+                return Err(LinearizabilityViolation::RealTimeViolation {
+                    first: witness,
+                    second: op.id,
+                });
+            }
+        }
+
+        // 4. Read semantics via reference replay. Per partition: the
+        // projection of the linearization and the predicted value of every
+        // read.
+        type PartitionReplay = (KvStore, Vec<(MsgId, Option<Option<i64>>)>);
+        let mut reference: BTreeMap<GroupId, PartitionReplay> = BTreeMap::new();
+        for (_, op) in &ordered {
+            let dest = partitioner
+                .destination_of(op.cmd.keys())
+                .expect("commands touch at least one key");
+            for group in dest.iter() {
+                let (store, order) = reference
+                    .entry(group)
+                    .or_insert_with(|| (KvStore::with_partitioner(group, partitioner), Vec::new()));
+                let predicted = store.apply_read(&op.cmd);
+                order.push((op.id, predicted));
+            }
+        }
+        let mut report = OracleReport {
+            ordered_ops: ordered.len(),
+            ..OracleReport::default()
+        };
+        for (process, seq) in &per_process {
+            let group = seq[0].group;
+            let empty = (KvStore::new(group), Vec::new());
+            let (_, order) = reference.get(&group).unwrap_or(&empty);
+            // Compare the replica's sequence against its partition's
+            // projection of the linearization: element by element until the
+            // first gap.
+            let mut cursor = 0usize;
+            let mut gapped = false;
+            for apply in seq {
+                // Advance the cursor to this apply's position in the
+                // projection; skipped entries are gaps.
+                let mut skipped_here = false;
+                while cursor < order.len() && order[cursor].0 != apply.op {
+                    skipped_here = true;
+                    let missed = order[cursor].0;
+                    if !gapped && !faulty.contains(process) && !lossy {
+                        return Err(LinearizabilityViolation::MissedDelivery {
+                            process: *process,
+                            op: missed,
+                        });
+                    }
+                    cursor += 1;
+                }
+                gapped |= skipped_here;
+                debug_assert!(cursor < order.len(), "apply order verified above");
+                let predicted = order[cursor].1;
+                cursor += 1;
+                if let Some(observed) = apply.read {
+                    if gapped {
+                        // After a gap the replica's state legitimately
+                        // diverges from the reference; its reads cannot be
+                        // checked against the linearization.
+                        report.skipped_reads += 1;
+                    } else {
+                        report.checked_reads += 1;
+                        let expected =
+                            predicted.expect("read recorded for a non-read or unowned key");
+                        if expected != observed {
+                            return Err(LinearizabilityViolation::StaleRead {
+                                process: *process,
+                                op: apply.op,
+                                expected,
+                                observed,
+                            });
+                        }
+                    }
+                }
+            }
+            if gapped {
+                report.gapped_processes += 1;
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbam_types::GroupId;
+
+    fn op_id(seq: u64) -> MsgId {
+        MsgId::new(ProcessId(100), seq)
+    }
+
+    fn ts(t: u64) -> Timestamp {
+        Timestamp::new(t, GroupId(0))
+    }
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    /// A single-partition history: put x=1, get x → 1, both applied in order
+    /// at two replicas of partition 0.
+    fn linearizable_history() -> KvHistory {
+        let mut h = KvHistory {
+            partitions: 1,
+            ..KvHistory::default()
+        };
+        h.invoke(op_id(0), KvCommand::put("x", 1), ms(0));
+        h.complete(op_id(0), ms(10));
+        h.invoke(op_id(1), KvCommand::get("x"), ms(20));
+        h.complete(op_id(1), ms(30));
+        for p in [ProcessId(0), ProcessId(1)] {
+            h.applied(op_id(0), p, GroupId(0), ts(1), None);
+            h.applied(op_id(1), p, GroupId(0), ts(2), Some(Some(1)));
+        }
+        h
+    }
+
+    #[test]
+    fn accepts_a_linearizable_history() {
+        let report = linearizable_history()
+            .check(&BTreeSet::new(), false)
+            .expect("history is linearizable");
+        assert_eq!(report.checked_reads, 2);
+        assert_eq!(report.skipped_reads, 0);
+        assert_eq!(report.ordered_ops, 2);
+    }
+
+    #[test]
+    fn rejects_a_stale_read() {
+        let mut h = linearizable_history();
+        // Replica 1 observes the pre-put value.
+        h.applies
+            .iter_mut()
+            .find(|a| a.process == ProcessId(1) && a.op == op_id(1))
+            .unwrap()
+            .read = Some(None);
+        let err = h.check(&BTreeSet::new(), false).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                LinearizabilityViolation::StaleRead { observed: None, .. }
+            ),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn rejects_a_real_time_inversion() {
+        // op 0 completes at 10 ms, op 1 is invoked at 20 ms — but the
+        // linearization orders op 1 *before* op 0.
+        let mut h = KvHistory {
+            partitions: 1,
+            ..KvHistory::default()
+        };
+        h.invoke(op_id(0), KvCommand::put("x", 1), ms(0));
+        h.complete(op_id(0), ms(10));
+        h.invoke(op_id(1), KvCommand::put("x", 2), ms(20));
+        h.complete(op_id(1), ms(30));
+        h.applied(op_id(0), ProcessId(0), GroupId(0), ts(5), None);
+        h.applied(op_id(1), ProcessId(0), GroupId(0), ts(2), None);
+        let err = h.check(&BTreeSet::new(), false).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                LinearizabilityViolation::OutOfOrderApply { .. }
+                    | LinearizabilityViolation::RealTimeViolation { .. }
+            ),
+            "got {err}"
+        );
+        // The same inversion observed only through a second replica (so both
+        // per-replica sequences are locally ordered) is caught by the
+        // real-time check proper.
+        let mut h2 = KvHistory {
+            partitions: 1,
+            ..KvHistory::default()
+        };
+        h2.invoke(op_id(0), KvCommand::put("x", 1), ms(0));
+        h2.complete(op_id(0), ms(10));
+        h2.invoke(op_id(1), KvCommand::put("x", 2), ms(20));
+        h2.complete(op_id(1), ms(30));
+        for p in [ProcessId(0), ProcessId(1)] {
+            h2.applied(op_id(1), p, GroupId(0), ts(2), None);
+            h2.applied(op_id(0), p, GroupId(0), ts(5), None);
+        }
+        let err = h2.check_strict(&BTreeSet::new(), false).unwrap_err();
+        assert!(
+            matches!(err, LinearizabilityViolation::RealTimeViolation { first, second }
+                if first == op_id(0) && second == op_id(1)),
+            "got {err}"
+        );
+        // The default oracle deliberately tolerates the inversion: genuine
+        // multicast only promises a serialization (see module docs).
+        assert!(h2.check(&BTreeSet::new(), false).is_ok());
+    }
+
+    #[test]
+    fn rejects_conflicting_and_shared_global_timestamps() {
+        let mut h = linearizable_history();
+        h.applies[2].global_ts = ts(9); // replica 1's apply of op 0 disagrees
+        assert!(matches!(
+            h.check(&BTreeSet::new(), false).unwrap_err(),
+            LinearizabilityViolation::ConflictingGlobalTs { .. }
+        ));
+
+        let mut h = linearizable_history();
+        // Give op 1 the same timestamp as op 0 everywhere.
+        for a in h.applies.iter_mut().filter(|a| a.op == op_id(1)) {
+            a.global_ts = ts(1);
+        }
+        assert!(matches!(
+            h.check(&BTreeSet::new(), false).unwrap_err(),
+            LinearizabilityViolation::SharedGlobalTs { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_and_unknown_applies() {
+        let mut h = linearizable_history();
+        let dup = h.applies[0].clone();
+        h.applies.push(dup);
+        assert!(matches!(
+            h.check(&BTreeSet::new(), false).unwrap_err(),
+            LinearizabilityViolation::DuplicateApply { .. }
+        ));
+
+        let mut h = linearizable_history();
+        h.applied(op_id(77), ProcessId(0), GroupId(0), ts(9), None);
+        assert!(matches!(
+            h.check(&BTreeSet::new(), false).unwrap_err(),
+            LinearizabilityViolation::UnknownOp { .. }
+        ));
+    }
+
+    #[test]
+    fn completed_operations_must_have_been_applied() {
+        let mut h = KvHistory {
+            partitions: 1,
+            ..KvHistory::default()
+        };
+        h.invoke(op_id(0), KvCommand::put("x", 1), ms(0));
+        h.complete(op_id(0), ms(10));
+        assert!(matches!(
+            h.check(&BTreeSet::new(), false).unwrap_err(),
+            LinearizabilityViolation::CompletedWithoutApply { .. }
+        ));
+    }
+
+    #[test]
+    fn gaps_are_rejected_at_correct_replicas_and_excused_at_faulty_ones() {
+        let gap_history = || {
+            let mut h = linearizable_history();
+            // Replica 1 misses op 0 entirely: drop its first apply.
+            h.applies
+                .retain(|a| !(a.process == ProcessId(1) && a.op == op_id(0)));
+            // Its read therefore observes the pre-put state.
+            h.applies
+                .iter_mut()
+                .find(|a| a.process == ProcessId(1))
+                .unwrap()
+                .read = Some(None);
+            h
+        };
+        // Fault-free, loss-free: the gap is a violation.
+        assert!(matches!(
+            gap_history().check(&BTreeSet::new(), false).unwrap_err(),
+            LinearizabilityViolation::MissedDelivery { process, .. } if process == ProcessId(1)
+        ));
+        // The replica crashed during the run: the gap (and the now-unverifiable
+        // read) are excused.
+        let faulty: BTreeSet<ProcessId> = [ProcessId(1)].into_iter().collect();
+        let report = gap_history().check(&faulty, false).unwrap();
+        assert_eq!(report.gapped_processes, 1);
+        assert_eq!(report.skipped_reads, 1);
+        assert_eq!(report.checked_reads, 1);
+        // A lossy network excuses it too.
+        assert!(gap_history().check(&BTreeSet::new(), true).is_ok());
+    }
+
+    #[test]
+    fn multi_partition_transfer_reads_check_out() {
+        // Two partitions; find keys on each.
+        let p = Partitioner::new(2);
+        let key_a = (0..100)
+            .map(|i| format!("a{i}"))
+            .find(|k| p.partition_of(k) == GroupId(0))
+            .unwrap();
+        let key_b = (0..100)
+            .map(|i| format!("b{i}"))
+            .find(|k| p.partition_of(k) == GroupId(1))
+            .unwrap();
+        let mut h = KvHistory {
+            partitions: 2,
+            ..KvHistory::default()
+        };
+        h.invoke(op_id(0), KvCommand::put(&key_a, 100), ms(0));
+        h.invoke(op_id(1), KvCommand::transfer(&key_a, &key_b, 30), ms(1));
+        h.invoke(op_id(2), KvCommand::get(&key_a), ms(2));
+        h.invoke(op_id(3), KvCommand::get(&key_b), ms(3));
+        for id in 0..4 {
+            h.complete(op_id(id), ms(50 + id));
+        }
+        // Partition 0 applies ops 0, 1, 2; partition 1 applies ops 1, 3.
+        h.applied(op_id(0), ProcessId(0), GroupId(0), ts(1), None);
+        h.applied(op_id(1), ProcessId(0), GroupId(0), ts(2), None);
+        h.applied(op_id(2), ProcessId(0), GroupId(0), ts(3), Some(Some(70)));
+        h.applied(op_id(1), ProcessId(3), GroupId(1), ts(2), None);
+        h.applied(op_id(3), ProcessId(3), GroupId(1), ts(4), Some(Some(30)));
+        let report = h.check(&BTreeSet::new(), false).unwrap();
+        assert_eq!(report.checked_reads, 2);
+        assert_eq!(report.ordered_ops, 4);
+
+        // A wrong transfer observation is caught.
+        h.applies
+            .iter_mut()
+            .find(|a| a.op == op_id(3))
+            .unwrap()
+            .read = Some(Some(29));
+        assert!(matches!(
+            h.check(&BTreeSet::new(), false).unwrap_err(),
+            LinearizabilityViolation::StaleRead { .. }
+        ));
+    }
+}

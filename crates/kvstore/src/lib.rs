@@ -34,6 +34,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod history;
+
+pub use history::{KvApply, KvHistory, KvOp, LinearizabilityViolation, OracleReport};
+
 use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
@@ -105,6 +109,13 @@ pub enum KvCommand {
         /// Amount to move.
         amount: i64,
     },
+    /// Read `key` at the command's position in the total order. The observed
+    /// value is what the linearizability oracle checks against a replay of
+    /// the global-timestamp order (see [`history`]).
+    Get {
+        /// The key.
+        key: String,
+    },
 }
 
 impl KvCommand {
@@ -133,12 +144,26 @@ impl KvCommand {
         }
     }
 
+    /// Convenience constructor for [`KvCommand::Get`].
+    pub fn get(key: &str) -> Self {
+        KvCommand::Get {
+            key: key.to_string(),
+        }
+    }
+
     /// The keys this command touches.
     pub fn keys(&self) -> Vec<&str> {
         match self {
-            KvCommand::Put { key, .. } | KvCommand::Add { key, .. } => vec![key],
+            KvCommand::Put { key, .. } | KvCommand::Add { key, .. } | KvCommand::Get { key } => {
+                vec![key]
+            }
             KvCommand::Transfer { from, to, .. } => vec![from, to],
         }
+    }
+
+    /// Whether the command is a read.
+    pub fn is_read(&self) -> bool {
+        matches!(self, KvCommand::Get { .. })
     }
 
     /// Encodes the command as an [`AppMessage`] addressed to the partitions of
@@ -232,17 +257,28 @@ impl KvStore {
 
     /// Applies a command (the projection of it that concerns this partition).
     pub fn apply(&mut self, cmd: &KvCommand) {
+        let _ = self.apply_read(cmd);
+    }
+
+    /// Applies a command and, if it is a [`KvCommand::Get`] for a key this
+    /// partition owns, returns `Some(observed)` — the value the read sees at
+    /// this point in the replica's apply order (`None` inside the `Some` for
+    /// an absent key). Returns `None` for writes and for reads of keys owned
+    /// by other partitions.
+    pub fn apply_read(&mut self, cmd: &KvCommand) -> Option<Option<i64>> {
         self.applied += 1;
         match cmd {
             KvCommand::Put { key, value } => {
                 if self.owns(key) {
                     self.data.insert(key.clone(), *value);
                 }
+                None
             }
             KvCommand::Add { key, delta } => {
                 if self.owns(key) {
                     *self.data.entry(key.clone()).or_insert(0) += delta;
                 }
+                None
             }
             KvCommand::Transfer { from, to, amount } => {
                 if self.owns(from) {
@@ -250,6 +286,14 @@ impl KvStore {
                 }
                 if self.owns(to) {
                     *self.data.entry(to.clone()).or_insert(0) += amount;
+                }
+                None
+            }
+            KvCommand::Get { key } => {
+                if self.owns(key) {
+                    Some(self.data.get(key).copied())
+                } else {
+                    None
                 }
             }
         }

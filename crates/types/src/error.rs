@@ -22,6 +22,19 @@ pub enum ConfigError {
     NoGroups,
     /// The same process appears in two groups or as both a replica and a client.
     DuplicateProcess(ProcessId),
+    /// A replica (or client) referenced a group that does not exist in the
+    /// cluster configuration.
+    UnknownGroup {
+        /// The missing group.
+        group: GroupId,
+    },
+    /// A replica was configured for a group it is not a member of.
+    NotAMember {
+        /// The misconfigured replica.
+        process: ProcessId,
+        /// The group it claimed to belong to.
+        group: GroupId,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -36,6 +49,12 @@ impl fmt::Display for ConfigError {
             ConfigError::NoGroups => write!(f, "cluster configuration contains no groups"),
             ConfigError::DuplicateProcess(p) => {
                 write!(f, "process {p} appears more than once in the configuration")
+            }
+            ConfigError::UnknownGroup { group } => {
+                write!(f, "group {group} not in cluster configuration")
+            }
+            ConfigError::NotAMember { process, group } => {
+                write!(f, "replica {process} is not a member of group {group}")
             }
         }
     }

@@ -43,6 +43,16 @@ pub enum Event<M> {
     /// node that it should consider itself the leader of its group and start
     /// recovery. Corresponds to invoking `recover()` (Figure 4 line 35).
     BecomeLeader,
+    /// The node's process crashed and has come back up with its durable state
+    /// intact (everything a synchronously persisting implementation would
+    /// recover from its log). Volatile context was lost with the crash —
+    /// armed timers never fire, and messages that arrived during the downtime
+    /// were dropped (messages still in flight at the restart are delivered
+    /// like any delayed packet). The node should discard purely in-memory
+    /// bookkeeping, re-arm the timers it needs, and rejoin the protocol. The
+    /// paper's model is crash-stop (§II); restart is our extension for fault
+    /// exploration.
+    Restart,
 }
 
 impl<M> Event<M> {

@@ -46,6 +46,7 @@ pub mod error;
 pub mod event;
 pub mod ids;
 pub mod message;
+pub mod nemesis;
 pub mod node;
 pub mod phase;
 pub mod timestamp;
@@ -58,6 +59,7 @@ pub use error::{ConfigError, WbamError};
 pub use event::Event;
 pub use ids::{ClientId, GroupId, MsgId, ProcessId};
 pub use message::{AppMessage, Destination, Payload};
+pub use nemesis::{CrashSpec, LeaderNudge, LinkFaults, NemesisPlan, PartitionSpec};
 pub use node::{Node, TimerId};
 pub use phase::Phase;
 pub use timestamp::Timestamp;

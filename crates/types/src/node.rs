@@ -47,6 +47,14 @@ pub trait Node {
     /// runtime; deterministic protocols use it only for arming timers and for
     /// instrumentation, never to branch on wall-clock values.
     fn on_event(&mut self, now: Duration, event: Event<Self::Msg>) -> Vec<Action<Self::Msg>>;
+
+    /// Optional downcast hook: concrete node types may return `Some(self)` so
+    /// that runtimes and test harnesses can inspect protocol state behind a
+    /// `dyn Node` (the schedule explorer uses this to include per-replica
+    /// state in failure reports). The default opts out.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 #[cfg(test)]

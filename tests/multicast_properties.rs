@@ -41,6 +41,9 @@ fn run_random_workload(
         seed,
         max_batch: 1,
         batch_delay: Duration::ZERO,
+        nemesis: wbam_types::NemesisPlan::quiet(),
+        record_trace: false,
+        auto_election: false,
     };
     let mut sim = ProtocolSim::build(protocol, &spec);
     let group_ids: Vec<GroupId> = (0..num_groups as u32).map(GroupId).collect();
@@ -165,6 +168,9 @@ fn run_batched_conflicting_workload(
         seed,
         max_batch,
         batch_delay,
+        nemesis: wbam_types::NemesisPlan::quiet(),
+        record_trace: false,
+        auto_election: false,
     };
     let mut sim = ProtocolSim::build(Protocol::WhiteBox, &spec);
     // Conflicting destinations: always at least two of the first three groups.
