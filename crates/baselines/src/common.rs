@@ -13,14 +13,24 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
-use wbam_consensus::{PaxosConfig, PaxosMsg, PaxosOutput, PaxosReplica};
+use wbam_consensus::{PaxosConfig, PaxosMsg, PaxosOutput, PaxosReplica, Slot};
 use wbam_types::{
-    Action, AppMessage, ClusterConfig, ConfigError, DeliveredMessage, Event, GroupId, MsgId, Node,
-    Phase, ProcessId, TimerId, Timestamp,
+    Action, AppMessage, Ballot, Checkpoint, ClusterConfig, ConfigError, DeliveredFilter,
+    DeliveredMessage, Event, GroupId, MsgId, Node, Phase, ProcessId, TimerId, Timestamp,
 };
 
 /// Timer used by a batching baseline leader to flush a partial batch.
 const BATCH_TIMER: TimerId = TimerId(1);
+
+/// Timer pumping a restarted follower's catch-up request until the leader's
+/// `STATE_TRANSFER` arrives (either message may be lost; the slots the
+/// follower slept through can be below the leader's compacted log frontier,
+/// so normal Paxos traffic alone can never fill the gap).
+const CATCHUP_TIMER: TimerId = TimerId(2);
+
+/// How long a restarted follower waits for a `STATE_TRANSFER` before
+/// re-sending its catch-up request.
+const CATCHUP_RETRY: Duration = Duration::from_millis(500);
 
 /// Commands replicated within a group by the baselines' consensus layer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -81,6 +91,47 @@ pub enum BaselineMsg {
     },
     /// An intra-group consensus message.
     Paxos(PaxosMsg<Command>),
+    /// Compaction: a member reports its delivery progress to the group
+    /// leader, who folds it into the group's delivery watermark (the
+    /// baselines' counterpart of the white-box `STABLE_REPORT`, so the three
+    /// protocols stay comparable under long runs).
+    StableReport {
+        /// The reporting member's group.
+        group: GroupId,
+        /// The member's highest delivered global timestamp.
+        delivered_gts: Timestamp,
+    },
+    /// Compaction: a leader disseminates its watermark knowledge to its group
+    /// members and to remote leaders. Receivers merge pointwise by maximum
+    /// and prune records (and the consensus-log prefix) covered by every
+    /// destination group's watermark.
+    StableAdvance {
+        /// Per-group delivery watermarks.
+        watermarks: BTreeMap<GroupId, Timestamp>,
+    },
+    /// Compaction: a restarted (or lagging) replica asks its leader for a
+    /// catch-up.
+    CatchupRequest {
+        /// The requesting replica's group.
+        group: GroupId,
+        /// The requester's delivery progress.
+        delivered_gts: Timestamp,
+        /// The requester's next undecided consensus slot.
+        next_slot: Slot,
+    },
+    /// Compaction: the leader's catch-up reply — a checkpoint plus the
+    /// resident consensus-log suffix, instead of per-message replay. A
+    /// requester below the checkpoint's watermark installs the checkpoint
+    /// (jumping its delivery progress) and replays only the suffix.
+    StateTransfer {
+        /// The leader's ordering-layer checkpoint.
+        checkpoint: Checkpoint,
+        /// The leader's log-compaction frontier (slots below it are gone;
+        /// their effects are covered by the checkpoint).
+        frontier: Slot,
+        /// The resident chosen log suffix at or above the frontier.
+        log: Vec<(Slot, Command)>,
+    },
     /// Reply to the message's original sender after delivery.
     ClientReply {
         /// The delivered message.
@@ -180,6 +231,32 @@ pub struct BaselineReplica {
     batch_buffer: Vec<MsgId>,
     /// Whether the batch-flush timer is armed.
     batch_timer_armed: bool,
+    /// Compaction: deliveries between `STABLE` rounds (zero disables).
+    compaction_interval: u64,
+    /// Compaction: recently delivered records retained below the watermark.
+    compaction_lag: usize,
+    /// Compaction: per-group delivery watermarks as currently known.
+    stable_watermarks: BTreeMap<GroupId, Timestamp>,
+    /// Compaction (leader): latest reported delivery progress per member.
+    member_delivered: BTreeMap<ProcessId, Timestamp>,
+    /// Compaction: deliveries since the last report/recompute.
+    deliveries_since_stable: u64,
+    /// Compaction: delivered-but-not-pruned records in timestamp order.
+    delivered_index: BTreeSet<(Timestamp, MsgId)>,
+    /// Compaction: bounded filter of delivered message identifiers.
+    dedup: DeliveredFilter,
+    /// Compaction: decided consensus slots and the message each concerns —
+    /// the map that lets record pruning advance the consensus-log frontier.
+    slot_msgs: BTreeMap<Slot, MsgId>,
+    /// Records pruned so far.
+    pruned_count: u64,
+    /// Catch-ups that jumped this replica's progress over pruned history.
+    transfer_recoveries: u64,
+    /// Highest watermark a catch-up jumped this replica's progress to.
+    transfer_excused_below: Timestamp,
+    /// Whether a catch-up request is outstanding (retried on
+    /// [`CATCHUP_TIMER`] until a `STATE_TRANSFER` lands).
+    catchup_pending: bool,
 }
 
 impl BaselineReplica {
@@ -231,6 +308,18 @@ impl BaselineReplica {
             batch_delay: Duration::ZERO,
             batch_buffer: Vec::new(),
             batch_timer_armed: false,
+            compaction_interval: 0,
+            compaction_lag: 0,
+            stable_watermarks: BTreeMap::new(),
+            member_delivered: BTreeMap::new(),
+            deliveries_since_stable: 0,
+            delivered_index: BTreeSet::new(),
+            dedup: DeliveredFilter::new(),
+            slot_msgs: BTreeMap::new(),
+            pruned_count: 0,
+            transfer_recoveries: 0,
+            transfer_excused_below: Timestamp::BOTTOM,
+            catchup_pending: false,
             cluster,
         })
     }
@@ -258,6 +347,70 @@ impl BaselineReplica {
         !self.batch_delay.is_zero() && self.max_batch > 1
     }
 
+    /// Enables record + consensus-log compaction, mirroring
+    /// `ReplicaConfig::with_compaction` of the white-box protocol so the
+    /// baselines stay comparable on long runs. A zero `interval` disables it.
+    pub fn with_compaction(mut self, interval: u64, lag: usize) -> Self {
+        self.compaction_interval = interval;
+        self.compaction_lag = lag;
+        self
+    }
+
+    /// Whether compaction is enabled.
+    pub fn compaction_enabled(&self) -> bool {
+        self.compaction_interval > 0
+    }
+
+    /// Number of message records currently resident.
+    pub fn live_records(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Number of consensus-log entries currently resident.
+    pub fn log_len(&self) -> usize {
+        self.paxos.log_len()
+    }
+
+    /// This replica's own group's delivery watermark.
+    pub fn watermark(&self) -> Timestamp {
+        self.stable_watermarks
+            .get(&self.group)
+            .copied()
+            .unwrap_or(Timestamp::BOTTOM)
+    }
+
+    /// Records pruned by compaction so far.
+    pub fn pruned_count(&self) -> u64 {
+        self.pruned_count
+    }
+
+    /// Catch-ups that jumped this replica's delivery progress over pruned
+    /// history.
+    pub fn transfer_recoveries(&self) -> u64 {
+        self.transfer_recoveries
+    }
+
+    /// The highest watermark a catch-up jumped this replica's progress to
+    /// (deliveries at or below it were installed, not replayed).
+    pub fn transfer_excused_below(&self) -> Timestamp {
+        self.transfer_excused_below
+    }
+
+    /// The replica's ordering-layer checkpoint (the baselines have no
+    /// per-message ballots; the checkpoint ballot slot carries bottom).
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            group: self.group,
+            ballot: Ballot::BOTTOM,
+            clock: self.clock,
+            watermarks: self.stable_watermarks.clone(),
+            max_delivered_gts: self.max_delivered_gts,
+            delivered_count: self.delivered_count,
+            dedup: self.dedup.clone(),
+            app_state: Vec::new(),
+        }
+    }
+
     /// Whether this replica is its group's (consensus) leader.
     pub fn is_leader(&self) -> bool {
         self.paxos.is_leader()
@@ -283,6 +436,11 @@ impl BaselineReplica {
         self.clock
     }
 
+    /// The highest global timestamp this replica has delivered.
+    pub fn max_delivered_gts(&self) -> Timestamp {
+        self.max_delivered_gts
+    }
+
     fn leader_of(&self, g: GroupId) -> Option<ProcessId> {
         self.cluster.group(g).map(|gc| gc.initial_leader())
     }
@@ -298,7 +456,17 @@ impl BaselineReplica {
         for (to, msg) in out.outgoing {
             actions.push(Action::send(to, BaselineMsg::Paxos(msg)));
         }
-        for (_, cmd) in out.decided {
+        for (slot, cmd) in out.decided {
+            // Remember which message each decided slot concerns, so pruning a
+            // record can advance the consensus-log compaction frontier once
+            // every slot below it belongs to pruned history.
+            if self.compaction_enabled() {
+                let subject = match &cmd {
+                    Command::AssignLocal { msg, .. } => msg.id,
+                    Command::CommitGlobal { msg_id, .. } => *msg_id,
+                };
+                self.slot_msgs.insert(slot, subject);
+            }
             actions.extend(self.apply(cmd));
         }
         actions
@@ -333,6 +501,23 @@ impl BaselineReplica {
             return actions;
         }
         let group = self.group;
+        if !self.records.contains_key(&msg.id) && self.dedup.contains(msg.id) {
+            // Duplicate of a message delivered everywhere and pruned:
+            // re-proposing would deliver it twice. Answer retries from the
+            // bounded delivered filter (the actual timestamp went with the
+            // record; clients treat the ⊥ reply like any completion).
+            if retryable && self.notify_sender && !self.group_members.contains(&msg.id.sender) {
+                actions.push(Action::send(
+                    msg.id.sender,
+                    BaselineMsg::ClientReply {
+                        msg_id: msg.id,
+                        group,
+                        global_ts: Timestamp::BOTTOM,
+                    },
+                ));
+            }
+            return actions;
+        }
         let stashed_confirms = self.pending_confirms.remove(&msg.id);
         let clock = &mut self.clock;
         let record = self
@@ -491,6 +676,11 @@ impl BaselineReplica {
         if !self.paxos.is_leader() {
             return actions;
         }
+        if !self.records.contains_key(&msg.id) && self.dedup.contains(msg.id) {
+            // A stale proposal for pruned, globally delivered history: do not
+            // resurrect a record nothing will ever deliver or prune again.
+            return actions;
+        }
         let mode = self.mode;
         let record = self.record_entry(msg);
         record.proposals.insert(group, local_ts);
@@ -581,13 +771,15 @@ impl BaselineReplica {
             Some(record) => {
                 record.confirms.insert(group);
             }
-            None => {
+            None if !self.dedup.contains(msg_id) => {
                 // The confirmation outran the message itself; remember it.
                 self.pending_confirms
                     .entry(msg_id)
                     .or_default()
                     .insert(group);
             }
+            // A confirmation for pruned history needs no bookkeeping.
+            None => {}
         }
         self.try_deliver()
     }
@@ -666,6 +858,262 @@ impl BaselineReplica {
         actions
     }
 
+    // ------------------------------------------------------------------
+    // Compaction: the STABLE exchange, pruning and catch-up
+    // ------------------------------------------------------------------
+
+    /// Counts a local delivery towards the next `STABLE` round; every
+    /// `compaction_interval` deliveries followers report their progress and
+    /// the leader recomputes the group watermark.
+    fn note_delivery(&mut self) -> Vec<Action<BaselineMsg>> {
+        if !self.compaction_enabled() {
+            return Vec::new();
+        }
+        self.deliveries_since_stable += 1;
+        if self.deliveries_since_stable < self.compaction_interval {
+            return Vec::new();
+        }
+        self.deliveries_since_stable = 0;
+        if self.paxos.is_leader() {
+            return self.recompute_watermark();
+        }
+        match self.leader_of(self.group) {
+            Some(leader) if leader != self.id => vec![Action::send(
+                leader,
+                BaselineMsg::StableReport {
+                    group: self.group,
+                    delivered_gts: self.max_delivered_gts,
+                },
+            )],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Leader handler for `STABLE_REPORT`.
+    fn handle_stable_report(
+        &mut self,
+        from: ProcessId,
+        group: GroupId,
+        delivered_gts: Timestamp,
+    ) -> Vec<Action<BaselineMsg>> {
+        if !self.paxos.is_leader() || group != self.group || !self.group_members.contains(&from) {
+            return Vec::new();
+        }
+        let entry = self
+            .member_delivered
+            .entry(from)
+            .or_insert(Timestamp::BOTTOM);
+        if delivered_gts > *entry {
+            *entry = delivered_gts;
+        }
+        self.recompute_watermark()
+    }
+
+    /// Recomputes the own-group watermark as the quorum-th highest delivery
+    /// progress (see the white-box replica for why quorum-based trimming is
+    /// both safe — quorum intersection — and live under a crashed member).
+    fn recompute_watermark(&mut self) -> Vec<Action<BaselineMsg>> {
+        self.member_delivered
+            .insert(self.id, self.max_delivered_gts);
+        let mut progress: Vec<Timestamp> = self
+            .group_members
+            .iter()
+            .map(|m| {
+                self.member_delivered
+                    .get(m)
+                    .copied()
+                    .unwrap_or(Timestamp::BOTTOM)
+            })
+            .collect();
+        progress.sort_unstable_by(|a, b| b.cmp(a));
+        let quorum = self.group_members.len() / 2 + 1;
+        let watermark = progress[quorum - 1];
+        let current = self.watermark();
+        if watermark <= current {
+            return Vec::new();
+        }
+        self.stable_watermarks.insert(self.group, watermark);
+        self.prune();
+        self.broadcast_watermarks()
+    }
+
+    /// Sends the watermark map to the group's followers and remote leaders.
+    fn broadcast_watermarks(&mut self) -> Vec<Action<BaselineMsg>> {
+        let advance = BaselineMsg::StableAdvance {
+            watermarks: self.stable_watermarks.clone(),
+        };
+        let mut actions = Vec::new();
+        for member in &self.group_members {
+            if *member != self.id {
+                actions.push(Action::send(*member, advance.clone()));
+            }
+        }
+        for gc in self.cluster.groups() {
+            let g = gc.id();
+            if g != self.group && gc.initial_leader() != self.id {
+                actions.push(Action::send(gc.initial_leader(), advance.clone()));
+            }
+        }
+        actions
+    }
+
+    /// Merges a received watermark map (pointwise maximum) and prunes;
+    /// leaders re-broadcast new knowledge so it reaches their followers.
+    fn handle_stable_advance(
+        &mut self,
+        watermarks: BTreeMap<GroupId, Timestamp>,
+    ) -> Vec<Action<BaselineMsg>> {
+        if !wbam_types::checkpoint::merge_watermarks(&mut self.stable_watermarks, &watermarks) {
+            return Vec::new();
+        }
+        self.prune();
+        if self.paxos.is_leader() {
+            self.broadcast_watermarks()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Prunes delivered records covered by every destination group's
+    /// watermark (keeping the `compaction_lag` most recent ones) and advances
+    /// the consensus-log frontier over slots whose messages are pruned.
+    fn prune(&mut self) {
+        if !self.compaction_enabled() {
+            return;
+        }
+        while self.delivered_index.len() > self.compaction_lag {
+            let &(gts, id) = self.delivered_index.first().expect("len checked");
+            let covered = match self.records.get(&id) {
+                None => true,
+                Some(record) => record.msg.dest.iter().all(|g| {
+                    self.stable_watermarks
+                        .get(&g)
+                        .map(|w| gts <= *w)
+                        .unwrap_or(false)
+                }),
+            };
+            if !covered {
+                break;
+            }
+            self.delivered_index.pop_first();
+            if self.records.remove(&id).is_some() {
+                self.pruned_count += 1;
+            }
+        }
+        // The log prefix whose every slot concerns pruned history can go.
+        let mut frontier = self.paxos.compacted_below();
+        while let Some((&slot, &mid)) = self.slot_msgs.iter().next() {
+            if self.records.contains_key(&mid) || !self.dedup.contains(mid) {
+                break;
+            }
+            self.slot_msgs.remove(&slot);
+            frontier = slot + 1;
+        }
+        self.paxos.compact_below(frontier);
+    }
+
+    /// Sends (or re-sends) this follower's catch-up request to the group
+    /// leader and re-arms the retry timer.
+    fn send_catchup_request(&mut self) -> Vec<Action<BaselineMsg>> {
+        let mut actions = Vec::new();
+        if let Some(leader) = self.leader_of(self.group) {
+            if leader != self.id {
+                actions.push(Action::send(
+                    leader,
+                    BaselineMsg::CatchupRequest {
+                        group: self.group,
+                        delivered_gts: self.max_delivered_gts,
+                        next_slot: self.paxos.decided_len(),
+                    },
+                ));
+                actions.push(Action::SetTimer {
+                    id: CATCHUP_TIMER,
+                    delay: CATCHUP_RETRY,
+                });
+            }
+        }
+        actions
+    }
+
+    /// Leader handler for a catch-up request: reply with checkpoint + the
+    /// resident log suffix at or above the requester's progress.
+    fn handle_catchup_request(
+        &mut self,
+        from: ProcessId,
+        group: GroupId,
+        next_slot: Slot,
+    ) -> Vec<Action<BaselineMsg>> {
+        if !self.paxos.is_leader() || group != self.group || from == self.id {
+            return Vec::new();
+        }
+        let frontier = self.paxos.compacted_below();
+        let log: Vec<(Slot, Command)> = self
+            .paxos
+            .chosen_suffix()
+            .into_iter()
+            .filter(|(slot, _)| *slot >= next_slot.max(frontier))
+            .collect();
+        vec![Action::send(
+            from,
+            BaselineMsg::StateTransfer {
+                checkpoint: self.checkpoint(),
+                frontier,
+                log,
+            },
+        )]
+    }
+
+    /// Installs a catch-up reply: merge the checkpoint (watermarks, filter,
+    /// a delivery-progress jump over pruned history) and replay the log
+    /// suffix through the consensus learner; then self-deliver every
+    /// committed record up to the leader's delivery progress — the `DELIVER`
+    /// instructions lost while down, reconstructed from the checkpoint
+    /// (delivery order is global-timestamp order, so this is exactly the
+    /// order the leader instructed).
+    fn handle_state_transfer(
+        &mut self,
+        checkpoint: Checkpoint,
+        frontier: Slot,
+        log: Vec<(Slot, Command)>,
+    ) -> Vec<Action<BaselineMsg>> {
+        let mut actions = Vec::new();
+        if self.catchup_pending {
+            self.catchup_pending = false;
+            actions.push(Action::CancelTimer(CATCHUP_TIMER));
+        }
+        self.dedup.merge(&checkpoint.dedup);
+        wbam_types::checkpoint::merge_watermarks(
+            &mut self.stable_watermarks,
+            &checkpoint.watermarks,
+        );
+        let own_watermark = self.watermark();
+        if self.max_delivered_gts < own_watermark {
+            self.transfer_recoveries += 1;
+            self.transfer_excused_below = self.transfer_excused_below.max(own_watermark);
+            self.max_delivered_gts = own_watermark;
+        }
+        let out = self.paxos.install_snapshot(frontier, log);
+        actions.extend(self.convert_paxos(out));
+        // Re-deliver what the leader already delivered: committed records at
+        // or below the leader's progress, in timestamp order (deliver_one
+        // filters anything at or below our own progress).
+        let deliverable: Vec<(Timestamp, MsgId)> = self
+            .records
+            .values()
+            .filter(|r| {
+                r.commit_decided && !r.delivered && r.global_ts <= checkpoint.max_delivered_gts
+            })
+            .map(|r| (r.global_ts, r.msg.id))
+            .collect();
+        let mut deliverable = deliverable;
+        deliverable.sort_unstable();
+        for (gts, id) in deliverable {
+            actions.extend(self.deliver_one(id, gts));
+        }
+        self.prune();
+        actions
+    }
+
     /// Delivers one message locally (leader on its own decision, follower on a
     /// `Deliver` instruction), filtering duplicates via `max_delivered_gts`.
     fn deliver_one(&mut self, id: MsgId, gts: Timestamp) -> Vec<Action<BaselineMsg>> {
@@ -684,13 +1132,15 @@ impl BaselineReplica {
         record.delivered = true;
         record.phase = Phase::Committed;
         record.global_ts = gts;
+        let msg = record.msg.clone();
         self.max_delivered_gts = gts;
         self.delivered_count += 1;
-        actions.push(Action::Deliver(DeliveredMessage::with_timestamp(
-            record.msg.clone(),
-            gts,
-        )));
-        let sender = record.msg.id.sender;
+        self.dedup.insert(id);
+        if self.compaction_enabled() {
+            self.delivered_index.insert((gts, id));
+        }
+        actions.push(Action::Deliver(DeliveredMessage::with_timestamp(msg, gts)));
+        let sender = id.sender;
         if notify && !self.group_members.contains(&sender) {
             actions.push(Action::send(
                 sender,
@@ -701,6 +1151,7 @@ impl BaselineReplica {
                 },
             ));
         }
+        actions.extend(self.note_delivery());
         actions
     }
 }
@@ -734,12 +1185,33 @@ impl Node for BaselineReplica {
             // re-learned from a quorum.
             Event::Restart => {
                 self.batch_timer_armed = false;
+                self.catchup_pending = false;
                 let mut actions = self.flush_batch();
                 if self.paxos.is_leader() {
                     let out = self.paxos.campaign();
                     actions.extend(self.convert_paxos(out));
+                } else if self.compaction_enabled() {
+                    // A restarted follower asks its leader for a catch-up:
+                    // with compaction on, the decisions (and DELIVER
+                    // instructions) it slept through may be trimmed from the
+                    // leader's log, so it recovers from checkpoint + suffix
+                    // rather than per-message replay. The request is pumped
+                    // by a retry timer until the transfer lands — either leg
+                    // can be lost, and a gap below the compacted frontier is
+                    // unrecoverable through normal Paxos traffic.
+                    self.catchup_pending = true;
+                    actions.extend(self.send_catchup_request());
                 }
                 actions
+            }
+            Event::Timer {
+                id: CATCHUP_TIMER, ..
+            } => {
+                if self.catchup_pending {
+                    self.send_catchup_request()
+                } else {
+                    Vec::new()
+                }
             }
             Event::Message { from, msg } => match msg {
                 BaselineMsg::Multicast { msg } => self.handle_multicast(msg),
@@ -760,10 +1232,27 @@ impl Node for BaselineReplica {
                     let out = self.paxos.handle(from, m);
                     self.convert_paxos(out)
                 }
+                BaselineMsg::StableReport {
+                    group,
+                    delivered_gts,
+                } => self.handle_stable_report(from, group, delivered_gts),
+                BaselineMsg::StableAdvance { watermarks } => self.handle_stable_advance(watermarks),
+                BaselineMsg::CatchupRequest {
+                    group, next_slot, ..
+                } => self.handle_catchup_request(from, group, next_slot),
+                BaselineMsg::StateTransfer {
+                    checkpoint,
+                    frontier,
+                    log,
+                } => self.handle_state_transfer(checkpoint, frontier, log),
                 BaselineMsg::ClientReply { .. } => Vec::new(),
             },
             _ => Vec::new(),
         }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

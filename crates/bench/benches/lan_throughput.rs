@@ -34,6 +34,8 @@ fn bench_lan_throughput(c: &mut Criterion) {
                         nemesis: wbam_types::NemesisPlan::quiet(),
                         record_trace: false,
                         auto_election: false,
+                        compaction_interval: 0,
+                        compaction_lag: 0,
                     };
                     let mut sim = ProtocolSim::build(*protocol, &spec);
                     let workload = ClosedLoopWorkload {

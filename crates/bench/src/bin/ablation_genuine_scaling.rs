@@ -26,6 +26,8 @@ fn run(num_groups: usize) -> f64 {
         nemesis: wbam_types::NemesisPlan::quiet(),
         record_trace: false,
         auto_election: false,
+        compaction_interval: 0,
+        compaction_lag: 0,
     };
     let mut sim = ProtocolSim::build(Protocol::WhiteBox, &spec);
     let horizon = Duration::from_millis(200);

@@ -201,6 +201,11 @@ pub struct PaxosReplica<C> {
     /// Learner state: next slot to report as decided (everything below is
     /// already reported).
     next_to_decide: Slot,
+    /// Log-compaction frontier: every slot below it has been discarded from
+    /// the acceptor/learner state (its effects live on in the embedding
+    /// protocol's checkpoint). Slots below the frontier are never re-accepted
+    /// or re-reported.
+    compacted_below: Slot,
 }
 
 impl<C: Clone + PartialEq> PaxosReplica<C> {
@@ -224,6 +229,7 @@ impl<C: Clone + PartialEq> PaxosReplica<C> {
             campaigning: None,
             chosen: BTreeMap::new(),
             next_to_decide: 0,
+            compacted_below: 0,
             config,
         }
     }
@@ -246,6 +252,66 @@ impl<C: Clone + PartialEq> PaxosReplica<C> {
     /// The chosen command in a slot, if the replica has learnt it.
     pub fn chosen_in(&self, slot: Slot) -> Option<&C> {
         self.chosen.get(&slot)
+    }
+
+    /// The compaction frontier: slots below it have been discarded.
+    pub fn compacted_below(&self) -> Slot {
+        self.compacted_below
+    }
+
+    /// Number of log entries currently resident (acceptor + learner state) —
+    /// the quantity bounded by compaction.
+    pub fn log_len(&self) -> usize {
+        self.accepted.len().max(self.chosen.len())
+    }
+
+    /// Discards every log slot below `slot` from the acceptor and learner
+    /// state. The caller must guarantee the prefix is *globally stable* —
+    /// decided everywhere it matters and captured in a checkpoint — because a
+    /// peer can never re-learn a compacted slot from this replica again; it
+    /// recovers via checkpoint-based state transfer instead
+    /// ([`Self::install_snapshot`]). Slots at or above `next_to_decide` are
+    /// never discarded (compacting an undecided suffix would lose data), so
+    /// the effective frontier is `min(slot, next_to_decide)`.
+    pub fn compact_below(&mut self, slot: Slot) {
+        let frontier = slot.min(self.next_to_decide).max(self.compacted_below);
+        self.compacted_below = frontier;
+        self.accepted = self.accepted.split_off(&frontier);
+        self.chosen = self.chosen.split_off(&frontier);
+        self.in_flight = self.in_flight.split_off(&frontier);
+        self.acks = self.acks.split_off(&frontier);
+    }
+
+    /// The resident chosen suffix (`compacted_below..`), for building a
+    /// catch-up state transfer for a lagging peer.
+    pub fn chosen_suffix(&self) -> Vec<(Slot, C)> {
+        self.chosen
+            .iter()
+            .map(|(slot, cmd)| (*slot, cmd.clone()))
+            .collect()
+    }
+
+    /// Installs a catch-up snapshot from a peer: jumps the decision frontier
+    /// to `frontier` (everything below is covered by the accompanying
+    /// checkpoint) and learns the peer's chosen suffix. Newly contiguous
+    /// decisions are reported in the output exactly once, like any other
+    /// decision. A stale snapshot (frontier at or below our own progress)
+    /// only merges the entries.
+    pub fn install_snapshot(&mut self, frontier: Slot, entries: Vec<(Slot, C)>) -> PaxosOutput<C> {
+        let mut out = PaxosOutput::default();
+        if frontier > self.next_to_decide {
+            self.next_to_decide = frontier;
+            self.compacted_below = self.compacted_below.max(frontier);
+            self.accepted = self.accepted.split_off(&frontier);
+            self.chosen = self.chosen.split_off(&frontier);
+        }
+        for (slot, cmd) in entries {
+            if slot < self.compacted_below {
+                continue;
+            }
+            out.merge(self.on_chosen(slot, cmd));
+        }
+        out
     }
 
     /// Starts a leadership campaign: picks a ballot above `promised` led by
@@ -438,6 +504,14 @@ impl<C: Clone + PartialEq> PaxosReplica<C> {
             return out;
         }
         self.promised = ballot;
+        if slot < self.compacted_below {
+            // The slot was compacted away: it is decided and its effect is
+            // captured in a checkpoint. Acknowledge so a retrying leader
+            // makes progress, but store nothing.
+            out.outgoing
+                .push((from, PaxosMsg::Accepted { ballot, slot }));
+            return out;
+        }
         self.accepted.insert(slot, (ballot, cmd));
         out.outgoing
             .push((from, PaxosMsg::Accepted { ballot, slot }));
@@ -496,7 +570,11 @@ impl<C: Clone + PartialEq> PaxosReplica<C> {
         self.promised = ballot;
         let count = cmds.len() as u64;
         for (i, cmd) in cmds.into_iter().enumerate() {
-            self.accepted.insert(start_slot + i as Slot, (ballot, cmd));
+            let slot = start_slot + i as Slot;
+            if slot < self.compacted_below {
+                continue;
+            }
+            self.accepted.insert(slot, (ballot, cmd));
         }
         out.outgoing.push((
             from,
@@ -548,6 +626,10 @@ impl<C: Clone + PartialEq> PaxosReplica<C> {
 
     fn on_chosen(&mut self, slot: Slot, cmd: C) -> PaxosOutput<C> {
         let mut out = PaxosOutput::default();
+        if slot < self.compacted_below {
+            // Already compacted: decided long ago, nothing left to learn.
+            return out;
+        }
         self.chosen.entry(slot).or_insert(cmd);
         while let Some(cmd) = self.chosen.get(&self.next_to_decide) {
             out.decided.push((self.next_to_decide, cmd.clone()));
@@ -806,6 +888,71 @@ mod tests {
             reproposed,
             "accepted value must be re-proposed by the new leader"
         );
+    }
+
+    #[test]
+    fn compaction_discards_the_prefix_and_keeps_deciding() {
+        let (mut p0, mut p1, mut p2) = trio();
+        let mut pending = Vec::new();
+        for cmd in ["a", "b", "c", "d"] {
+            for (to, msg) in p0.propose(cmd.to_string()).outgoing {
+                pending.push((ProcessId(0), to, msg));
+            }
+        }
+        run_to_quiescence(&mut [&mut p0, &mut p1, &mut p2], pending);
+        assert_eq!(p0.decided_len(), 4);
+        assert_eq!(p0.log_len(), 4);
+        p0.compact_below(3);
+        assert_eq!(p0.compacted_below(), 3);
+        assert_eq!(p0.log_len(), 1, "only slot 3 remains resident");
+        assert_eq!(p0.chosen_in(1), None);
+        assert_eq!(p0.chosen_in(3), Some(&"d".to_string()));
+        // A late Chosen for a compacted slot is ignored, not resurrected.
+        let out = p0.handle(
+            ProcessId(1),
+            PaxosMsg::Chosen {
+                slot: 0,
+                cmd: "a".to_string(),
+            },
+        );
+        assert!(out.decided.is_empty());
+        assert_eq!(p0.log_len(), 1);
+        // New proposals keep working after compaction.
+        let mut pending = Vec::new();
+        for (to, msg) in p0.propose("e".to_string()).outgoing {
+            pending.push((ProcessId(0), to, msg));
+        }
+        let decided = run_to_quiescence(&mut [&mut p0, &mut p1, &mut p2], pending);
+        assert!(decided[0]
+            .iter()
+            .any(|(slot, cmd)| *slot == 4 && cmd == "e"));
+    }
+
+    #[test]
+    fn compaction_never_outruns_the_decision_frontier() {
+        let (mut p0, _, _) = trio();
+        p0.propose("a".to_string());
+        // Nothing decided yet: compacting "below 10" must be clamped to 0.
+        p0.compact_below(10);
+        assert_eq!(p0.compacted_below(), 0);
+    }
+
+    #[test]
+    fn install_snapshot_jumps_a_lagging_learner_forward() {
+        let (_, mut p1, _) = trio();
+        // p1 missed slots 0..3 which the leader has compacted; it receives a
+        // catch-up: frontier 3 plus the resident suffix.
+        let out = p1.install_snapshot(3, vec![(3, "d".to_string()), (4, "e".to_string())]);
+        assert_eq!(
+            out.decided,
+            vec![(3, "d".to_string()), (4, "e".to_string())],
+            "the suffix is decided contiguously after the jump"
+        );
+        assert_eq!(p1.decided_len(), 5);
+        assert_eq!(p1.compacted_below(), 3);
+        // Entries below the frontier in a later (stale) snapshot are ignored.
+        let out = p1.install_snapshot(3, vec![(0, "a".to_string())]);
+        assert!(out.decided.is_empty());
     }
 
     #[test]

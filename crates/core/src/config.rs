@@ -51,6 +51,18 @@ pub struct ReplicaConfig {
     /// roughly twice the collision-free latency; it exists only for the
     /// ablation experiment A1 and must stay `true` in production use.
     pub speculative_clock_update: bool,
+    /// Record compaction: every `compaction_interval` deliveries a member
+    /// reports its delivery progress to its leader (`STABLE_REPORT`), the
+    /// leader recomputes the group's delivery watermark and disseminates it
+    /// (`STABLE_ADVANCE`), and records below the watermark of *every* one of
+    /// their destination groups are pruned. Zero (the default) disables
+    /// compaction and keeps the unbounded paper behaviour.
+    pub compaction_interval: u64,
+    /// How many of the most recently delivered records are retained even when
+    /// the watermark covers them — a service window for duplicate
+    /// `MULTICAST`s that can still be answered from the record map (older
+    /// duplicates fall back to the bounded delivered-message filter).
+    pub compaction_lag: usize,
 }
 
 impl ReplicaConfig {
@@ -70,7 +82,25 @@ impl ReplicaConfig {
             max_batch: 1,
             batch_delay: Duration::ZERO,
             speculative_clock_update: true,
+            compaction_interval: 0,
+            compaction_lag: 0,
         }
+    }
+
+    /// Enables record compaction: delivery watermarks are exchanged every
+    /// `interval` deliveries and delivered records below every destination
+    /// group's watermark are pruned, keeping the most recent `lag` delivered
+    /// records resident as a duplicate-service window. A zero `interval`
+    /// disables compaction (the paper's unbounded behaviour).
+    pub fn with_compaction(mut self, interval: u64, lag: usize) -> Self {
+        self.compaction_interval = interval;
+        self.compaction_lag = lag;
+        self
+    }
+
+    /// Whether record compaction is enabled.
+    pub fn compaction_enabled(&self) -> bool {
+        self.compaction_interval > 0
     }
 
     /// Enables batched ordering: the leader accumulates up to `max_batch`

@@ -12,7 +12,7 @@
 use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
-use wbam_types::{AppMessage, Ballot, GroupId, MsgId, Phase, Timestamp};
+use wbam_types::{AppMessage, Ballot, Checkpoint, GroupId, MsgId, Phase, Timestamp};
 
 /// A per-message vector of the ballots in which each destination group's
 /// leader issued its local timestamp proposal (`Bal` in Figure 4).
@@ -170,30 +170,38 @@ pub enum WhiteBoxMsg {
         /// The proposed ballot.
         ballot: Ballot,
     },
-    /// `NEWLEADER_ACK(b, cballot, clock, state)`: a group member votes for the
-    /// new leader and reports its full protocol state (Figure 4, line 41).
-    /// Analogous to Paxos "1b".
+    /// `NEWLEADER_ACK(b, cballot, checkpoint, suffix)`: a group member votes
+    /// for the new leader and reports its protocol state (Figure 4, line 41)
+    /// as *checkpoint + suffix*: the checkpoint carries the member's clock,
+    /// delivery progress, watermarks and delivered-message filter, and the
+    /// snapshot carries only the records that survived compaction. Analogous
+    /// to Paxos "1b".
     NewLeaderAck {
         /// The ballot being joined.
         ballot: Ballot,
         /// The last ballot whose leader this process synchronised with.
         cballot: Ballot,
-        /// The process's logical clock.
-        clock: u64,
-        /// The process's per-message state.
+        /// The member's ordering-layer checkpoint (clock, watermarks,
+        /// `max_delivered_gts`, delivered filter).
+        checkpoint: Checkpoint,
+        /// The member's resident per-message state (the suffix above its
+        /// watermark; the whole history when compaction is disabled).
         snapshot: StateSnapshot,
-        /// The highest global timestamp the process has delivered; carried so
-        /// the new leader can tell followers how far delivery has progressed.
-        max_delivered_gts: Timestamp,
     },
-    /// `NEW_STATE(b, clock, state)`: the new leader installs its recovered
-    /// state at a follower (Figure 4, line 56).
+    /// `NEW_STATE(b, checkpoint, suffix)`: the new leader installs its
+    /// recovered state at a follower (Figure 4, line 56). With compaction
+    /// this *is* the catch-up state transfer: a follower whose delivery
+    /// progress lies below the checkpoint's watermark installs the checkpoint
+    /// (jumping its progress to the watermark — the history below it is
+    /// pruned everywhere) and re-delivers only the suffix, instead of
+    /// replaying per-message history.
     NewState {
         /// The new ballot.
         ballot: Ballot,
-        /// The recovered clock.
-        clock: u64,
-        /// The recovered per-message state.
+        /// The recovered ordering-layer checkpoint (clock, watermarks,
+        /// delivered filter, delivery progress of the new leader).
+        checkpoint: Checkpoint,
+        /// The recovered per-message state above the watermark.
         snapshot: StateSnapshot,
     },
     /// `NEWSTATE_ACK(b)`: a follower confirms it installed the new state
@@ -208,6 +216,50 @@ pub enum WhiteBoxMsg {
     Heartbeat {
         /// The sender's current ballot.
         ballot: Ballot,
+    },
+    /// `STABLE_REPORT(g, gts)`: a group member reports its delivery progress
+    /// (`max_delivered_gts`) to its leader, every
+    /// [`compaction_interval`](crate::ReplicaConfig::compaction_interval)
+    /// deliveries. The leader folds the reports into the group's delivery
+    /// watermark: the minimum progress over all members. Not part of the
+    /// paper's Figure 4 — log compaction is this implementation's extension
+    /// (production atomic multicast requires log trimming plus
+    /// checkpoint-based recovery).
+    StableReport {
+        /// The reporting member's group.
+        group: GroupId,
+        /// The member's highest delivered global timestamp; every message
+        /// addressed to the group with a timestamp at or below it has been
+        /// delivered by this member (delivery is in timestamp order).
+        delivered_gts: Timestamp,
+    },
+    /// `STABLE_ADVANCE(W)`: a leader disseminates its current watermark
+    /// knowledge — for its own group (computed from `STABLE_REPORT`s) and for
+    /// remote groups (learnt from their leaders' advances). Sent to the
+    /// group's members (who prune records covered by the watermarks of every
+    /// destination group) and to remote leaders (cross-group dissemination,
+    /// needed before multi-group records may be pruned).
+    StableAdvance {
+        /// Per-group delivery watermarks (pointwise-monotone: receivers merge
+        /// by maximum).
+        watermarks: BTreeMap<GroupId, Timestamp>,
+    },
+    /// `STABLE_PRUNED(m, W)`: the answer a replica gives a *peer replica*
+    /// that re-sent `MULTICAST(m)` for a record this replica has pruned. The
+    /// prune rule guarantees `m` was delivered (with its final, quorum-fixed
+    /// global timestamp) at every member of this group and is covered by the
+    /// watermark of every destination group — so the retrying leader's
+    /// pending copy can never commit differently and can never be needed
+    /// again. On receipt the retrier drops its pending record as installed
+    /// history (excused below the watermark, like any state transfer) and
+    /// unblocks its delivery convoy; without this notice the retrier would
+    /// retry into pruned history forever while its convoy stalls behind the
+    /// eternally pending record.
+    StablePruned {
+        /// The pruned message.
+        msg_id: MsgId,
+        /// The replying replica's watermark knowledge (covers `m`).
+        watermarks: BTreeMap<GroupId, Timestamp>,
     },
     /// Reply sent by a delivering replica to the original sender of the
     /// message, carrying the global timestamp it was delivered with. Used by
@@ -239,6 +291,9 @@ impl WhiteBoxMsg {
             WhiteBoxMsg::NewState { .. } => "NEW_STATE",
             WhiteBoxMsg::NewStateAck { .. } => "NEWSTATE_ACK",
             WhiteBoxMsg::Heartbeat { .. } => "HEARTBEAT",
+            WhiteBoxMsg::StableReport { .. } => "STABLE_REPORT",
+            WhiteBoxMsg::StableAdvance { .. } => "STABLE_ADVANCE",
+            WhiteBoxMsg::StablePruned { .. } => "STABLE_PRUNED",
             WhiteBoxMsg::ClientReply { .. } => "CLIENT_REPLY",
         }
     }
@@ -250,9 +305,9 @@ impl WhiteBoxMsg {
         match self {
             WhiteBoxMsg::Multicast { msg } | WhiteBoxMsg::Accept { msg, .. } => Some(msg.id),
             WhiteBoxMsg::Deliver { msg, .. } => Some(msg.id),
-            WhiteBoxMsg::AcceptAck { msg_id, .. } | WhiteBoxMsg::ClientReply { msg_id, .. } => {
-                Some(*msg_id)
-            }
+            WhiteBoxMsg::AcceptAck { msg_id, .. }
+            | WhiteBoxMsg::ClientReply { msg_id, .. }
+            | WhiteBoxMsg::StablePruned { msg_id, .. } => Some(*msg_id),
             _ => None,
         }
     }

@@ -19,8 +19,8 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 use wbam_types::{
-    Action, AppMessage, Ballot, ConfigError, DeliveredMessage, Event, GroupId, MsgId, Node, Phase,
-    ProcessId, TimerId, Timestamp,
+    Action, AppMessage, Ballot, Checkpoint, ConfigError, DeliveredFilter, DeliveredMessage, Event,
+    GroupId, MsgId, Node, Phase, ProcessId, TimerId, Timestamp,
 };
 
 use crate::config::ReplicaConfig;
@@ -65,7 +65,7 @@ struct RecoveryState {
 #[derive(Debug, Clone)]
 struct NewLeaderAckData {
     cballot: Ballot,
-    clock: u64,
+    checkpoint: Checkpoint,
     snapshot: StateSnapshot,
 }
 
@@ -116,6 +116,41 @@ pub struct WhiteBoxReplica {
     /// delivered records, ordered — the delivery candidates of Figure 4
     /// line 21.
     committed_undelivered: BTreeSet<(Timestamp, MsgId)>,
+    /// Compaction: every group's delivery watermark as currently known (all
+    /// records with `global_ts <= stable_watermarks[g]` are delivered at
+    /// every member of `g`). Advanced monotonically by the `STABLE` exchange.
+    stable_watermarks: BTreeMap<GroupId, Timestamp>,
+    /// Compaction (leader only): the latest delivery progress reported by
+    /// each group member via `STABLE_REPORT` (own entry updated inline).
+    member_delivered: BTreeMap<ProcessId, Timestamp>,
+    /// Compaction: deliveries since the last `STABLE_REPORT` / recompute.
+    deliveries_since_stable: u64,
+    /// Compaction: delivered-but-not-yet-pruned records in global-timestamp
+    /// order — the prune scan order, and the lag-window boundary.
+    delivered_index: BTreeSet<(Timestamp, MsgId)>,
+    /// Compaction: bounded filter of every delivered message identifier,
+    /// answering duplicate `MULTICAST`s (and fencing stale `ACCEPT`s) for
+    /// records that have been pruned from the record map.
+    dedup: DeliveredFilter,
+    /// Total records pruned by compaction at this replica.
+    pruned_count: u64,
+    /// Number of recoveries in which this replica's delivery progress was
+    /// jumped forward over pruned history by an installed checkpoint.
+    transfer_recoveries: u64,
+    /// The highest watermark this replica's progress was ever jumped to by a
+    /// state transfer: deliveries at or below it were installed from a
+    /// checkpoint rather than replayed (the linearizability oracle excuses
+    /// this pruned history; see `KvHistory::check_excusing`).
+    transfer_excused_below: Timestamp,
+    /// Number of records examined by the most recent restart re-arm scan
+    /// (regression guard: restart work must be proportional to the pending
+    /// suffix, not the whole record history).
+    last_restart_scan: usize,
+    /// Pending records dropped on a `STABLE_PRUNED` notice: globally
+    /// delivered history this replica will never apply locally. Tracked per
+    /// message (not as a blanket watermark excusal) so the test oracles can
+    /// excuse exactly these gaps and nothing else.
+    pruned_dropped: BTreeSet<MsgId>,
 }
 
 impl WhiteBoxReplica {
@@ -191,12 +226,24 @@ impl WhiteBoxReplica {
             batch_timer_armed: false,
             pending_lts: BTreeSet::new(),
             committed_undelivered: BTreeSet::new(),
+            stable_watermarks: BTreeMap::new(),
+            member_delivered: BTreeMap::new(),
+            deliveries_since_stable: 0,
+            delivered_index: BTreeSet::new(),
+            dedup: DeliveredFilter::new(),
+            pruned_count: 0,
+            transfer_recoveries: 0,
+            transfer_excused_below: Timestamp::BOTTOM,
+            last_restart_scan: 0,
+            pruned_dropped: BTreeSet::new(),
             config,
         })
     }
 
-    /// Rebuilds the delivery-condition indexes from scratch. Called whenever
-    /// the record map is replaced wholesale (leader recovery).
+    /// Rebuilds the delivery-condition and compaction indexes from scratch.
+    /// Called whenever the record map is replaced wholesale (leader
+    /// recovery); with compaction enabled the replaced map holds only the
+    /// suffix above the watermark, so this costs O(suffix), not O(history).
     fn rebuild_delivery_index(&mut self) {
         self.pending_lts = self
             .records
@@ -210,6 +257,17 @@ impl WhiteBoxReplica {
             .filter(|r| r.phase == Phase::Committed && !r.delivered)
             .map(|r| (r.global_ts, r.id()))
             .collect();
+        self.delivered_index = if self.config.compaction_enabled() {
+            self.records
+                .values()
+                .filter(|r| r.delivered)
+                .map(|r| (r.global_ts, r.id()))
+                .collect()
+        } else {
+            // Nothing reads the prune-scan index without compaction; don't
+            // pay a second O(history) structure for it.
+            BTreeSet::new()
+        };
     }
 
     /// The replica's current role.
@@ -264,6 +322,75 @@ impl WhiteBoxReplica {
         self.max_delivered_gts
     }
 
+    /// Number of message records currently resident — the quantity bounded by
+    /// compaction (in-flight records plus the lag/interval window).
+    pub fn live_records(&self) -> usize {
+        self.records.len()
+    }
+
+    /// This replica's own group's delivery watermark
+    /// ([`Timestamp::BOTTOM`] until the first `STABLE` exchange completes).
+    pub fn watermark(&self) -> Timestamp {
+        self.stable_watermarks
+            .get(&self.config.group)
+            .copied()
+            .unwrap_or(Timestamp::BOTTOM)
+    }
+
+    /// Every group's delivery watermark as currently known to this replica.
+    pub fn watermarks(&self) -> &BTreeMap<GroupId, Timestamp> {
+        &self.stable_watermarks
+    }
+
+    /// Total records pruned by compaction at this replica.
+    pub fn pruned_count(&self) -> u64 {
+        self.pruned_count
+    }
+
+    /// Number of recoveries that jumped this replica's delivery progress over
+    /// pruned history via an installed checkpoint (state transfer).
+    pub fn transfer_recoveries(&self) -> u64 {
+        self.transfer_recoveries
+    }
+
+    /// The highest watermark a state transfer ever jumped this replica's
+    /// delivery progress to. Deliveries at or below it were installed from a
+    /// checkpoint, not replayed — test oracles excuse (rather than flag) the
+    /// corresponding gap in the replica's apply sequence.
+    pub fn transfer_excused_below(&self) -> Timestamp {
+        self.transfer_excused_below
+    }
+
+    /// Number of records examined by the most recent restart re-arm scan
+    /// (the pending suffix, not the full history).
+    pub fn last_restart_scan(&self) -> usize {
+        self.last_restart_scan
+    }
+
+    /// Pending records this replica dropped on a `STABLE_PRUNED` notice —
+    /// globally delivered history it will never apply locally. Test oracles
+    /// excuse exactly these per-message gaps.
+    pub fn pruned_dropped(&self) -> &BTreeSet<MsgId> {
+        &self.pruned_dropped
+    }
+
+    /// The replica's current ordering-layer checkpoint: ballot, clock,
+    /// watermarks, delivery progress and the delivered-message filter.
+    /// `app_state` is left empty — the ordering layer does not interpret
+    /// application state; embedders (e.g. a key-value store) fill it in.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            group: self.config.group,
+            ballot: self.cballot,
+            clock: self.clock,
+            watermarks: self.stable_watermarks.clone(),
+            max_delivered_gts: self.max_delivered_gts,
+            delivered_count: self.delivered_count,
+            dedup: self.dedup.clone(),
+            app_state: Vec::new(),
+        }
+    }
+
     fn own_group(&self) -> GroupId {
         self.config.group
     }
@@ -306,8 +433,17 @@ impl WhiteBoxReplica {
     // Normal operation
     // ------------------------------------------------------------------
 
-    /// Figure 4, lines 3–9: the leader handles `MULTICAST(m)`.
-    fn handle_multicast(&mut self, msg: AppMessage) -> Vec<Action<WhiteBoxMsg>> {
+    /// Figure 4, lines 3–9: the leader handles `MULTICAST(m)`. `from` is the
+    /// sending process when the request arrived over the wire (`None` for
+    /// locally injected submissions and internal re-proposals); it matters
+    /// only for pruned records, whose duplicate handling differs between
+    /// clients (a completion reply) and retrying peer replicas (a
+    /// `STABLE_PRUNED` notice).
+    fn handle_multicast(
+        &mut self,
+        from: Option<ProcessId>,
+        msg: AppMessage,
+    ) -> Vec<Action<WhiteBoxMsg>> {
         let mut actions = Vec::new();
         if !msg.is_addressed_to(self.own_group()) {
             // Not for us; a client mis-addressed the message. Ignore.
@@ -332,6 +468,41 @@ impl WhiteBoxReplica {
             Status::Leader => {}
         }
         let group = self.own_group();
+        if !self.records.contains_key(&msg.id) && self.dedup.contains(msg.id) {
+            // A duplicate MULTICAST for a message whose record was delivered
+            // everywhere and pruned. Re-proposing it would order (and
+            // deliver) it a second time — the delivered filter is what keeps
+            // pruning from breaking Integrity. The actual global timestamp
+            // was pruned with the record; the reply carries ⊥, which clients
+            // treat like any completion.
+            if self.config.notify_sender && !self.group_members.contains(&msg.id.sender) {
+                actions.push(Action::send(
+                    msg.id.sender,
+                    WhiteBoxMsg::ClientReply {
+                        msg_id: msg.id,
+                        group,
+                        global_ts: Timestamp::BOTTOM,
+                    },
+                ));
+            }
+            // A retry from a *peer replica* (a destination leader pumping
+            // §IV message recovery for a record still pending over there)
+            // needs more than a client reply: tell it the record is pruned,
+            // globally delivered history, so it stops retrying and drops its
+            // pending copy (which otherwise wedges its delivery convoy).
+            if let Some(peer) = from {
+                if peer != msg.id.sender {
+                    actions.push(Action::send(
+                        peer,
+                        WhiteBoxMsg::StablePruned {
+                            msg_id: msg.id,
+                            watermarks: self.stable_watermarks.clone(),
+                        },
+                    ));
+                }
+            }
+            return actions;
+        }
         let cballot = self.cballot;
         let clock = &mut self.clock;
         let record = self
@@ -544,6 +715,12 @@ impl WhiteBoxReplica {
         local_ts: Timestamp,
     ) -> Option<(MsgId, BallotVector, Vec<ProcessId>)> {
         if !msg.is_addressed_to(self.own_group()) {
+            return None;
+        }
+        if !self.records.contains_key(&msg.id) && self.dedup.contains(msg.id) {
+            // A stale ACCEPT for a message delivered everywhere and pruned:
+            // recording it would resurrect a record that can never be
+            // re-delivered (and would never be pruned again). Drop it.
             return None;
         }
         // Remember who currently leads the proposing group (useful for retries).
@@ -782,6 +959,34 @@ impl WhiteBoxReplica {
             return actions;
         }
         if self.max_delivered_gts >= global_ts {
+            // A DELIVER at or below our delivery progress: we either already
+            // delivered m, or a checkpoint jumped us over it. Do not deliver
+            // again — but *install* the decision on a resident record (the
+            // ballot check above makes it the current leader's). This is what
+            // resolves a record left pending here when its original DELIVER
+            // was lost: without the install it would sit pending forever,
+            // and one eternally pending record blocks the delivery convoy
+            // (at a leader) and caps the stable watermark. It also restores
+            // the `delivered` flag — and with it prune eligibility — after a
+            // leader change re-broadcast resets it.
+            let msg_id = msg.id;
+            if let Some(record) = self.records.get_mut(&msg.id) {
+                let old_local = record.local_ts;
+                let old_global = record.global_ts;
+                record.phase = Phase::Committed;
+                record.local_ts = local_ts;
+                record.global_ts = global_ts;
+                record.delivered = true;
+                self.pending_lts.remove(&(old_local, msg_id));
+                self.committed_undelivered.remove(&(old_global, msg_id));
+                self.committed_undelivered.remove(&(global_ts, msg_id));
+                self.clock = self.clock.max(global_ts.time());
+                self.dedup.insert(msg_id);
+                if self.config.compaction_enabled() {
+                    self.delivered_index.insert((global_ts, msg_id));
+                }
+                actions.extend(self.cancel_retry_timer(msg_id));
+            }
             return actions;
         }
         let msg_id = msg.id;
@@ -800,10 +1005,15 @@ impl WhiteBoxReplica {
         self.clock = self.clock.max(global_ts.time());
         self.max_delivered_gts = global_ts;
         self.delivered_count += 1;
+        self.dedup.insert(msg_id);
+        if self.config.compaction_enabled() {
+            self.delivered_index.insert((global_ts, msg_id));
+        }
         // Line 31: deliver to the application.
         actions.push(Action::Deliver(DeliveredMessage::with_timestamp(
             msg, global_ts,
         )));
+        actions.extend(self.note_delivery());
         if self.config.notify_sender && !self.group_members.contains(&sender) {
             actions.push(Action::send(
                 sender,
@@ -897,6 +1107,216 @@ impl WhiteBoxReplica {
     }
 
     // ------------------------------------------------------------------
+    // Compaction: the STABLE exchange, watermarks and pruning
+    // ------------------------------------------------------------------
+
+    /// Called after every local delivery: counts towards the next `STABLE`
+    /// round. Every `compaction_interval` deliveries a follower reports its
+    /// progress to the leader; the leader folds its own progress in and
+    /// recomputes the group watermark.
+    fn note_delivery(&mut self) -> Vec<Action<WhiteBoxMsg>> {
+        if !self.config.compaction_enabled() {
+            return Vec::new();
+        }
+        self.deliveries_since_stable += 1;
+        if self.deliveries_since_stable < self.config.compaction_interval {
+            return Vec::new();
+        }
+        self.deliveries_since_stable = 0;
+        match self.status {
+            Status::Leader => self.recompute_watermark(),
+            Status::Follower => {
+                let Some(leader) = self.cur_leader.get(&self.own_group()).copied() else {
+                    return Vec::new();
+                };
+                if leader == self.config.id {
+                    return Vec::new();
+                }
+                vec![Action::send(
+                    leader,
+                    WhiteBoxMsg::StableReport {
+                        group: self.own_group(),
+                        delivered_gts: self.max_delivered_gts,
+                    },
+                )]
+            }
+            // A recovering replica reports nothing; the next interval after
+            // the recovery completes will.
+            Status::Recovering => Vec::new(),
+        }
+    }
+
+    /// Leader handler for `STABLE_REPORT`: fold in the member's progress and
+    /// recompute the group watermark.
+    fn handle_stable_report(
+        &mut self,
+        from: ProcessId,
+        group: GroupId,
+        delivered_gts: Timestamp,
+    ) -> Vec<Action<WhiteBoxMsg>> {
+        if self.status != Status::Leader
+            || group != self.own_group()
+            || !self.group_members.contains(&from)
+        {
+            return Vec::new();
+        }
+        let entry = self
+            .member_delivered
+            .entry(from)
+            .or_insert(Timestamp::BOTTOM);
+        if delivered_gts > *entry {
+            *entry = delivered_gts;
+        }
+        self.recompute_watermark()
+    }
+
+    /// Recomputes the own-group watermark as the *quorum-th highest* delivery
+    /// progress over the group members: a quorum has delivered everything at
+    /// or below it (delivery is in timestamp order, so progress is
+    /// prefix-complete). Waiting for every member instead would let a single
+    /// crashed replica stall compaction forever; a minority member below the
+    /// watermark catches up via checkpoint state transfer, and because any
+    /// recovery quorum intersects the watermark quorum, everything pruned
+    /// under the watermark is always known (as a committed record or through
+    /// the delivered filter) to any future leader. On an advance, prunes and
+    /// disseminates the updated watermark map.
+    fn recompute_watermark(&mut self) -> Vec<Action<WhiteBoxMsg>> {
+        let own_id = self.config.id;
+        self.member_delivered.insert(own_id, self.max_delivered_gts);
+        let mut progress: Vec<Timestamp> = self
+            .group_members
+            .iter()
+            .map(|m| {
+                self.member_delivered
+                    .get(m)
+                    .copied()
+                    .unwrap_or(Timestamp::BOTTOM)
+            })
+            .collect();
+        progress.sort_unstable_by(|a, b| b.cmp(a));
+        let watermark = progress[self.own_quorum() - 1];
+        let own_group = self.own_group();
+        let current = self
+            .stable_watermarks
+            .get(&own_group)
+            .copied()
+            .unwrap_or(Timestamp::BOTTOM);
+        if watermark <= current {
+            return Vec::new();
+        }
+        self.stable_watermarks.insert(own_group, watermark);
+        self.prune_records();
+        self.broadcast_watermarks()
+    }
+
+    /// Sends the current watermark map to the group's followers (who prune
+    /// with it) and to the other groups' leaders (cross-group dissemination;
+    /// multi-group records need every destination group's watermark).
+    fn broadcast_watermarks(&mut self) -> Vec<Action<WhiteBoxMsg>> {
+        let advance = WhiteBoxMsg::StableAdvance {
+            watermarks: self.stable_watermarks.clone(),
+        };
+        let mut actions = Vec::new();
+        for member in &self.group_members {
+            if *member != self.config.id {
+                actions.push(Action::send(*member, advance.clone()));
+            }
+        }
+        let own_group = self.own_group();
+        for (group, leader) in &self.cur_leader {
+            if *group != own_group && *leader != self.config.id {
+                actions.push(Action::send(*leader, advance.clone()));
+            }
+        }
+        actions
+    }
+
+    /// Merges a received watermark map (pointwise maximum — watermarks only
+    /// advance) and prunes. A leader that learnt something new re-broadcasts,
+    /// so cross-group knowledge reaches its followers; the merge is monotone
+    /// over a finite lattice, so re-broadcasts terminate.
+    fn handle_stable_advance(
+        &mut self,
+        watermarks: BTreeMap<GroupId, Timestamp>,
+    ) -> Vec<Action<WhiteBoxMsg>> {
+        if !wbam_types::checkpoint::merge_watermarks(&mut self.stable_watermarks, &watermarks) {
+            return Vec::new();
+        }
+        self.prune_records();
+        if self.status == Status::Leader {
+            self.broadcast_watermarks()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// A peer answered our retry with "that record is pruned, globally
+    /// delivered history" (see [`WhiteBoxMsg::StablePruned`]). Merge its
+    /// watermark knowledge and resolve our pending copy: the record's global
+    /// timestamp was fixed by the quorum that delivered it and is covered by
+    /// every destination group's watermark, so our copy can never commit to
+    /// anything new — drop it as installed (excused) history and let the
+    /// delivery convoy move again.
+    fn handle_stable_pruned(
+        &mut self,
+        msg_id: MsgId,
+        watermarks: BTreeMap<GroupId, Timestamp>,
+    ) -> Vec<Action<WhiteBoxMsg>> {
+        let mut actions = self.handle_stable_advance(watermarks);
+        let is_pending = self
+            .records
+            .get(&msg_id)
+            .map(|r| r.is_pending())
+            .unwrap_or(false);
+        if !is_pending {
+            return actions;
+        }
+        if let Some(record) = self.records.remove(&msg_id) {
+            self.pending_lts.remove(&(record.local_ts, msg_id));
+            self.committed_undelivered
+                .remove(&(record.global_ts, msg_id));
+        }
+        self.dedup.insert(msg_id);
+        self.pruned_dropped.insert(msg_id);
+        actions.extend(self.cancel_retry_timer(msg_id));
+        actions.extend(self.try_deliver());
+        actions
+    }
+
+    /// Prunes delivered records covered by the watermark of *every* one of
+    /// their destination groups, keeping the most recent `compaction_lag`
+    /// delivered records as a duplicate-service window. The scan walks the
+    /// delivered index in global-timestamp order and stops at the first
+    /// record some destination group's watermark does not yet cover, so each
+    /// call costs O(pruned), not O(resident).
+    fn prune_records(&mut self) {
+        if !self.config.compaction_enabled() {
+            return;
+        }
+        while self.delivered_index.len() > self.config.compaction_lag {
+            let &(gts, id) = self.delivered_index.first().expect("len checked above");
+            let covered = match self.records.get(&id) {
+                // The record vanished in a wholesale state replacement; drop
+                // the stale index entry.
+                None => true,
+                Some(record) => record.msg.dest.iter().all(|g| {
+                    self.stable_watermarks
+                        .get(&g)
+                        .map(|w| gts <= *w)
+                        .unwrap_or(false)
+                }),
+            };
+            if !covered {
+                break;
+            }
+            self.delivered_index.pop_first();
+            if self.records.remove(&id).is_some() {
+                self.pruned_count += 1;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Leader recovery
     // ------------------------------------------------------------------
 
@@ -958,9 +1378,8 @@ impl WhiteBoxReplica {
             WhiteBoxMsg::NewLeaderAck {
                 ballot,
                 cballot: self.cballot,
-                clock: self.clock,
+                checkpoint: self.checkpoint(),
                 snapshot,
-                max_delivered_gts: self.max_delivered_gts,
             },
         ));
         actions
@@ -983,7 +1402,7 @@ impl WhiteBoxReplica {
         from: ProcessId,
         ballot: Ballot,
         cballot: Ballot,
-        clock: u64,
+        checkpoint: Checkpoint,
         snapshot: StateSnapshot,
     ) -> Vec<Action<WhiteBoxMsg>> {
         let mut actions = Vec::new();
@@ -1001,7 +1420,7 @@ impl WhiteBoxReplica {
             from,
             NewLeaderAckData {
                 cballot,
-                clock,
+                checkpoint,
                 snapshot,
             },
         );
@@ -1057,22 +1476,81 @@ impl WhiteBoxReplica {
         let new_clock = recovery
             .acks
             .values()
-            .map(|a| a.clock)
+            .map(|a| a.checkpoint.clock)
             .max()
             .unwrap_or(0)
             .max(self.clock);
+        // Compaction state is recovered alongside: watermarks advance to the
+        // pointwise maximum over the quorum (each reported watermark was
+        // sound when computed, and watermarks only advance), the delivered
+        // filters union (anything any member knows delivered is delivered),
+        // and our own delivery progress jumps to the maximal watermark — the
+        // history below it is pruned at a quorum, so it can never be
+        // re-delivered to us; it is installed, not missing.
+        let mut merged_dedup = self.dedup.clone();
+        let mut merged_watermarks: BTreeMap<GroupId, Timestamp> = self.stable_watermarks.clone();
+        for data in recovery.acks.values() {
+            merged_dedup.merge(&data.checkpoint.dedup);
+            wbam_types::checkpoint::merge_watermarks(
+                &mut merged_watermarks,
+                &data.checkpoint.watermarks,
+            );
+        }
+        let merged_own_watermark = merged_watermarks
+            .get(&self.config.group)
+            .copied()
+            .unwrap_or(Timestamp::BOTTOM);
+        // Reconcile the merged records with the merged compaction state:
+        //
+        // * A record the delivered filter knows but no snapshot reports
+        //   committed was delivered everywhere and then pruned at every
+        //   member that had it committed — which can only happen under the
+        //   watermark, so the watermark jump below covers it. Re-proposing it
+        //   would deliver it twice; drop it.
+        // * A committed record at or below the merged watermark needs no
+        //   line-66 re-broadcast: a quorum delivered it (that is what the
+        //   watermark asserts) and any straggler is jumped over it by the
+        //   checkpoint in `NEW_STATE`. Marking it delivered keeps it pruning-
+        //   eligible instead of re-broadcasting history after every leader
+        //   change.
+        // * Everything above the watermark keeps the paper's behaviour:
+        //   `delivered = false`, re-delivered by line 66, duplicates filtered
+        //   at the receivers through `max_delivered_gts`.
+        new_records.retain(|id, rec| {
+            if rec.phase == Phase::Committed {
+                rec.delivered = rec.global_ts <= merged_own_watermark;
+                true
+            } else {
+                !merged_dedup.contains(*id)
+            }
+        });
         let new_ballot = recovery.ballot;
         recovery.installed = true;
         recovery.state_acks.insert(self.config.id);
 
         self.records = new_records;
+        self.dedup = merged_dedup;
+        self.stable_watermarks = merged_watermarks;
+        let own_watermark = self.watermark();
+        if self.max_delivered_gts < own_watermark {
+            self.transfer_recoveries += 1;
+            self.transfer_excused_below = self.transfer_excused_below.max(own_watermark);
+            self.max_delivered_gts = own_watermark;
+        }
         self.rebuild_delivery_index();
+        self.prune_records();
         self.clock = new_clock;
         // Line 55: cballot ← b.
         self.cballot = new_ballot;
+        // A fresh leadership starts member progress tracking from scratch;
+        // members re-report within one compaction interval.
+        self.member_delivered.clear();
 
-        // Line 56: install the state at the followers.
+        // Line 56: install the state at the followers — as checkpoint +
+        // suffix, which doubles as catch-up state transfer for any member
+        // whose progress lies below the recovered watermark.
         let snapshot = self.snapshot();
+        let checkpoint = self.checkpoint();
         for member in self.group_members.clone() {
             if member == self.config.id {
                 continue;
@@ -1081,7 +1559,7 @@ impl WhiteBoxReplica {
                 member,
                 WhiteBoxMsg::NewState {
                     ballot: new_ballot,
-                    clock: new_clock,
+                    checkpoint: checkpoint.clone(),
                     snapshot: snapshot.clone(),
                 },
             ));
@@ -1107,7 +1585,7 @@ impl WhiteBoxReplica {
         now: Duration,
         from: ProcessId,
         ballot: Ballot,
-        clock: u64,
+        checkpoint: Checkpoint,
         snapshot: StateSnapshot,
     ) -> Vec<Action<WhiteBoxMsg>> {
         let fresh_join = ballot > self.ballot;
@@ -1118,7 +1596,24 @@ impl WhiteBoxReplica {
         self.ballot = ballot;
         self.cballot = ballot;
         self.last_leader_activity = now;
-        self.clock = clock;
+        self.clock = checkpoint.clock;
+        // Install the leader's checkpoint: merge its watermark knowledge and
+        // delivered filter, and — the state-transfer case — if our own
+        // delivery progress lies below the recovered watermark, jump it
+        // forward: the history between is pruned (delivered at a quorum and
+        // discarded), arrives as installed checkpoint state rather than
+        // per-message replay, and is excused (not missing) to the oracles.
+        wbam_types::checkpoint::merge_watermarks(
+            &mut self.stable_watermarks,
+            &checkpoint.watermarks,
+        );
+        self.dedup.merge(&checkpoint.dedup);
+        let own_watermark = self.watermark();
+        if self.max_delivered_gts < own_watermark {
+            self.transfer_recoveries += 1;
+            self.transfer_excused_below = self.transfer_excused_below.max(own_watermark);
+            self.max_delivered_gts = own_watermark;
+        }
         self.records = snapshot
             .records
             .into_iter()
@@ -1130,6 +1625,7 @@ impl WhiteBoxReplica {
             })
             .collect();
         self.rebuild_delivery_index();
+        self.prune_records();
         if let Some(leader) = ballot.leader() {
             self.cur_leader.insert(self.own_group(), leader);
         }
@@ -1186,12 +1682,10 @@ impl WhiteBoxReplica {
         actions.extend(self.try_deliver());
         // Resume processing of accepted-but-uncommitted messages by re-sending
         // MULTICAST to all destination leaders (§IV, "Message recovery").
-        let pending: Vec<MsgId> = self
-            .records
-            .values()
-            .filter(|r| r.is_pending())
-            .map(|r| r.id())
-            .collect();
+        // The pending set is read off the incrementally maintained
+        // delivery-condition index, not a scan of the record map, so this
+        // costs O(pending suffix) even with a long resident history.
+        let pending: Vec<MsgId> = self.pending_lts.iter().map(|(_, id)| *id).collect();
         for id in pending {
             let record = &self.records[&id];
             let multicast = WhiteBoxMsg::Multicast {
@@ -1202,7 +1696,7 @@ impl WhiteBoxReplica {
             }
             // Make sure we also propose it ourselves (we are a destination
             // leader too) and keep retrying until it commits.
-            actions.extend(self.handle_multicast(self.records[&id].msg.clone()));
+            actions.extend(self.handle_multicast(None, self.records[&id].msg.clone()));
         }
         // With batching enabled the re-proposals above were buffered; push the
         // in-flight batch out immediately rather than waiting for the timer,
@@ -1258,8 +1752,22 @@ impl WhiteBoxReplica {
             // us through the normal handshake. (A `Recovering` replica cannot
             // acknowledge proposals, so staying wedged here would silently
             // shrink the group's usable quorum.)
-        } else if ballot >= self.ballot {
+        } else if ballot == self.ballot {
             self.last_leader_activity = now;
+            if let Some(leader) = ballot.leader() {
+                self.cur_leader.insert(self.own_group(), leader);
+            }
+        } else if ballot > self.ballot {
+            // A heartbeat for a ballot we never even *joined*: we missed the
+            // whole NEW_LEADER/NEW_STATE exchange (partitioned away while the
+            // ballot was established). Our cballot is stale, so we cannot
+            // acknowledge anything this leader proposes — being pacified here
+            // would park us as a permanently useless group member, silently
+            // shrinking the usable quorum (with `f` other members gone, the
+            // whole group wedges; found by the schedule explorer, see
+            // `tests/regressions/`). Remember the leader for forwarding, but
+            // let our election timer expire: the re-campaign resynchronises
+            // us through the normal handshake.
             if let Some(leader) = ballot.leader() {
                 self.cur_leader.insert(self.own_group(), leader);
             }
@@ -1279,7 +1787,7 @@ impl WhiteBoxReplica {
                         leader,
                         WhiteBoxMsg::NewState {
                             ballot: self.cballot,
-                            clock: self.clock,
+                            checkpoint: self.checkpoint(),
                             snapshot: self.snapshot(),
                         },
                     )];
@@ -1359,13 +1867,12 @@ impl WhiteBoxReplica {
         self.status = Status::Follower;
         let mut actions = self.start_recovery();
         // Re-arm a retry timer for every pending record so stuck messages are
-        // re-proposed (the pre-crash timers are gone).
-        let pending: Vec<MsgId> = self
-            .records
-            .values()
-            .filter(|r| r.is_pending())
-            .map(|r| r.id())
-            .collect();
+        // re-proposed (the pre-crash timers are gone). The pending set comes
+        // from the delivery-condition index — restart work is proportional
+        // to the in-flight suffix, not the delivered history (a replica
+        // restarted after 50k deliveries re-arms only what is still open).
+        let pending: Vec<MsgId> = self.pending_lts.iter().map(|(_, id)| *id).collect();
+        self.last_restart_scan = pending.len();
         for id in pending {
             actions.extend(self.arm_retry_timer(id));
         }
@@ -1413,7 +1920,7 @@ impl Node for WhiteBoxReplica {
     fn on_event(&mut self, now: Duration, event: Event<WhiteBoxMsg>) -> Vec<Action<WhiteBoxMsg>> {
         match event {
             Event::Init => self.handle_init(now),
-            Event::Multicast(msg) => self.handle_multicast(msg),
+            Event::Multicast(msg) => self.handle_multicast(None, msg),
             Event::BecomeLeader => self.start_recovery(),
             Event::Restart => self.handle_restart(now),
             Event::Timer { id, now } => match id {
@@ -1432,7 +1939,7 @@ impl Node for WhiteBoxReplica {
                 // schedule explorer.
                 let _ = from;
                 match msg {
-                    WhiteBoxMsg::Multicast { msg } => self.handle_multicast(msg),
+                    WhiteBoxMsg::Multicast { msg } => self.handle_multicast(Some(from), msg),
                     WhiteBoxMsg::Accept {
                         msg,
                         group,
@@ -1465,17 +1972,26 @@ impl Node for WhiteBoxReplica {
                     WhiteBoxMsg::NewLeaderAck {
                         ballot,
                         cballot,
-                        clock,
+                        checkpoint,
                         snapshot,
-                        max_delivered_gts: _,
-                    } => self.handle_new_leader_ack(from, ballot, cballot, clock, snapshot),
+                    } => self.handle_new_leader_ack(from, ballot, cballot, checkpoint, snapshot),
                     WhiteBoxMsg::NewState {
                         ballot,
-                        clock,
+                        checkpoint,
                         snapshot,
-                    } => self.handle_new_state(now, from, ballot, clock, snapshot),
+                    } => self.handle_new_state(now, from, ballot, checkpoint, snapshot),
                     WhiteBoxMsg::NewStateAck { ballot } => self.handle_new_state_ack(from, ballot),
                     WhiteBoxMsg::Heartbeat { ballot } => self.handle_heartbeat(now, ballot),
+                    WhiteBoxMsg::StableReport {
+                        group,
+                        delivered_gts,
+                    } => self.handle_stable_report(from, group, delivered_gts),
+                    WhiteBoxMsg::StableAdvance { watermarks } => {
+                        self.handle_stable_advance(watermarks)
+                    }
+                    WhiteBoxMsg::StablePruned { msg_id, watermarks } => {
+                        self.handle_stable_pruned(msg_id, watermarks)
+                    }
                     WhiteBoxMsg::ClientReply { .. } => Vec::new(),
                 }
             }
@@ -1691,7 +2207,7 @@ mod tests {
             ProcessId(2),
             WhiteBoxMsg::NewState {
                 ballot: Ballot::new(2, ProcessId(2)),
-                clock: 0,
+                checkpoint: Checkpoint::default(),
                 snapshot: StateSnapshot::new(),
             },
         );
@@ -1899,6 +2415,51 @@ mod tests {
             )),
             "delivery must be blocked by the pending lower-timestamped message"
         );
+    }
+
+    /// Regression guard for the restart path: re-arming retry timers after a
+    /// restart must scan the *pending suffix* (read off the incrementally
+    /// maintained delivery-condition index), not the full record history — a
+    /// replica restarted after 50k deliveries does work proportional to its
+    /// handful of in-flight records.
+    #[test]
+    fn restart_scan_is_proportional_to_suffix_not_history() {
+        let mut follower = replica(1, 0);
+        // 50k delivered records, all resident (compaction off).
+        for i in 0..50_000u64 {
+            let m = app_msg(i, &[0]);
+            let deliver = WhiteBoxMsg::Deliver {
+                msg: m,
+                ballot: Ballot::new(1, ProcessId(0)),
+                local_ts: Timestamp::new(i + 1, GroupId(0)),
+                global_ts: Timestamp::new(i + 1, GroupId(0)),
+            };
+            drive(&mut follower, ProcessId(0), deliver);
+        }
+        assert_eq!(follower.delivered_count(), 50_000);
+        assert_eq!(follower.live_records(), 50_000);
+        // A handful of in-flight records (accepted, uncommitted).
+        for i in 50_000..50_005u64 {
+            let m = app_msg(i, &[0]);
+            let accept = WhiteBoxMsg::Accept {
+                msg: m,
+                group: GroupId(0),
+                ballot: Ballot::new(1, ProcessId(0)),
+                local_ts: Timestamp::new(i + 1, GroupId(0)),
+            };
+            drive(&mut follower, ProcessId(0), accept);
+        }
+        let actions = follower.on_event(Duration::ZERO, Event::Restart);
+        assert_eq!(
+            follower.last_restart_scan(),
+            5,
+            "restart re-arm scan must cover only the pending suffix"
+        );
+        let retry_timers = actions
+            .iter()
+            .filter(|a| matches!(a, Action::SetTimer { id, .. } if id.0 >= 1_000))
+            .count();
+        assert_eq!(retry_timers, 5, "one retry timer per pending record");
     }
 
     #[test]

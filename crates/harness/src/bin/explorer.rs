@@ -79,7 +79,7 @@ fn replay(token_str: &str) -> ExitCode {
     let schedule = generate_schedule(&token);
     println!("replaying {token}");
     println!(
-        "  cluster: {} groups x {} replicas, {} clients, {} ops, batching {}",
+        "  cluster: {} groups x {} replicas, {} clients, {} ops, batching {}, compaction {}",
         schedule.spec.num_groups,
         schedule.spec.group_size,
         schedule.spec.num_clients,
@@ -88,6 +88,14 @@ fn replay(token_str: &str) -> ExitCode {
             "off".to_string()
         } else {
             format!("{}", schedule.spec.max_batch)
+        },
+        if schedule.spec.compaction_interval == 0 {
+            "off".to_string()
+        } else {
+            format!(
+                "every {} (lag {})",
+                schedule.spec.compaction_interval, schedule.spec.compaction_lag
+            )
         },
     );
     println!("  nemesis: {:?}", schedule.spec.nemesis);

@@ -82,6 +82,14 @@ pub struct ClusterSpec {
     /// crashes and restarts only the protocol's own failure detector
     /// reliably re-elects and re-synchronises groups.
     pub auto_election: bool,
+    /// Record compaction: deliveries between `STABLE` watermark exchanges.
+    /// Zero (every constructor's default) disables compaction — the paper's
+    /// unbounded behaviour. Applies to the white-box protocol and both
+    /// consensus baselines (which additionally trim their Paxos logs).
+    pub compaction_interval: u64,
+    /// Most recently delivered records retained below the watermark (the
+    /// duplicate-service window); only meaningful with a non-zero interval.
+    pub compaction_lag: usize,
 }
 
 impl ClusterSpec {
@@ -101,6 +109,8 @@ impl ClusterSpec {
             nemesis: NemesisPlan::quiet(),
             record_trace: false,
             auto_election: false,
+            compaction_interval: 0,
+            compaction_lag: 0,
         }
     }
 
@@ -120,6 +130,8 @@ impl ClusterSpec {
             nemesis: NemesisPlan::quiet(),
             record_trace: false,
             auto_election: false,
+            compaction_interval: 0,
+            compaction_lag: 0,
         }
     }
 
@@ -139,7 +151,22 @@ impl ClusterSpec {
             nemesis: NemesisPlan::quiet(),
             record_trace: false,
             auto_election: false,
+            compaction_interval: 0,
+            compaction_lag: 0,
         }
+    }
+
+    /// Returns the spec with record compaction enabled: replicas exchange
+    /// delivery watermarks every `interval` deliveries and prune records
+    /// (and, for the baselines, the consensus-log prefix) below the watermark
+    /// of every destination group, keeping the `lag` most recent delivered
+    /// records resident. This is what bounds replica memory on long runs;
+    /// recovery of a restarted or lagging replica becomes checkpoint-based
+    /// state transfer instead of per-message replay.
+    pub fn with_compaction(mut self, interval: u64, lag: usize) -> Self {
+        self.compaction_interval = interval;
+        self.compaction_lag = lag;
+        self
     }
 
     /// Returns the spec with batched ordering enabled: leaders accumulate up
@@ -256,7 +283,8 @@ impl ProtocolSim {
                 for gc in cluster.groups() {
                     for member in gc.members() {
                         let mut cfg = ReplicaConfig::new(*member, gc.id(), cluster.clone())
-                            .with_batching(spec.max_batch, spec.batch_delay);
+                            .with_batching(spec.max_batch, spec.batch_delay)
+                            .with_compaction(spec.compaction_interval, spec.compaction_lag);
                         cfg = if spec.auto_election {
                             cfg.with_election_timeouts(
                                 Duration::from_millis(150),
@@ -294,7 +322,8 @@ impl ProtocolSim {
                         sim.add_replica(
                             Box::new(
                                 BaselineReplica::try_new(*member, gc.id(), cluster.clone(), mode)?
-                                    .with_batching(spec.max_batch, spec.batch_delay),
+                                    .with_batching(spec.max_batch, spec.batch_delay)
+                                    .with_compaction(spec.compaction_interval, spec.compaction_lag),
                             ),
                             gc.id(),
                             cluster.site_of(*member),
@@ -378,13 +407,99 @@ impl ProtocolSim {
         }
     }
 
-    /// Metrics view over the run so far.
+    /// Metrics view over the run so far. With compaction-capable protocols
+    /// the view carries resident-record gauges: `live_records_max` /
+    /// `live_records_total` over all replicas, plus `pruned_total`.
     pub fn metrics(&self) -> MetricsView {
-        match &self.inner {
+        let mut metrics = match &self.inner {
             SimInner::WhiteBox(s) => s.metrics(),
             SimInner::Baseline(s) => s.metrics(),
             SimInner::Skeen(s) => s.metrics(),
+        };
+        let mut max = 0usize;
+        let mut total = 0usize;
+        let mut pruned = 0u64;
+        let mut seen_any = false;
+        for gc in self.cluster.groups() {
+            for member in gc.members() {
+                if let Some((live, p)) = self.replica_gauges(*member) {
+                    seen_any = true;
+                    max = max.max(live);
+                    total += live;
+                    pruned += p;
+                }
+            }
         }
+        if seen_any {
+            metrics.set_gauge("live_records_max", max as f64);
+            metrics.set_gauge("live_records_total", total as f64);
+            metrics.set_gauge("pruned_total", pruned as f64);
+        }
+        metrics
+    }
+
+    fn replica_gauges(&self, p: ProcessId) -> Option<(usize, u64)> {
+        if let Some(replica) = self.whitebox_replica(p) {
+            return Some((replica.live_records(), replica.pruned_count()));
+        }
+        if let Some(replica) = self.baseline_replica(p) {
+            return Some((replica.live_records(), replica.pruned_count()));
+        }
+        None
+    }
+
+    /// Number of message records resident at a replica (`None` for clients,
+    /// unknown processes, or protocols without the inspection hook).
+    pub fn live_records(&self, p: ProcessId) -> Option<usize> {
+        self.replica_gauges(p).map(|(live, _)| live)
+    }
+
+    /// Per-replica excusal watermarks for the linearizability oracle: for
+    /// every replica that recovered via checkpoint state transfer, the
+    /// watermark its delivery progress was jumped to. History at or below it
+    /// was installed, not replayed — pass this to
+    /// [`KvHistory::check_excusing`](wbam_kvstore::KvHistory::check_excusing).
+    pub fn transfer_excusals(
+        &self,
+    ) -> std::collections::BTreeMap<ProcessId, wbam_types::Timestamp> {
+        let mut out = std::collections::BTreeMap::new();
+        for gc in self.cluster.groups() {
+            for member in gc.members() {
+                let excused = if let Some(r) = self.whitebox_replica(*member) {
+                    r.transfer_excused_below()
+                } else if let Some(r) = self.baseline_replica(*member) {
+                    r.transfer_excused_below()
+                } else {
+                    continue;
+                };
+                if excused > wbam_types::Timestamp::BOTTOM {
+                    out.insert(*member, excused);
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-replica sets of messages dropped on a `STABLE_PRUNED` notice —
+    /// globally delivered history the replica will never apply locally. Pass
+    /// alongside [`Self::transfer_excusals`] to
+    /// [`KvHistory::check_excusing`](wbam_kvstore::KvHistory::check_excusing);
+    /// the excusal is per message, so any other missed delivery stays a
+    /// violation.
+    pub fn drop_excusals(
+        &self,
+    ) -> std::collections::BTreeMap<ProcessId, std::collections::BTreeSet<MsgId>> {
+        let mut out = std::collections::BTreeMap::new();
+        for gc in self.cluster.groups() {
+            for member in gc.members() {
+                if let Some(r) = self.whitebox_replica(*member) {
+                    if !r.pruned_dropped().is_empty() {
+                        out.insert(*member, r.pruned_dropped().clone());
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Submits a multicast from client `client_index` at time `at`, addressed
@@ -461,6 +576,15 @@ impl ProtocolSim {
     pub fn whitebox_replica(&self, p: ProcessId) -> Option<&WhiteBoxReplica> {
         match &self.inner {
             SimInner::WhiteBox(s) => s.node(p)?.as_any()?.downcast_ref(),
+            _ => None,
+        }
+    }
+
+    /// Read access to a baseline (FT-Skeen / FastCast) replica's state;
+    /// `None` for other protocols, clients, or unknown processes.
+    pub fn baseline_replica(&self, p: ProcessId) -> Option<&BaselineReplica> {
+        match &self.inner {
+            SimInner::Baseline(s) => s.node(p)?.as_any()?.downcast_ref(),
             _ => None,
         }
     }

@@ -43,9 +43,33 @@ use wbam_types::{CrashSpec, GroupId, MsgId, NemesisPlan, PartitionSpec, ProcessI
 
 use crate::cluster::{ClusterSpec, Protocol, ProtocolSim};
 
-/// Token format version; bump when schedule generation changes, so stale
-/// regression seeds fail loudly instead of replaying a different schedule.
-const TOKEN_VERSION: &str = "v1";
+/// Schedule-derivation versions. Old tokens must never change meaning: every
+/// regression-corpus token replays byte for byte forever, so any change to
+/// what a seed derives is a new version, and [`generate_schedule`] keeps the
+/// old derivations verbatim.
+///
+/// * `V1` (PR 3): topology, workload and nemesis plan; no compaction.
+/// * `V2` (PR 4): additionally derives a compaction cadence (watermark
+///   interval + lag) and an extra mid-run crash/restart, so schedules
+///   exercise pruning, checkpoints and state transfer mid-checkpoint. The
+///   V2 draws come from a *separately salted* RNG, leaving the V1 stream —
+///   and therefore every V1 token — untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TokenVersion {
+    /// PR 3 derivation (no compaction).
+    V1,
+    /// PR 4 derivation (compaction + mid-checkpoint crash/restart).
+    V2,
+}
+
+impl TokenVersion {
+    fn label(self) -> &'static str {
+        match self {
+            TokenVersion::V1 => "v1",
+            TokenVersion::V2 => "v2",
+        }
+    }
+}
 
 /// End of the chaos window: probabilistic link faults and timer jitter stop
 /// here, partitions heal before it, and the stabilization nudges follow it.
@@ -58,12 +82,17 @@ const HORIZON: Duration = Duration::from_secs(30);
 /// Keys the generated workload touches (a small space maximises conflicts).
 const KEY_SPACE: u32 = 6;
 
-/// A replayable schedule identifier: protocol plus generation seed.
+/// A replayable schedule identifier: derivation version, protocol and
+/// generation seed.
 ///
-/// Printed as `WBAM_SEED=v1:<protocol>:<seed-hex>`; [`SeedToken::parse`]
-/// accepts the same string with or without the `WBAM_SEED=` prefix.
+/// Printed as `WBAM_SEED=v<n>:<protocol>:<seed-hex>`; [`SeedToken::parse`]
+/// accepts the same string with or without the `WBAM_SEED=` prefix, for any
+/// supported version — old corpus tokens keep replaying their original
+/// schedules byte for byte.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SeedToken {
+    /// The schedule-derivation version.
+    pub version: TokenVersion,
     /// The protocol the schedule runs.
     pub protocol: Protocol,
     /// The seed every part of the schedule is derived from.
@@ -74,7 +103,8 @@ impl fmt::Display for SeedToken {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "WBAM_SEED={TOKEN_VERSION}:{}:{:016x}",
+            "WBAM_SEED={}:{}:{:016x}",
+            self.version.label(),
             self.protocol.label(),
             self.seed
         )
@@ -87,20 +117,18 @@ impl SeedToken {
     /// # Errors
     ///
     /// Returns a description of the problem if the string is not a valid
-    /// token of the current version.
+    /// token of a supported version.
     pub fn parse(s: &str) -> Result<SeedToken, String> {
         let body = s.trim().strip_prefix("WBAM_SEED=").unwrap_or(s.trim());
         let parts: Vec<&str> = body.split(':').collect();
         let [version, label, seed_hex] = parts[..] else {
-            return Err(format!(
-                "expected {TOKEN_VERSION}:<protocol>:<seed>, got `{body}`"
-            ));
+            return Err(format!("expected v<n>:<protocol>:<seed>, got `{body}`"));
         };
-        if version != TOKEN_VERSION {
-            return Err(format!(
-                "token version `{version}` not supported (current: {TOKEN_VERSION})"
-            ));
-        }
+        let version = match version {
+            "v1" => TokenVersion::V1,
+            "v2" => TokenVersion::V2,
+            other => return Err(format!("token version `{other}` not supported (v1, v2)")),
+        };
         let protocol = match label {
             "WbCast" => Protocol::WhiteBox,
             "FastCast" => Protocol::FastCast,
@@ -110,7 +138,11 @@ impl SeedToken {
         };
         let seed =
             u64::from_str_radix(seed_hex, 16).map_err(|e| format!("bad seed `{seed_hex}`: {e}"))?;
-        Ok(SeedToken { protocol, seed })
+        Ok(SeedToken {
+            version,
+            protocol,
+            seed,
+        })
     }
 }
 
@@ -229,8 +261,11 @@ fn splitmix64(mut x: u64) -> u64 {
 }
 
 /// The token of schedule `index` in an exploration starting at `base_seed`.
+/// Fresh explorations always use the newest derivation version; old versions
+/// exist only so corpus tokens keep their meaning.
 pub fn schedule_token(base_seed: u64, index: usize, protocols: &[Protocol]) -> SeedToken {
     SeedToken {
+        version: TokenVersion::V2,
         protocol: protocols[index % protocols.len()],
         seed: splitmix64(base_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
     }
@@ -269,6 +304,8 @@ pub fn generate_schedule(token: &SeedToken) -> GeneratedSchedule {
         nemesis: NemesisPlan::quiet(),
         record_trace: true,
         auto_election: false,
+        compaction_interval: 0,
+        compaction_lag: 0,
     };
     if rng.gen_bool(0.25) {
         spec = spec.with_batching(rng.gen_range(2..=8), Duration::from_micros(500));
@@ -410,6 +447,33 @@ pub fn generate_schedule(token: &SeedToken) -> GeneratedSchedule {
             client_index,
             cmd,
         });
+    }
+
+    // --- V2 derivation: compaction + a mid-checkpoint crash/restart -----
+    // Drawn from a *separately salted* RNG so the V1 stream above — and with
+    // it every V1 corpus token — is byte-for-byte unchanged.
+    if token.version >= TokenVersion::V2 {
+        let mut rng2 = StdRng::seed_from_u64(token.seed ^ 0x5EED_CAFE_F00D_2222);
+        if rng2.gen_bool(0.8) {
+            let interval = rng2.gen_range(5..=100u64);
+            let lag = rng2.gen_range(0..=200usize);
+            spec = spec.with_compaction(interval, lag);
+        }
+        // An extra crash *with* restart: checkpoints are taken continuously
+        // (every `interval` deliveries), so a mid-run crash/restart lands
+        // mid-checkpoint and forces recovery through the state-transfer path
+        // against possibly pruned peers.
+        if rng2.gen_bool(0.5) {
+            let victim = replicas[rng2.gen_range(0..replicas.len())];
+            if !plan.crashes.iter().any(|c| c.process == victim) {
+                let at = ms(rng2.gen_range(500..6000));
+                plan.crashes.push(CrashSpec {
+                    at,
+                    process: victim,
+                    restart_at: Some(at + ms(rng2.gen_range(500..2500))),
+                });
+            }
+        }
     }
 
     spec.nemesis = plan;
@@ -593,7 +657,17 @@ pub fn run_generated(token: &SeedToken, schedule: &GeneratedSchedule) -> Schedul
         .faulty_processes()
         .into_iter()
         .collect();
-    if let Err(v) = history.check(&faulty, schedule.spec.nemesis.lossy()) {
+    // Replicas that recovered via checkpoint state transfer installed the
+    // history below their transfer watermark instead of replaying it; the
+    // oracle excuses (rather than flags) exactly that prefix.
+    let excusals = sim.transfer_excusals();
+    let drop_excusals = sim.drop_excusals();
+    if let Err(v) = history.check_excusing(
+        &faulty,
+        schedule.spec.nemesis.lossy(),
+        &excusals,
+        &drop_excusals,
+    ) {
         report.violation = Some(format!("linearizability: {v}"));
         return report;
     }
@@ -733,17 +807,20 @@ mod tests {
 
     #[test]
     fn tokens_round_trip_through_display_and_parse() {
-        for protocol in Protocol::evaluated() {
-            let token = SeedToken {
-                protocol,
-                seed: 0xdead_beef_1234_5678,
-            };
-            let s = token.to_string();
-            assert!(s.starts_with("WBAM_SEED=v1:"));
-            assert_eq!(SeedToken::parse(&s).unwrap(), token);
-            // The prefix is optional on input.
-            let bare = s.strip_prefix("WBAM_SEED=").unwrap();
-            assert_eq!(SeedToken::parse(bare).unwrap(), token);
+        for version in [TokenVersion::V1, TokenVersion::V2] {
+            for protocol in Protocol::evaluated() {
+                let token = SeedToken {
+                    version,
+                    protocol,
+                    seed: 0xdead_beef_1234_5678,
+                };
+                let s = token.to_string();
+                assert!(s.starts_with(&format!("WBAM_SEED={}:", version.label())));
+                assert_eq!(SeedToken::parse(&s).unwrap(), token);
+                // The prefix is optional on input.
+                let bare = s.strip_prefix("WBAM_SEED=").unwrap();
+                assert_eq!(SeedToken::parse(bare).unwrap(), token);
+            }
         }
         assert!(SeedToken::parse("v0:WbCast:1").is_err());
         assert!(SeedToken::parse("v1:NoSuch:1").is_err());
@@ -753,17 +830,58 @@ mod tests {
     #[test]
     fn schedules_are_deterministic() {
         let token = SeedToken {
+            version: TokenVersion::V2,
             protocol: Protocol::WhiteBox,
             seed: 7,
         };
         let a = generate_schedule(&token);
         let b = generate_schedule(&token);
         assert_eq!(a.spec.nemesis, b.spec.nemesis);
+        assert_eq!(a.spec.compaction_interval, b.spec.compaction_interval);
+        assert_eq!(a.spec.compaction_lag, b.spec.compaction_lag);
         assert_eq!(a.ops.len(), b.ops.len());
         for (x, y) in a.ops.iter().zip(b.ops.iter()) {
             assert_eq!(x.at, y.at);
             assert_eq!(x.cmd, y.cmd);
             assert_eq!(x.client_index, y.client_index);
+        }
+    }
+
+    /// The versioning contract: a V1 token derives exactly the PR 3 schedule
+    /// (no compaction, no extra crash), and the V2 derivation of the same
+    /// seed only *adds* — topology, workload and the V1 nemesis stay
+    /// identical, so introducing V2 never changes what a pinned V1 corpus
+    /// token means.
+    #[test]
+    fn v1_derivation_is_preserved_and_v2_only_adds() {
+        for seed in [3u64, 7, 1234, 0xdead_beef] {
+            let v1 = generate_schedule(&SeedToken {
+                version: TokenVersion::V1,
+                protocol: Protocol::WhiteBox,
+                seed,
+            });
+            let v2 = generate_schedule(&SeedToken {
+                version: TokenVersion::V2,
+                protocol: Protocol::WhiteBox,
+                seed,
+            });
+            assert_eq!(v1.spec.compaction_interval, 0, "V1 never compacts");
+            assert_eq!(v1.spec.num_groups, v2.spec.num_groups);
+            assert_eq!(v1.spec.group_size, v2.spec.group_size);
+            assert_eq!(v1.ops.len(), v2.ops.len());
+            for (x, y) in v1.ops.iter().zip(v2.ops.iter()) {
+                assert_eq!(x.at, y.at);
+                assert_eq!(x.cmd, y.cmd);
+            }
+            // The V1 nemesis is a prefix of the V2 one (the extra V2
+            // crash/restart is appended, never interleaved).
+            assert!(v2.spec.nemesis.crashes.len() >= v1.spec.nemesis.crashes.len());
+            assert_eq!(
+                &v2.spec.nemesis.crashes[..v1.spec.nemesis.crashes.len()],
+                &v1.spec.nemesis.crashes[..]
+            );
+            assert_eq!(v1.spec.nemesis.partitions, v2.spec.nemesis.partitions);
+            assert_eq!(v1.spec.nemesis.link, v2.spec.nemesis.link);
         }
     }
 
@@ -780,10 +898,12 @@ mod tests {
     #[test]
     fn different_seeds_give_different_schedules() {
         let a = generate_schedule(&SeedToken {
+            version: TokenVersion::V2,
             protocol: Protocol::WhiteBox,
             seed: 1,
         });
         let b = generate_schedule(&SeedToken {
+            version: TokenVersion::V2,
             protocol: Protocol::WhiteBox,
             seed: 2,
         });

@@ -31,7 +31,7 @@ pub mod workload;
 pub use cluster::{ClusterSpec, Protocol, ProtocolSim};
 pub use explorer::{
     explore, generate_schedule, minimize, run_token, ExplorationReport, ExplorerConfig, Finding,
-    ScheduleReport, SeedToken,
+    ScheduleReport, SeedToken, TokenVersion,
 };
 pub use probe::{convoy_probe, latency_probe, LatencyProbeResult};
 pub use sweep::{sweep, BenchRecord, SweepPoint, SweepResult, SweepSpec};

@@ -143,6 +143,8 @@ mod tests {
             nemesis: wbam_types::NemesisPlan::quiet(),
             record_trace: false,
             auto_election: false,
+            compaction_interval: 0,
+            compaction_lag: 0,
         }
     }
 

@@ -302,7 +302,35 @@ impl KvHistory {
         faulty: &BTreeSet<ProcessId>,
         lossy: bool,
     ) -> Result<OracleReport, LinearizabilityViolation> {
-        self.check_internal(faulty, lossy, false)
+        self.check_internal(faulty, lossy, false, &BTreeMap::new(), &BTreeMap::new())
+    }
+
+    /// Like [`Self::check`], but additionally excuses *pruned* history:
+    ///
+    /// * a process with an excusal watermark `W` in `excused` may skip
+    ///   operations whose global timestamp is `<= W` — it recovered via
+    ///   checkpoint-based state transfer, so the history below the watermark
+    ///   was installed, not missing;
+    /// * a process may skip the specific operations listed for it in
+    ///   `excused_ops` — pending records it dropped on a `STABLE_PRUNED`
+    ///   notice (delivered everywhere else and pruned).
+    ///
+    /// Everything else is held to the normal gap rules; the excusals are
+    /// deliberately narrow so genuine missed deliveries stay visible. Reads
+    /// after an excused skip are not checked, like reads after any excused
+    /// gap, because the replica's store was installed rather than replayed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn check_excusing(
+        &self,
+        faulty: &BTreeSet<ProcessId>,
+        lossy: bool,
+        excused: &BTreeMap<ProcessId, Timestamp>,
+        excused_ops: &BTreeMap<ProcessId, BTreeSet<MsgId>>,
+    ) -> Result<OracleReport, LinearizabilityViolation> {
+        self.check_internal(faulty, lossy, false, excused, excused_ops)
     }
 
     /// Like [`Self::check`] but additionally enforces real-time order:
@@ -319,7 +347,7 @@ impl KvHistory {
         faulty: &BTreeSet<ProcessId>,
         lossy: bool,
     ) -> Result<OracleReport, LinearizabilityViolation> {
-        self.check_internal(faulty, lossy, true)
+        self.check_internal(faulty, lossy, true, &BTreeMap::new(), &BTreeMap::new())
     }
 
     fn check_internal(
@@ -327,6 +355,8 @@ impl KvHistory {
         faulty: &BTreeSet<ProcessId>,
         lossy: bool,
         strict_real_time: bool,
+        excused: &BTreeMap<ProcessId, Timestamp>,
+        excused_ops: &BTreeMap<ProcessId, BTreeSet<MsgId>>,
     ) -> Result<OracleReport, LinearizabilityViolation> {
         let partitioner = Partitioner::new(self.partitions.max(1));
         let op_index: BTreeMap<MsgId, &KvOp> = self.ops.iter().map(|o| (o.id, o)).collect();
@@ -479,7 +509,24 @@ impl KvHistory {
                 while cursor < order.len() && order[cursor].0 != apply.op {
                     skipped_here = true;
                     let missed = order[cursor].0;
-                    if !gapped && !faulty.contains(process) && !lossy {
+                    // Pruned history: a process that recovered via
+                    // checkpoint-based state transfer installed everything
+                    // below its excusal watermark instead of replaying it —
+                    // skips down there are excused, not missing.
+                    let below_watermark = match (excused.get(process), gts_of.get(&missed)) {
+                        (Some(w), Some(gts)) => *gts <= *w,
+                        _ => false,
+                    };
+                    let op_excused = excused_ops
+                        .get(process)
+                        .map(|ops| ops.contains(&missed))
+                        .unwrap_or(false);
+                    if !gapped
+                        && !faulty.contains(process)
+                        && !lossy
+                        && !below_watermark
+                        && !op_excused
+                    {
                         return Err(LinearizabilityViolation::MissedDelivery {
                             process: *process,
                             op: missed,
@@ -714,6 +761,63 @@ mod tests {
         assert_eq!(report.checked_reads, 1);
         // A lossy network excuses it too.
         assert!(gap_history().check(&BTreeSet::new(), true).is_ok());
+    }
+
+    #[test]
+    fn watermark_and_per_op_excusals_are_narrow() {
+        let gap_history = || {
+            let mut h = linearizable_history();
+            // Replica 1 misses op 0 (gts 1) entirely; its later read is
+            // unverifiable after the gap.
+            h.applies
+                .retain(|a| !(a.process == ProcessId(1) && a.op == op_id(0)));
+            h.applies
+                .iter_mut()
+                .find(|a| a.process == ProcessId(1))
+                .unwrap()
+                .read = None;
+            h
+        };
+        // A transfer watermark at or above the missed op's timestamp excuses
+        // the gap at that process...
+        let mut excused = BTreeMap::new();
+        excused.insert(ProcessId(1), ts(1));
+        assert!(gap_history()
+            .check_excusing(&BTreeSet::new(), false, &excused, &BTreeMap::new())
+            .is_ok());
+        // ...a watermark below it does not...
+        let mut low = BTreeMap::new();
+        low.insert(ProcessId(1), ts(0));
+        assert!(matches!(
+            gap_history()
+                .check_excusing(&BTreeSet::new(), false, &low, &BTreeMap::new())
+                .unwrap_err(),
+            LinearizabilityViolation::MissedDelivery { .. }
+        ));
+        // ...and neither does another process's watermark.
+        let mut other = BTreeMap::new();
+        other.insert(ProcessId(0), ts(9));
+        assert!(gap_history()
+            .check_excusing(&BTreeSet::new(), false, &other, &BTreeMap::new())
+            .is_err());
+        // Per-op excusal: exactly the dropped message is excused, nothing
+        // else at the process.
+        let mut ops = BTreeMap::new();
+        ops.insert(
+            ProcessId(1),
+            [op_id(0)].into_iter().collect::<BTreeSet<_>>(),
+        );
+        assert!(gap_history()
+            .check_excusing(&BTreeSet::new(), false, &BTreeMap::new(), &ops)
+            .is_ok());
+        let mut wrong_op = BTreeMap::new();
+        wrong_op.insert(
+            ProcessId(1),
+            [op_id(1)].into_iter().collect::<BTreeSet<_>>(),
+        );
+        assert!(gap_history()
+            .check_excusing(&BTreeSet::new(), false, &BTreeMap::new(), &wrong_op)
+            .is_err());
     }
 
     #[test]

@@ -62,6 +62,11 @@ impl Partitioner {
         Partitioner { partitions }
     }
 
+    /// Number of partitions this partitioner hashes over.
+    pub fn partitions(&self) -> u32 {
+        self.partitions
+    }
+
     /// The partition (group) responsible for `key`.
     pub fn partition_of(&self, key: &str) -> GroupId {
         let mut hasher = DefaultHasher::new();
@@ -192,6 +197,46 @@ impl KvCommand {
     }
 }
 
+/// A serializable snapshot of a [`KvStore`], produced by
+/// [`KvStore::to_snapshot`] and consumed by [`KvStore::restore`] /
+/// [`KvStore::from_snapshot`]. Checkpoints embed it (serialized) as the
+/// opaque application state shipped during state transfer, so a recovering
+/// replica installs the store at the watermark instead of replaying every
+/// command since genesis.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KvSnapshot {
+    /// The partition the snapshotted store belongs to.
+    pub group: GroupId,
+    /// The materialised key/value pairs.
+    pub data: BTreeMap<String, i64>,
+    /// Number of commands applied when the snapshot was taken.
+    pub applied: u64,
+    /// Number of partitions of the partitioner, if the store was
+    /// partition-aware (zero means no partitioner).
+    pub partitions: u32,
+}
+
+impl KvSnapshot {
+    /// Serialises the snapshot to bytes (for embedding in a
+    /// [`wbam_types::Checkpoint`]'s `app_state`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if serialisation fails (it does not for this type).
+    pub fn to_bytes(&self) -> Result<Vec<u8>, WbamError> {
+        serde_json::to_vec(self).map_err(|e| WbamError::Codec(e.to_string()))
+    }
+
+    /// Deserialises a snapshot from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the bytes are not a valid encoded snapshot.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, WbamError> {
+        serde_json::from_slice(bytes).map_err(|e| WbamError::Codec(e.to_string()))
+    }
+}
+
 /// One partition replica's materialised state.
 ///
 /// Every replica of a partition applies, in delivery order, the commands
@@ -246,6 +291,60 @@ impl KvStore {
     /// All key/value pairs, for assertions in tests.
     pub fn snapshot(&self) -> &BTreeMap<String, i64> {
         &self.data
+    }
+
+    /// Captures the store's full state as a serializable [`KvSnapshot`].
+    pub fn to_snapshot(&self) -> KvSnapshot {
+        KvSnapshot {
+            group: self.group,
+            data: self.data.clone(),
+            applied: self.applied,
+            partitions: self.partitioner.map(|p| p.partitions()).unwrap_or(0),
+        }
+    }
+
+    /// Rebuilds a store from a snapshot. The restored store is observably
+    /// equivalent to the snapshotted one: same partition, same data, same
+    /// applied count, same partition-awareness.
+    pub fn from_snapshot(snap: KvSnapshot) -> Self {
+        KvStore {
+            group: snap.group,
+            data: snap.data,
+            applied: snap.applied,
+            partitioner: if snap.partitions > 0 {
+                Some(Partitioner::new(snap.partitions))
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Replaces this store's state with a snapshot's (checkpoint
+    /// installation during state transfer).
+    pub fn restore(&mut self, snap: KvSnapshot) {
+        *self = KvStore::from_snapshot(snap);
+    }
+
+    /// A stable digest of the store's observable state (partition, data,
+    /// applied count). Equal digests mean observably equivalent stores; used
+    /// by the checkpoint round-trip property tests.
+    pub fn digest(&self) -> u64 {
+        // FNV-1a over a canonical rendering of the state.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut write = |bytes: &[u8]| {
+            for b in bytes {
+                hash ^= u64::from(*b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        write(&self.group.0.to_le_bytes());
+        write(&self.applied.to_le_bytes());
+        for (k, v) in &self.data {
+            write(k.as_bytes());
+            write(&[0xff]);
+            write(&v.to_le_bytes());
+        }
+        hash
     }
 
     fn owns(&self, key: &str) -> bool {

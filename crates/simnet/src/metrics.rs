@@ -115,6 +115,9 @@ pub struct MetricsView {
     /// per-message latency queries cost a lookup instead of a scan over every
     /// delivery record (throughput runs produce hundreds of thousands).
     first_delivery: BTreeMap<(MsgId, GroupId), Duration>,
+    /// Named point-in-time gauges attached by the harness (e.g. resident
+    /// record counts under compaction), keyed by gauge name.
+    gauges: BTreeMap<String, f64>,
 }
 
 impl MetricsView {
@@ -138,7 +141,24 @@ impl MetricsView {
             multicast_times,
             destinations,
             first_delivery,
+            gauges: BTreeMap::new(),
         }
+    }
+
+    /// Attaches (or overwrites) a named gauge — a point-in-time measurement
+    /// such as a replica's resident record count.
+    pub fn set_gauge(&mut self, name: impl Into<String>, value: f64) {
+        self.gauges.insert(name.into(), value);
+    }
+
+    /// Reads a named gauge, if the harness attached it.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// All attached gauges, by name.
+    pub fn gauges(&self) -> &BTreeMap<String, f64> {
+        &self.gauges
     }
 
     /// All delivery records, in delivery order.

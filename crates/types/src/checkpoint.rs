@@ -1,0 +1,344 @@
+//! Checkpoints and the bounded delivered-message filter used by log
+//! compaction.
+//!
+//! A replica that serves heavy traffic cannot keep a `MessageRecord` per
+//! multicast forever: the record map, the delivery-condition indexes and the
+//! durable state a restarted replica replays all grow without bound. The
+//! compaction subsystem prunes records below a *delivery watermark* — the
+//! low-water mark of global timestamps below which every record is known to
+//! be delivered at **all** members of **every** destination group — and
+//! periodically captures the surviving state in a [`Checkpoint`]. Recovery
+//! then ships `checkpoint + suffix` instead of replaying per-message history.
+//!
+//! Two pieces live here because every protocol in the workspace shares them:
+//!
+//! * [`Checkpoint`] — the ordering-layer state at a watermark: ballot, clock,
+//!   per-group watermarks, delivery progress, the delivered-message filter
+//!   and an opaque application snapshot (for example a serialized
+//!   `wbam_kvstore` store).
+//! * [`DeliveredFilter`] — a bounded-memory record of *which* messages have
+//!   been delivered, kept as per-sender runs of sequence numbers. Once a
+//!   record is pruned, a late duplicate `MULTICAST` can no longer be answered
+//!   from the record map; the filter is what keeps such duplicates from being
+//!   re-proposed (and delivered twice). Clients allocate sequence numbers
+//!   contiguously, so the run representation stays tiny (one run per sender
+//!   in the common case) no matter how many messages have been delivered.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ballot::Ballot;
+use crate::ids::{GroupId, MsgId, ProcessId};
+use crate::timestamp::Timestamp;
+
+/// Bounded-memory set of delivered message identifiers, stored as sorted,
+/// disjoint, inclusive runs of sequence numbers per sender.
+///
+/// ```
+/// use wbam_types::{DeliveredFilter, MsgId, ProcessId};
+/// let mut f = DeliveredFilter::new();
+/// f.insert(MsgId::new(ProcessId(7), 0));
+/// f.insert(MsgId::new(ProcessId(7), 1));
+/// f.insert(MsgId::new(ProcessId(7), 2));
+/// assert!(f.contains(MsgId::new(ProcessId(7), 1)));
+/// assert!(!f.contains(MsgId::new(ProcessId(7), 3)));
+/// assert_eq!(f.run_count(), 1); // contiguous seqs collapse into one run
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DeliveredFilter {
+    /// Per sender: sorted, disjoint, inclusive `(start, end)` runs.
+    runs: BTreeMap<ProcessId, Vec<(u64, u64)>>,
+}
+
+impl DeliveredFilter {
+    /// Creates an empty filter.
+    pub fn new() -> Self {
+        DeliveredFilter::default()
+    }
+
+    /// Records `id` as delivered.
+    pub fn insert(&mut self, id: MsgId) {
+        let runs = self.runs.entry(id.sender).or_default();
+        let seq = id.seq;
+        // Find the first run whose end is >= seq - 1 (a run we can extend or
+        // that already covers seq). Runs are few, so a linear scan is fine.
+        let mut idx = 0;
+        while idx < runs.len() && runs[idx].1.saturating_add(1) < seq {
+            idx += 1;
+        }
+        if idx == runs.len() {
+            runs.push((seq, seq));
+            return;
+        }
+        let (start, end) = runs[idx];
+        if seq >= start && seq <= end {
+            return; // already covered
+        }
+        if seq.saturating_add(1) == start {
+            runs[idx].0 = seq;
+        } else if seq == end.saturating_add(1) {
+            runs[idx].1 = seq;
+            // Merge with the next run if the gap closed.
+            if idx + 1 < runs.len() && runs[idx + 1].0 == seq.saturating_add(1) {
+                runs[idx].1 = runs[idx + 1].1;
+                runs.remove(idx + 1);
+            }
+        } else {
+            runs.insert(idx, (seq, seq));
+        }
+    }
+
+    /// Whether `id` has been recorded as delivered.
+    pub fn contains(&self, id: MsgId) -> bool {
+        match self.runs.get(&id.sender) {
+            None => false,
+            Some(runs) => runs
+                .iter()
+                .any(|(start, end)| id.seq >= *start && id.seq <= *end),
+        }
+    }
+
+    /// Merges another filter into this one (set union). Used when installing
+    /// a peer's checkpoint: everything the peer knows delivered is delivered.
+    /// Costs O(runs), not O(covered sequence numbers) — merges happen on
+    /// every recovery, over filters spanning the whole delivered history.
+    pub fn merge(&mut self, other: &DeliveredFilter) {
+        for (sender, other_runs) in &other.runs {
+            let runs = self.runs.entry(*sender).or_default();
+            if runs.is_empty() {
+                *runs = other_runs.clone();
+                continue;
+            }
+            // Merge the two sorted, disjoint run lists, coalescing runs that
+            // overlap or touch (end + 1 == start).
+            let mut merged: Vec<(u64, u64)> = Vec::with_capacity(runs.len() + other_runs.len());
+            let mut a = runs.iter().peekable();
+            let mut b = other_runs.iter().peekable();
+            loop {
+                let next = match (a.peek(), b.peek()) {
+                    (Some(x), Some(y)) => {
+                        if x.0 <= y.0 {
+                            *a.next().expect("peeked")
+                        } else {
+                            *b.next().expect("peeked")
+                        }
+                    }
+                    (Some(_), None) => *a.next().expect("peeked"),
+                    (None, Some(_)) => *b.next().expect("peeked"),
+                    (None, None) => break,
+                };
+                match merged.last_mut() {
+                    Some(last) if next.0 <= last.1.saturating_add(1) => {
+                        last.1 = last.1.max(next.1);
+                    }
+                    _ => merged.push(next),
+                }
+            }
+            *runs = merged;
+        }
+    }
+
+    /// Total number of runs across all senders — the filter's actual memory
+    /// footprint (contiguous sequence numbers collapse, so this stays small).
+    pub fn run_count(&self) -> usize {
+        self.runs.values().map(Vec::len).sum()
+    }
+
+    /// Whether the filter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+}
+
+/// A compaction checkpoint: everything a replica needs to resume ordering
+/// from a delivery watermark without the per-message history below it.
+///
+/// The white-box protocol ships a checkpoint inside `NEW_STATE` (recovery
+/// becomes *state transfer*: checkpoint + record suffix); the baselines ship
+/// one in their catch-up reply together with the surviving consensus-log
+/// suffix. `app_state` is an opaque application snapshot — the ordering layer
+/// never interprets it (the key-value store serialises its
+/// `KvSnapshot` into it; other applications can store whatever they replay
+/// from).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// The group of the replica that took the checkpoint.
+    pub group: GroupId,
+    /// The ballot the replica was synchronised with.
+    pub ballot: Ballot,
+    /// The replica's logical clock.
+    pub clock: u64,
+    /// Every group's delivery watermark as known to the replica: all records
+    /// with `global_ts <= watermarks[g]` are delivered at every member of
+    /// `g`. A record may be pruned only when covered by the watermark of
+    /// **every** destination group.
+    pub watermarks: BTreeMap<GroupId, Timestamp>,
+    /// The replica's own delivery progress.
+    pub max_delivered_gts: Timestamp,
+    /// Number of application messages delivered.
+    pub delivered_count: u64,
+    /// The delivered-message filter at the checkpoint.
+    pub dedup: DeliveredFilter,
+    /// Opaque application snapshot (e.g. a serialized key-value store).
+    pub app_state: Vec<u8>,
+}
+
+impl Checkpoint {
+    /// The checkpointing group's own watermark ([`Timestamp::BOTTOM`] if the
+    /// watermark never advanced).
+    pub fn own_watermark(&self) -> Timestamp {
+        self.watermarks
+            .get(&self.group)
+            .copied()
+            .unwrap_or(Timestamp::BOTTOM)
+    }
+
+    /// Merges `other`'s watermark knowledge into this checkpoint (pointwise
+    /// maximum — watermarks only ever advance).
+    pub fn merge_watermarks(&mut self, other: &BTreeMap<GroupId, Timestamp>) {
+        merge_watermarks(&mut self.watermarks, other);
+    }
+}
+
+/// Merges watermark knowledge pointwise by maximum (watermarks only ever
+/// advance) and reports whether anything changed. The shared primitive of
+/// every `STABLE_ADVANCE` / checkpoint-install merge in the workspace.
+pub fn merge_watermarks(
+    into: &mut BTreeMap<GroupId, Timestamp>,
+    from: &BTreeMap<GroupId, Timestamp>,
+) -> bool {
+    let mut changed = false;
+    for (g, ts) in from {
+        let entry = into.entry(*g).or_insert(Timestamp::BOTTOM);
+        if *ts > *entry {
+            *entry = *ts;
+            changed = true;
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(sender: u32, seq: u64) -> MsgId {
+        MsgId::new(ProcessId(sender), seq)
+    }
+
+    #[test]
+    fn contiguous_inserts_collapse_into_one_run() {
+        let mut f = DeliveredFilter::new();
+        for seq in 0..1000 {
+            f.insert(id(1, seq));
+        }
+        assert_eq!(f.run_count(), 1);
+        assert!(f.contains(id(1, 0)));
+        assert!(f.contains(id(1, 999)));
+        assert!(!f.contains(id(1, 1000)));
+        assert!(!f.contains(id(2, 0)));
+    }
+
+    #[test]
+    fn out_of_order_inserts_merge_runs() {
+        let mut f = DeliveredFilter::new();
+        f.insert(id(1, 0));
+        f.insert(id(1, 2));
+        assert_eq!(f.run_count(), 2);
+        f.insert(id(1, 1)); // closes the gap
+        assert_eq!(f.run_count(), 1);
+        assert!(f.contains(id(1, 1)));
+        // Duplicates are idempotent.
+        f.insert(id(1, 1));
+        assert_eq!(f.run_count(), 1);
+    }
+
+    #[test]
+    fn prepending_extends_a_run_backwards() {
+        let mut f = DeliveredFilter::new();
+        f.insert(id(3, 5));
+        f.insert(id(3, 4));
+        assert_eq!(f.run_count(), 1);
+        assert!(f.contains(id(3, 4)));
+        assert!(!f.contains(id(3, 3)));
+    }
+
+    #[test]
+    fn merge_is_set_union() {
+        let mut a = DeliveredFilter::new();
+        a.insert(id(1, 0));
+        a.insert(id(1, 1));
+        let mut b = DeliveredFilter::new();
+        b.insert(id(1, 2));
+        b.insert(id(2, 7));
+        a.merge(&b);
+        assert!(a.contains(id(1, 2)));
+        assert!(a.contains(id(2, 7)));
+        assert_eq!(a.run_count(), 2, "1's runs merged, 2 separate");
+    }
+
+    #[test]
+    fn merge_coalesces_overlapping_and_interleaved_runs() {
+        // a: [0..=4], [10..=12], [20..=20]; b: [3..=11], [14..=14], [21..=30]
+        let mut a = DeliveredFilter::new();
+        for seq in (0..=4).chain(10..=12).chain(20..=20) {
+            a.insert(id(1, seq));
+        }
+        let mut b = DeliveredFilter::new();
+        for seq in (3..=11).chain(14..=14).chain(21..=30) {
+            b.insert(id(1, seq));
+        }
+        a.merge(&b);
+        // Union: [0..=12], [14..=14], [20..=30].
+        assert_eq!(a.run_count(), 3);
+        for seq in (0..=12).chain(14..=14).chain(20..=30) {
+            assert!(a.contains(id(1, seq)), "missing seq {seq}");
+        }
+        assert!(!a.contains(id(1, 13)));
+        assert!(!a.contains(id(1, 19)));
+        assert!(!a.contains(id(1, 31)));
+        // Merging into an empty per-sender list clones wholesale.
+        let mut c = DeliveredFilter::new();
+        c.merge(&a);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn checkpoint_watermark_accessors() {
+        let mut cp = Checkpoint {
+            group: GroupId(1),
+            ..Checkpoint::default()
+        };
+        assert_eq!(cp.own_watermark(), Timestamp::BOTTOM);
+        let mut update = BTreeMap::new();
+        update.insert(GroupId(1), Timestamp::new(5, GroupId(1)));
+        update.insert(GroupId(0), Timestamp::new(3, GroupId(0)));
+        cp.merge_watermarks(&update);
+        assert_eq!(cp.own_watermark(), Timestamp::new(5, GroupId(1)));
+        // Merging an older watermark never regresses.
+        let mut stale = BTreeMap::new();
+        stale.insert(GroupId(1), Timestamp::new(2, GroupId(1)));
+        cp.merge_watermarks(&stale);
+        assert_eq!(cp.own_watermark(), Timestamp::new(5, GroupId(1)));
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_serde() {
+        let mut cp = Checkpoint {
+            group: GroupId(0),
+            ballot: Ballot::new(3, ProcessId(1)),
+            clock: 42,
+            max_delivered_gts: Timestamp::new(9, GroupId(0)),
+            delivered_count: 12,
+            app_state: vec![1, 2, 3],
+            ..Checkpoint::default()
+        };
+        cp.dedup.insert(id(5, 0));
+        cp.watermarks
+            .insert(GroupId(0), Timestamp::new(9, GroupId(0)));
+        let json = serde_json::to_string(&cp).unwrap();
+        let back: Checkpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(cp, back);
+    }
+}

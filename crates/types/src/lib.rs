@@ -41,6 +41,7 @@
 
 pub mod action;
 pub mod ballot;
+pub mod checkpoint;
 pub mod config;
 pub mod error;
 pub mod event;
@@ -54,6 +55,7 @@ pub mod wire;
 
 pub use action::{Action, DeliveredMessage};
 pub use ballot::Ballot;
+pub use checkpoint::{Checkpoint, DeliveredFilter};
 pub use config::{ClusterConfig, ClusterConfigBuilder, GroupConfig, SiteId};
 pub use error::{ConfigError, WbamError};
 pub use event::Event;

@@ -8,12 +8,18 @@
 //! direction (no false positives on healthy end-to-end runs).
 
 use proptest::prelude::*;
-use wbam_harness::explorer::{generate_schedule, run_generated, SeedToken};
+use wbam_harness::explorer::{generate_schedule, run_generated, SeedToken, TokenVersion};
 use wbam_harness::Protocol;
 use wbam_types::NemesisPlan;
 
 fn run_fault_free(protocol: Protocol, seed: u64) {
-    let token = SeedToken { protocol, seed };
+    // V2 derivation: fault-free runs must stay clean with the seed-derived
+    // compaction cadence active.
+    let token = SeedToken {
+        version: TokenVersion::V2,
+        protocol,
+        seed,
+    };
     let mut schedule = generate_schedule(&token);
     // Strip the faults but keep the randomized topology and workload.
     schedule.spec.nemesis = NemesisPlan::quiet();

@@ -44,6 +44,8 @@ fn run_random_workload(
         nemesis: wbam_types::NemesisPlan::quiet(),
         record_trace: false,
         auto_election: false,
+        compaction_interval: 0,
+        compaction_lag: 0,
     };
     let mut sim = ProtocolSim::build(protocol, &spec);
     let group_ids: Vec<GroupId> = (0..num_groups as u32).map(GroupId).collect();
@@ -171,6 +173,8 @@ fn run_batched_conflicting_workload(
         nemesis: wbam_types::NemesisPlan::quiet(),
         record_trace: false,
         auto_election: false,
+        compaction_interval: 0,
+        compaction_lag: 0,
     };
     let mut sim = ProtocolSim::build(Protocol::WhiteBox, &spec);
     // Conflicting destinations: always at least two of the first three groups.

@@ -1,0 +1,349 @@
+//! Soak tests for bounded-memory ordering: compaction, checkpoints and
+//! catch-up state transfer.
+//!
+//! The tier-1 (fast) profile drives a few thousand multicasts through every
+//! protocol with compaction on and asserts that each replica's live record
+//! count stays bounded by the in-flight window plus the compaction lag — the
+//! property that lets a replica serve unbounded traffic in bounded memory.
+//! The `#[ignore]`d full profile raises the load to ≥100k multicasts per
+//! protocol (run it with `cargo test --release -- --ignored soak`).
+//!
+//! The restart test crashes a follower mid-run, keeps the load going so the
+//! group's watermark advances past everything the follower slept through,
+//! restarts it, and verifies it recovers via checkpoint-based state transfer
+//! — with the per-process delivery invariants and the key-value store
+//! linearizability oracle (taught to excuse the installed history below the
+//! transfer watermark) holding over the whole run.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+
+use wbam::core::invariants::check_total_order;
+use wbam::harness::{ClusterSpec, Protocol, ProtocolSim};
+use wbam::kvstore::{KvCommand, KvHistory, KvStore, Partitioner};
+use wbam::simnet::LatencyModel;
+use wbam::types::{GroupId, MsgId, ProcessId, Timestamp};
+
+const NUM_GROUPS: usize = 3;
+const GROUP_SIZE: usize = 3;
+const INTERVAL: u64 = 50;
+const LAG: usize = 100;
+
+/// The live-record bound asserted throughout a soak: the compaction lag
+/// window, plus up to a few STABLE intervals of not-yet-stable deliveries
+/// (reports are sent every `INTERVAL` deliveries per member and cross-group
+/// watermarks piggyback on the next advance), plus a small in-flight window.
+fn live_bound() -> usize {
+    LAG + 8 * INTERVAL as usize + 64
+}
+
+fn soak_spec(seed: u64) -> ClusterSpec {
+    ClusterSpec {
+        num_groups: NUM_GROUPS,
+        group_size: GROUP_SIZE,
+        num_clients: 2,
+        num_sites: 1,
+        latency: LatencyModel::constant(Duration::from_micros(500)),
+        service_time: Duration::ZERO,
+        seed,
+        max_batch: 1,
+        batch_delay: Duration::ZERO,
+        nemesis: wbam::types::NemesisPlan::quiet(),
+        record_trace: false,
+        auto_election: false,
+        compaction_interval: 0,
+        compaction_lag: 0,
+    }
+    .with_compaction(INTERVAL, LAG)
+}
+
+/// Deterministically generated command `i`: a mix of single-partition writes
+/// and reads with cross-partition transfers (conflicting destinations).
+fn command(i: usize) -> KvCommand {
+    let key = |k: usize| format!("k{}", k % 7);
+    match i % 10 {
+        0..=3 => KvCommand::put(&key(i), (i % 997) as i64),
+        4 | 5 => KvCommand::add(&key(i + 1), ((i % 13) as i64) - 6),
+        6 => KvCommand::get(&key(i + 2)),
+        _ => {
+            let from = key(i);
+            let mut to = key(i + 1);
+            if to == from {
+                to = key(i + 2);
+            }
+            KvCommand::transfer(&from, &to, 1 + (i % 9) as i64)
+        }
+    }
+}
+
+fn replicas_of(sim: &ProtocolSim) -> Vec<ProcessId> {
+    sim.cluster()
+        .groups()
+        .iter()
+        .flat_map(|g| g.members().iter().copied())
+        .collect()
+}
+
+fn assert_bounded(sim: &ProtocolSim, label: &str, when: &str) {
+    for p in replicas_of(sim) {
+        let live = sim
+            .live_records(p)
+            .expect("compaction-capable replicas expose live_records");
+        assert!(
+            live <= live_bound(),
+            "{label}: {p} holds {live} live records {when} (bound {})",
+            live_bound()
+        );
+    }
+}
+
+struct SoakRun {
+    sim: ProtocolSim,
+    history: KvHistory,
+    op_cmds: BTreeMap<MsgId, KvCommand>,
+    submitted: usize,
+}
+
+/// Drives `messages` multicasts through `protocol`, pacing submissions so the
+/// in-flight window stays small, and asserts the live-record bound at every
+/// checkpoint of the drive loop.
+fn drive_soak(protocol: Protocol, messages: usize, seed: u64) -> SoakRun {
+    let spec = soak_spec(seed);
+    let mut sim = ProtocolSim::build(protocol, &spec);
+    let partitioner = Partitioner::new(NUM_GROUPS as u32);
+    let mut history = KvHistory {
+        partitions: NUM_GROUPS as u32,
+        ..KvHistory::default()
+    };
+    let mut op_cmds = BTreeMap::new();
+    // Pace: one submission per client per 250 µs, checked every few thousand.
+    let pace = Duration::from_micros(250);
+    let chunk = 2_000usize;
+    let mut submitted = 0usize;
+    while submitted < messages {
+        let n = chunk.min(messages - submitted);
+        for i in 0..n {
+            let idx = submitted + i;
+            let cmd = command(idx);
+            let at = pace * (idx as u32 / 2);
+            let client = idx % 2;
+            let dest = partitioner
+                .destination_of(cmd.keys())
+                .expect("commands have keys");
+            let payload = wbam::types::wire::to_json(&cmd).expect("commands encode");
+            let id = sim.submit_with_payload(at, client, dest.groups(), payload.into_bytes());
+            history.invoke(id, cmd.clone(), at);
+            op_cmds.insert(id, cmd);
+        }
+        submitted += n;
+        // Run until this chunk's submissions (plus their protocol traffic) is
+        // processed, then check the bound mid-flight.
+        let horizon = pace * (submitted as u32 / 2) + Duration::from_millis(50);
+        sim.run_until_quiescent(horizon);
+        assert_bounded(
+            &sim,
+            protocol.label(),
+            &format!("after {submitted} submissions"),
+        );
+    }
+    sim.run_until_quiescent(Duration::from_secs(3_600));
+    SoakRun {
+        sim,
+        history,
+        op_cmds,
+        submitted,
+    }
+}
+
+/// Feeds the run's deliveries through the per-process invariants and the
+/// linearizability oracle (with watermark excusals for state transfers).
+fn check_run(run: &mut SoakRun, faulty: &BTreeSet<ProcessId>, label: &str) {
+    let deliveries = run.sim.deliveries().to_vec();
+    let partitioner = Partitioner::new(NUM_GROUPS as u32);
+    let mut per_process: BTreeMap<ProcessId, Vec<(MsgId, Timestamp)>> = BTreeMap::new();
+    let mut replica_stores: BTreeMap<ProcessId, KvStore> = BTreeMap::new();
+    for record in &deliveries {
+        match record.group {
+            None => run.history.complete(record.msg_id, record.time),
+            Some(group) => {
+                let gts = record
+                    .global_ts
+                    .unwrap_or_else(|| panic!("{label}: delivery without global timestamp"));
+                per_process
+                    .entry(record.process)
+                    .or_default()
+                    .push((record.msg_id, gts));
+                let cmd = run
+                    .op_cmds
+                    .get(&record.msg_id)
+                    .unwrap_or_else(|| panic!("{label}: delivered unknown {}", record.msg_id));
+                let store = replica_stores
+                    .entry(record.process)
+                    .or_insert_with(|| KvStore::with_partitioner(group, partitioner));
+                let read = store.apply_read(cmd);
+                run.history
+                    .applied(record.msg_id, record.process, group, gts, read);
+            }
+        }
+    }
+    check_total_order(&per_process)
+        .unwrap_or_else(|v| panic!("{label}: total-order invariant violated: {v}"));
+    let excusals = run.sim.transfer_excusals();
+    let drop_excusals = run.sim.drop_excusals();
+    run.history
+        .check_excusing(faulty, false, &excusals, &drop_excusals)
+        .unwrap_or_else(|v| panic!("{label}: linearizability violated: {v}"));
+    // Every operation completed at its client.
+    let incomplete = run
+        .history
+        .ops
+        .iter()
+        .filter(|o| o.completed_at.is_none())
+        .count();
+    assert_eq!(
+        incomplete, 0,
+        "{label}: {incomplete} of {} operations never completed",
+        run.submitted
+    );
+}
+
+fn soak(protocol: Protocol, messages: usize) {
+    let mut run = drive_soak(protocol, messages, 0xC0FFEE);
+    let label = protocol.label();
+    assert_bounded(&run.sim, label, "at the end of the soak");
+    // The bound is meaningful: far more was delivered than is resident.
+    let metrics = run.sim.metrics();
+    let max_live = metrics.gauge("live_records_max").expect("gauge attached");
+    let pruned = metrics.gauge("pruned_total").expect("gauge attached");
+    assert!(
+        pruned > 0.0,
+        "{label}: compaction never pruned anything (max live {max_live})"
+    );
+    assert!(
+        (max_live as usize) <= live_bound(),
+        "{label}: live-record gauge {max_live} exceeds bound {}",
+        live_bound()
+    );
+    check_run(&mut run, &BTreeSet::new(), label);
+}
+
+#[test]
+fn soak_whitebox_records_stay_bounded() {
+    soak(Protocol::WhiteBox, 4_000);
+}
+
+#[test]
+fn soak_ftskeen_records_stay_bounded() {
+    soak(Protocol::FtSkeen, 3_000);
+}
+
+#[test]
+fn soak_fastcast_records_stay_bounded() {
+    soak(Protocol::FastCast, 3_000);
+}
+
+/// Full soak profile: ≥100k multicasts per protocol. Ignored in tier-1 (it
+/// runs for minutes); `cargo test --release -- --ignored` covers it.
+#[test]
+#[ignore = "full soak profile: run with --release -- --ignored"]
+fn soak_full_100k_all_protocols() {
+    for protocol in Protocol::evaluated() {
+        soak(protocol, 100_000);
+    }
+}
+
+/// Crash a follower mid-soak, keep the traffic flowing until the group's
+/// watermark passes everything it slept through, restart it, and verify it
+/// recovers through checkpoint-based state transfer: its delivery progress
+/// jumps over the pruned history (excused to the oracle, not missing) and it
+/// resumes delivering new traffic.
+fn restart_recovers_via_state_transfer(protocol: Protocol, messages: usize) {
+    let spec = soak_spec(0xBEEF);
+    let mut sim = ProtocolSim::build(protocol, &spec);
+    let partitioner = Partitioner::new(NUM_GROUPS as u32);
+    let mut history = KvHistory {
+        partitions: NUM_GROUPS as u32,
+        ..KvHistory::default()
+    };
+    let mut op_cmds = BTreeMap::new();
+    let pace = Duration::from_micros(250);
+    for idx in 0..messages {
+        let cmd = command(idx);
+        let at = pace * (idx as u32 / 2);
+        let dest = partitioner
+            .destination_of(cmd.keys())
+            .expect("commands have keys");
+        let payload = wbam::types::wire::to_json(&cmd).expect("commands encode");
+        let id = sim.submit_with_payload(at, idx % 2, dest.groups(), payload.into_bytes());
+        history.invoke(id, cmd.clone(), at);
+        op_cmds.insert(id, cmd);
+    }
+    let total = pace * (messages as u32 / 2);
+    // The victim: a follower of group 0. Down for the middle ~40% of the run
+    // — long enough for the quorum's watermark to pass what it misses.
+    let victim = sim.cluster().group(GroupId(0)).unwrap().members()[1];
+    let down = total.mul_f64(0.3);
+    let up = total.mul_f64(0.7);
+    sim.crash(down, victim);
+    sim.restart(up, victim);
+    sim.run_until_quiescent(Duration::from_secs(3_600));
+
+    let label = protocol.label();
+    let excusals = sim.transfer_excusals();
+    let (transfers, excused_below, final_delivered) = match protocol {
+        Protocol::WhiteBox => {
+            let r = sim.whitebox_replica(victim).unwrap();
+            (
+                r.transfer_recoveries(),
+                r.transfer_excused_below(),
+                r.max_delivered_gts(),
+            )
+        }
+        _ => {
+            let r = sim.baseline_replica(victim).unwrap();
+            (
+                r.transfer_recoveries(),
+                r.transfer_excused_below(),
+                r.max_delivered_gts(),
+            )
+        }
+    };
+    assert!(
+        transfers > 0,
+        "{label}: the restarted replica never recovered via state transfer"
+    );
+    assert!(
+        excusals.contains_key(&victim),
+        "{label}: no excusal watermark recorded for the restarted replica"
+    );
+    assert!(
+        final_delivered > excused_below,
+        "{label}: the restarted replica delivered nothing beyond its transfer point"
+    );
+    assert_bounded(&sim, label, "after the restart recovery");
+
+    // Whole-run invariants + oracle, excusing the victim's installed history.
+    let mut run = SoakRun {
+        sim,
+        history,
+        op_cmds,
+        submitted: messages,
+    };
+    let faulty: BTreeSet<ProcessId> = [victim].into_iter().collect();
+    check_run(&mut run, &faulty, label);
+}
+
+#[test]
+fn restart_after_soak_recovers_whitebox() {
+    restart_recovers_via_state_transfer(Protocol::WhiteBox, 4_000);
+}
+
+#[test]
+fn restart_after_soak_recovers_ftskeen() {
+    restart_recovers_via_state_transfer(Protocol::FtSkeen, 3_000);
+}
+
+#[test]
+fn restart_after_soak_recovers_fastcast() {
+    restart_recovers_via_state_transfer(Protocol::FastCast, 3_000);
+}
