@@ -1,0 +1,219 @@
+//! Closed-loop throughput/latency of a *deployed* loopback TCP cluster — the
+//! repo's first real-hardware numbers, sitting beside the simulated
+//! `BENCH_throughput.json` trajectory.
+//!
+//! ```text
+//! net_throughput [--smoke] [--messages N] [--out FILE]
+//! ```
+//!
+//! Each measured point launches a fresh 2-group × 3-replica white-box cluster
+//! as seven separate OS processes (six `wbamd` replicas + one `wbamd`
+//! closed-loop client) over loopback TCP, runs the client to completion and
+//! parses its summary. One JSON record per point is appended to
+//! `BENCH_net.json` (same record shape as the simulated benches, environment
+//! `"loopback-tcp"`). Unlike the simulated benches, these numbers include
+//! real syscalls, real framing and real scheduler noise.
+//!
+//! `--smoke` shrinks the per-point message count for CI and gates on basic
+//! sanity (every point completed, non-zero throughput).
+//!
+//! The `wbamd` binary is expected next to this one in the target directory:
+//! build it first with `cargo build --release -p wbam-harness --bin wbamd`.
+
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+use wbam_bench::header;
+use wbam_harness::{BenchRecord, ChildGuard, ClientSummary, DeploySpec, Protocol};
+use wbam_types::wire::from_json;
+
+struct Config {
+    label: &'static str,
+    dest_groups: usize,
+    outstanding: u64,
+    max_batch: usize,
+    batch_delay_ms: u64,
+}
+
+const CONFIGS: &[Config] = &[
+    Config {
+        label: "1-group, 1 outstanding",
+        dest_groups: 1,
+        outstanding: 1,
+        max_batch: 1,
+        batch_delay_ms: 0,
+    },
+    Config {
+        label: "1-group, 16 outstanding",
+        dest_groups: 1,
+        outstanding: 16,
+        max_batch: 1,
+        batch_delay_ms: 0,
+    },
+    Config {
+        label: "2-group, 1 outstanding",
+        dest_groups: 2,
+        outstanding: 1,
+        max_batch: 1,
+        batch_delay_ms: 0,
+    },
+    Config {
+        label: "2-group, 16 outstanding",
+        dest_groups: 2,
+        outstanding: 16,
+        max_batch: 1,
+        batch_delay_ms: 0,
+    },
+    Config {
+        label: "2-group, 16 outstanding, batch 16",
+        dest_groups: 2,
+        outstanding: 16,
+        max_batch: 16,
+        batch_delay_ms: 1,
+    },
+];
+
+fn wbamd_path() -> PathBuf {
+    let mut path = std::env::current_exe().expect("current exe");
+    path.set_file_name("wbamd");
+    assert!(
+        path.exists(),
+        "wbamd not found at {path:?}; build it first: \
+         cargo build --release -p wbam-harness --bin wbamd"
+    );
+    path
+}
+
+fn run_point(wbamd: &PathBuf, dir: &std::path::Path, cfg: &Config, messages: u64) -> ClientSummary {
+    let mut spec = DeploySpec::loopback_free_ports(Protocol::WhiteBox, 2, 3, 1)
+        .expect("reserve loopback ports");
+    spec.max_batch = cfg.max_batch;
+    spec.batch_delay_ms = cfg.batch_delay_ms;
+    // Benchmarks never kill processes; a conservatively long election timeout
+    // keeps scheduler hiccups from triggering spurious failovers mid-run.
+    spec.heartbeat_ms = 100;
+    spec.election_timeout_ms = 2000;
+    let spec_path = dir.join("cluster.json");
+    std::fs::write(&spec_path, spec.to_json().expect("serialise spec")).expect("write spec");
+
+    // ChildGuards kill the replica processes on drop, so a panicking run
+    // cannot leak them.
+    let mut replicas: Vec<ChildGuard> = Vec::new();
+    for id in 0..6u32 {
+        replicas.push(ChildGuard(
+            Command::new(wbamd)
+                .arg("--spec")
+                .arg(&spec_path)
+                .arg("--id")
+                .arg(id.to_string())
+                .stdout(Stdio::null())
+                .stderr(Stdio::inherit())
+                .spawn()
+                .expect("spawn wbamd replica"),
+        ));
+    }
+
+    let dest = if cfg.dest_groups == 1 { "0" } else { "0,1" };
+    let summary_path = dir.join("summary.json");
+    let status = Command::new(wbamd)
+        .arg("--spec")
+        .arg(&spec_path)
+        .arg("--id")
+        .arg("6")
+        .arg("--multicast")
+        .arg(messages.to_string())
+        .arg("--outstanding")
+        .arg(cfg.outstanding.to_string())
+        .arg("--dest")
+        .arg(dest)
+        .arg("--summary")
+        .arg(&summary_path)
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .status()
+        .expect("run wbamd client");
+    assert!(status.success(), "client exited with {status}");
+    let json = std::fs::read_to_string(&summary_path).expect("read summary");
+    from_json(&json).expect("parse summary")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut messages: u64 = if smoke { 200 } else { 2000 };
+    let mut out = "BENCH_net.json".to_string();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--messages" => {
+                messages = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--messages N");
+            }
+            "--out" => out = iter.next().expect("--out FILE").clone(),
+            "--smoke" => {}
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    header("Loopback TCP deployment: closed-loop throughput & latency");
+    println!(
+        "2 groups x 3 replicas + 1 client, separate OS processes, {} messages/point\n",
+        messages
+    );
+    println!(
+        "{:<36} {:>12} {:>10} {:>10} {:>10}",
+        "configuration", "msg/s", "p50 ms", "p99 ms", "mean ms"
+    );
+
+    let wbamd = wbamd_path();
+    let dir = std::env::temp_dir().join(format!("wbam-net-throughput-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+
+    let mut records = Vec::new();
+    for cfg in CONFIGS {
+        let summary = run_point(&wbamd, &dir, cfg, messages);
+        assert_eq!(summary.completed, messages, "{}: incomplete run", cfg.label);
+        assert!(
+            summary.throughput_msg_s > 0.0,
+            "{}: zero throughput",
+            cfg.label
+        );
+        println!(
+            "{:<36} {:>12.1} {:>10.3} {:>10.3} {:>10.3}",
+            cfg.label,
+            summary.throughput_msg_s,
+            summary.latency_p50_ms,
+            summary.latency_p99_ms,
+            summary.latency_mean_ms
+        );
+        records.push(BenchRecord {
+            bench: "net_throughput".to_string(),
+            environment: "loopback-tcp".to_string(),
+            protocol: Protocol::WhiteBox.label().to_string(),
+            max_batch: cfg.max_batch,
+            clients: 1,
+            dest_groups: cfg.dest_groups,
+            throughput_msg_s: summary.throughput_msg_s,
+            latency_p50_ms: summary.latency_p50_ms,
+            latency_p99_ms: summary.latency_p99_ms,
+            latency_mean_ms: summary.latency_mean_ms,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    {
+        use std::io::Write;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&out)
+            .expect("open bench output");
+        for record in &records {
+            let line = serde_json::to_string(record).expect("serialise record");
+            writeln!(file, "{line}").expect("write record");
+        }
+    }
+    println!("\nappended {} records to {out}", records.len());
+}

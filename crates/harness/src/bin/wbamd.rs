@@ -1,0 +1,374 @@
+//! `wbamd` — one WBAM cluster process (a replica or a client) over real TCP.
+//!
+//! ```text
+//! wbamd --spec cluster.json --id N [--restart] [--deliveries FILE]
+//!       [--multicast N [--outstanding K] [--dest g0,g1] [--payload BYTES]
+//!        [--first-seq S] [--summary FILE]]
+//! ```
+//!
+//! Every process of a cluster is started with the same
+//! [`DeploySpec`] JSON file and its own `--id`.
+//! Replica processes run until killed, appending one
+//! [`DeliveryLine`] JSON line per delivery to
+//! `--deliveries` (flushed per line, so an orchestrator can tail it and a
+//! `SIGKILL` loses at most the in-flight line). Re-deploying a killed replica
+//! with `--restart` makes the fresh process rejoin its group through the
+//! protocol's `Event::Restart` path: a fresh ballot via the `NEW_LEADER`
+//! handshake, state re-synchronised from a quorum.
+//!
+//! Client processes (`--multicast`) drive a closed-loop workload: keep
+//! `--outstanding` multicasts in flight until `--multicast` of them complete,
+//! then write a [`ClientSummary`] JSON object to
+//! `--summary` and exit 0. `--first-seq` lets successive client invocations
+//! of the same process id keep message identifiers unique.
+
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use wbam_harness::{ClientSummary, DeliveryLine, DeployRole, DeploySpec};
+use wbam_runtime::{BoxedNode, TcpNode};
+use wbam_types::wire::to_json;
+use wbam_types::{AppMessage, Destination, GroupId, MsgId, Payload, ProcessId, WbamError};
+
+/// Safety horizon for a client run: if the cluster makes no progress for this
+/// long, the client exits non-zero instead of hanging forever.
+const CLIENT_STALL_TIMEOUT: Duration = Duration::from_secs(60);
+
+struct Args {
+    spec: String,
+    id: u32,
+    restart: bool,
+    deliveries: Option<String>,
+    multicast: Option<u64>,
+    outstanding: u64,
+    dest: Option<Vec<GroupId>>,
+    payload: usize,
+    first_seq: u64,
+    summary: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut spec = None;
+    let mut id = None;
+    let mut args = Args {
+        spec: String::new(),
+        id: 0,
+        restart: false,
+        deliveries: None,
+        multicast: None,
+        outstanding: 1,
+        dest: None,
+        payload: 20,
+        first_seq: 0,
+        summary: None,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--spec" => spec = Some(value("--spec")?),
+            "--id" => {
+                id = Some(
+                    value("--id")?
+                        .parse::<u32>()
+                        .map_err(|e| format!("--id: {e}"))?,
+                )
+            }
+            "--restart" => args.restart = true,
+            "--deliveries" => args.deliveries = Some(value("--deliveries")?),
+            "--multicast" => {
+                let count: u64 = value("--multicast")?
+                    .parse()
+                    .map_err(|e| format!("--multicast: {e}"))?;
+                if count == 0 {
+                    return Err("--multicast must be at least 1".to_string());
+                }
+                args.multicast = Some(count);
+            }
+            "--outstanding" => {
+                args.outstanding = value("--outstanding")?
+                    .parse()
+                    .map_err(|e| format!("--outstanding: {e}"))?;
+                if args.outstanding == 0 {
+                    return Err("--outstanding must be at least 1".to_string());
+                }
+            }
+            "--dest" => {
+                let groups = value("--dest")?
+                    .split(',')
+                    .map(|g| g.trim().parse::<u32>().map(GroupId))
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|e| format!("--dest: {e}"))?;
+                args.dest = Some(groups);
+            }
+            "--payload" => {
+                args.payload = value("--payload")?
+                    .parse()
+                    .map_err(|e| format!("--payload: {e}"))?;
+            }
+            "--first-seq" => {
+                args.first_seq = value("--first-seq")?
+                    .parse()
+                    .map_err(|e| format!("--first-seq: {e}"))?;
+            }
+            "--summary" => args.summary = Some(value("--summary")?),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: wbamd --spec FILE --id N [--restart] [--deliveries FILE] \
+                     [--multicast N [--outstanding K] [--dest g0,g1] [--payload BYTES] \
+                     [--first-seq S] [--summary FILE]]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    args.spec = spec.ok_or("--spec is required")?;
+    args.id = id.ok_or("--id is required")?;
+    Ok(args)
+}
+
+/// A line-buffered JSONL sink; `None` path writes nowhere.
+struct JsonlSink {
+    file: Option<std::fs::File>,
+}
+
+impl JsonlSink {
+    fn open(path: Option<&str>) -> Result<Self, WbamError> {
+        let file = match path {
+            None => None,
+            Some(p) => Some(
+                OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(p)
+                    .map_err(WbamError::from)?,
+            ),
+        };
+        Ok(JsonlSink { file })
+    }
+
+    fn write<T: Serialize>(&mut self, record: &T) -> Result<(), WbamError> {
+        let Some(file) = self.file.as_mut() else {
+            return Ok(());
+        };
+        let line = to_json(record)?;
+        writeln!(file, "{line}").map_err(WbamError::from)?;
+        file.flush().map_err(WbamError::from)
+    }
+}
+
+/// Runs a replica process: drain deliveries forever (until killed), blocking
+/// on the delivery log's condvar between batches.
+fn run_replica<M>(node: TcpNode<M>, mut sink: JsonlSink) -> Result<(), WbamError>
+where
+    M: Serialize + DeserializeOwned + Send + 'static,
+{
+    let id = node.id();
+    let mut seen = 0u64;
+    loop {
+        node.wait_for_total(seen + 1, Duration::from_secs(3600));
+        for d in node.drain_deliveries() {
+            seen += 1;
+            sink.write(&DeliveryLine::new(
+                id,
+                d.delivery.msg.id,
+                d.delivery.global_ts,
+                d.elapsed,
+            ))?;
+        }
+    }
+}
+
+/// Runs a client process closed-loop and returns its summary.
+fn run_client<M>(
+    node: TcpNode<M>,
+    args: &Args,
+    dest: Vec<GroupId>,
+    mut sink: JsonlSink,
+) -> Result<ClientSummary, WbamError>
+where
+    M: Serialize + DeserializeOwned + Send + 'static,
+{
+    let id = node.id();
+    let total = args.multicast.unwrap_or(0);
+    let mut next_seq = args.first_seq;
+    let mut submitted = 0u64;
+    let mut submit_times: std::collections::BTreeMap<MsgId, Duration> =
+        std::collections::BTreeMap::new();
+    let mut latencies: Vec<Duration> = Vec::new();
+    let mut first_submit: Option<Duration> = None;
+    let mut last_completion = Duration::ZERO;
+    let mut last_progress = Instant::now();
+
+    let submit_one = |node: &TcpNode<M>,
+                      next_seq: &mut u64,
+                      submit_times: &mut std::collections::BTreeMap<MsgId, Duration>,
+                      first_submit: &mut Option<Duration>|
+     -> Result<(), WbamError> {
+        let msg_id = MsgId::new(id, *next_seq);
+        *next_seq += 1;
+        let now = node.uptime();
+        first_submit.get_or_insert(now);
+        submit_times.insert(msg_id, now);
+        node.submit(AppMessage::new(
+            msg_id,
+            Destination::new(dest.iter().copied()).expect("non-empty destination"),
+            Payload::from(vec![0u8; args.payload]),
+        ))
+    };
+
+    while submitted < total && submitted < args.outstanding {
+        submit_one(&node, &mut next_seq, &mut submit_times, &mut first_submit)?;
+        submitted += 1;
+    }
+
+    let mut seen = 0u64;
+    while (latencies.len() as u64) < total {
+        // Block on the delivery log's condvar (no poll-loop latency); the
+        // short timeout only bounds how often the stall check runs.
+        node.wait_for_total(seen + 1, Duration::from_millis(100));
+        let completions = node.drain_deliveries();
+        if completions.is_empty() {
+            if last_progress.elapsed() > CLIENT_STALL_TIMEOUT {
+                return Err(WbamError::NotReady {
+                    process: id,
+                    reason: format!(
+                        "no completion for {CLIENT_STALL_TIMEOUT:?} ({} of {total} done)",
+                        latencies.len()
+                    ),
+                });
+            }
+            continue;
+        }
+        seen += completions.len() as u64;
+        last_progress = Instant::now();
+        for d in completions {
+            let msg_id = d.delivery.msg.id;
+            sink.write(&DeliveryLine::new(
+                id,
+                msg_id,
+                d.delivery.global_ts,
+                d.elapsed,
+            ))?;
+            let Some(at) = submit_times.remove(&msg_id) else {
+                continue; // duplicate completion
+            };
+            latencies.push(d.elapsed.saturating_sub(at));
+            last_completion = d.elapsed;
+            if submitted < total {
+                submit_one(&node, &mut next_seq, &mut submit_times, &mut first_submit)?;
+                submitted += 1;
+            }
+        }
+    }
+
+    node.shutdown();
+    latencies.sort();
+    let completed = latencies.len() as u64;
+    let elapsed = last_completion.saturating_sub(first_submit.unwrap_or(Duration::ZERO));
+    let pct = |p: f64| -> f64 {
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx].as_secs_f64() * 1e3
+    };
+    let mean =
+        latencies.iter().map(|l| l.as_secs_f64()).sum::<f64>() / latencies.len() as f64 * 1e3;
+    Ok(ClientSummary {
+        process: id.0,
+        completed,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        throughput_msg_s: if elapsed.is_zero() {
+            0.0
+        } else {
+            completed as f64 / elapsed.as_secs_f64()
+        },
+        latency_p50_ms: pct(0.5),
+        latency_p99_ms: pct(0.99),
+        latency_mean_ms: mean,
+    })
+}
+
+fn run() -> Result<(), WbamError> {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("wbamd: {e}");
+            std::process::exit(2);
+        }
+    };
+    let spec_json = std::fs::read_to_string(&args.spec).map_err(WbamError::from)?;
+    let spec = DeploySpec::from_json(&spec_json)?;
+    let id = ProcessId(args.id);
+    let role = spec.role_of(id)?;
+    let addrs = spec.addr_map()?;
+    let sink = JsonlSink::open(args.deliveries.as_deref())?;
+    let dest = args
+        .dest
+        .clone()
+        .unwrap_or_else(|| spec.cluster_config().group_ids());
+
+    match (role, args.multicast) {
+        (DeployRole::Replica(_), Some(_)) => Err(WbamError::NotReady {
+            process: id,
+            reason: "--multicast is for client processes".to_string(),
+        }),
+        (DeployRole::Client, None) => Err(WbamError::NotReady {
+            process: id,
+            reason: "client processes need --multicast".to_string(),
+        }),
+        (DeployRole::Replica(_), None) => match spec.protocol()? {
+            wbam_harness::Protocol::WhiteBox => {
+                let node: BoxedNode<_> = Box::new(spec.whitebox_replica(id)?);
+                run_replica(TcpNode::spawn(node, &addrs, args.restart)?, sink)
+            }
+            _ => {
+                let node: BoxedNode<_> = Box::new(spec.baseline_replica(id)?);
+                run_replica(TcpNode::spawn(node, &addrs, args.restart)?, sink)
+            }
+        },
+        (DeployRole::Client, Some(_)) => {
+            let summary = match spec.protocol()? {
+                wbam_harness::Protocol::WhiteBox => {
+                    let node: BoxedNode<_> = Box::new(spec.whitebox_client(id)?);
+                    run_client(
+                        TcpNode::spawn(node, &addrs, args.restart)?,
+                        &args,
+                        dest,
+                        sink,
+                    )?
+                }
+                _ => {
+                    let node: BoxedNode<_> = Box::new(spec.baseline_client(id)?);
+                    run_client(
+                        TcpNode::spawn(node, &addrs, args.restart)?,
+                        &args,
+                        dest,
+                        sink,
+                    )?
+                }
+            };
+            if let Some(path) = &args.summary {
+                std::fs::write(path, to_json(&summary)?).map_err(WbamError::from)?;
+            }
+            println!("{}", to_json(&summary)?);
+            Ok(())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("wbamd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -18,17 +18,22 @@
 //! * [`explorer`] — the seeded schedule explorer: randomized workloads and
 //!   nemesis fault plans, checked against the Figure 6 invariants and the
 //!   key-value store linearizability oracle, with replayable failure seeds.
+//! * [`deploy`] — topology specs for *deployed* clusters (one OS process per
+//!   replica or client over the TCP transport of `wbam-runtime`), consumed
+//!   by the `wbamd` binary, plus the JSONL log formats it emits.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod cluster;
+pub mod deploy;
 pub mod explorer;
 pub mod probe;
 pub mod sweep;
 pub mod workload;
 
 pub use cluster::{ClusterSpec, Protocol, ProtocolSim};
+pub use deploy::{ChildGuard, ClientSummary, DeliveryLine, DeployRole, DeploySpec};
 pub use explorer::{
     explore, generate_schedule, minimize, run_token, ExplorationReport, ExplorerConfig, Finding,
     ScheduleReport, SeedToken, TokenVersion,

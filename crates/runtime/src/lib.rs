@@ -1,19 +1,22 @@
-//! A real (non-simulated) multi-threaded runtime for WBAM protocol nodes.
+//! A real (non-simulated) runtime for WBAM protocol nodes.
 //!
 //! The deterministic simulator in `wbam-simnet` is ideal for experiments and
-//! tests, but a library user who wants to embed atomic multicast in an actual
-//! service needs the protocols to run on real threads with real queues. This
-//! crate provides exactly that: every sans-IO [`Node`] runs on its own OS
-//! thread, messages travel over in-process channels (one unbounded channel per
-//! node, which preserves the per-sender FIFO property the protocols assume),
-//! timers are served from each node thread's own timer heap, and application
-//! deliveries are collected in a shared log the embedding application can
-//! drain.
+//! tests, but deploying atomic multicast means running the protocols on real
+//! threads and real sockets. This crate provides both deployment shapes
+//! around one shared, transport-independent node event loop
+//! (crate-internal `node_loop`): every sans-IO [`Node`](wbam_types::Node) runs on
+//! its own OS thread, timers are served from the node thread's own timer
+//! heap, application deliveries land in a shared [`DeliveryLog`], and sends
+//! go through a [`Transport`]:
 //!
-//! The runtime is intentionally transport-agnostic in shape: the only
-//! interaction points are "send a message to node X" and "hand this delivery
-//! to the application", so swapping the channel transport for TCP framing
-//! (`wbam_types::wire`) is a localized change.
+//! * [`InProcessCluster`] — every node is a thread in this process and the
+//!   transport is an in-process channel per node ([`ChannelTransport`]).
+//!   Ideal for embedding a whole cluster in one service or test.
+//! * [`TcpNode`] — one node per OS process, the transport is real TCP with
+//!   `wbam_types::wire` framing, per-peer writer threads and
+//!   reconnect-with-backoff ([`tcp::TcpTransport`]). This is what the
+//!   `wbamd` deployment binary (in `wbam-harness`) runs; see `crates/harness`
+//!   for the cluster topology spec.
 //!
 //! # Example
 //!
@@ -40,7 +43,7 @@
 //!     Destination::new(vec![GroupId(0), GroupId(1)]).unwrap(),
 //!     Payload::from("hello"),
 //! );
-//! handle.submit(client, msg);
+//! handle.submit(client, msg).unwrap();
 //! let deliveries = handle.wait_for_deliveries(6, Duration::from_secs(5));
 //! assert!(deliveries.len() >= 6); // every replica of both groups delivers
 //! handle.shutdown();
@@ -49,16 +52,22 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use std::collections::BinaryHeap;
-use std::sync::Arc;
+mod node_loop;
+pub mod tcp;
+pub mod transport;
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam_channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
-use wbam_types::{Action, AppMessage, DeliveredMessage, Event, Node, ProcessId, TimerId};
+use crossbeam_channel::{unbounded, Sender};
+use wbam_types::{AppMessage, DeliveredMessage, ProcessId, WbamError};
 
-use std::collections::HashMap;
+use node_loop::{run_node, Envelope};
+
+pub use tcp::TcpNode;
+pub use transport::{ChannelTransport, Transport};
 
 /// A delivery observed by the runtime, tagged with the delivering process and
 /// wall-clock time since cluster start.
@@ -72,65 +81,122 @@ pub struct RuntimeDelivery {
     pub elapsed: Duration,
 }
 
-enum Envelope<M> {
-    FromPeer { from: ProcessId, msg: M },
-    Submit(AppMessage),
-    BecomeLeader,
-    Shutdown,
+/// The shared application-delivery log of a runtime: a buffer of
+/// [`RuntimeDelivery`] records plus a cumulative counter, with condvar-based
+/// waiting instead of polling.
+///
+/// Node threads [`push`](Self::push) into it; the embedding application reads
+/// a [`snapshot`](Self::snapshot) or [`drain`](Self::drain)s the buffer (so a
+/// long-running cluster does not grow the log without bound). Waiters block
+/// on a condition variable signalled by every push — no busy-polling, no
+/// per-iteration clone of the log.
+#[derive(Default)]
+pub struct DeliveryLog {
+    state: Mutex<LogState>,
+    newly_delivered: Condvar,
 }
 
-struct PendingTimer {
-    deadline: Instant,
-    id: TimerId,
-    generation: u64,
+#[derive(Default)]
+struct LogState {
+    buffered: Vec<RuntimeDelivery>,
+    total: u64,
 }
 
-impl PartialEq for PendingTimer {
-    fn eq(&self, other: &Self) -> bool {
-        self.deadline == other.deadline
+impl DeliveryLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        DeliveryLog::default()
     }
-}
-impl Eq for PendingTimer {}
-impl PartialOrd for PendingTimer {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+
+    /// Appends a delivery and wakes all waiters.
+    pub fn push(&self, delivery: RuntimeDelivery) {
+        let mut state = self.state.lock().expect("delivery log poisoned");
+        state.buffered.push(delivery);
+        state.total += 1;
+        self.newly_delivered.notify_all();
     }
-}
-impl Ord for PendingTimer {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        other.deadline.cmp(&self.deadline) // min-heap
+
+    /// A clone of the deliveries currently buffered (those not yet drained).
+    pub fn snapshot(&self) -> Vec<RuntimeDelivery> {
+        self.state
+            .lock()
+            .expect("delivery log poisoned")
+            .buffered
+            .clone()
+    }
+
+    /// Removes and returns all buffered deliveries. The cumulative
+    /// [`total`](Self::total) is unaffected.
+    pub fn drain(&self) -> Vec<RuntimeDelivery> {
+        std::mem::take(&mut self.state.lock().expect("delivery log poisoned").buffered)
+    }
+
+    /// Total number of deliveries ever pushed, including drained ones.
+    pub fn total(&self) -> u64 {
+        self.state.lock().expect("delivery log poisoned").total
+    }
+
+    /// Blocks until the cumulative delivery count reaches `count` or the
+    /// timeout expires; returns whether the count was reached.
+    pub fn wait_for_total(&self, count: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock().expect("delivery log poisoned");
+        loop {
+            if state.total >= count {
+                return true;
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            let (next, timed_out) = self
+                .newly_delivered
+                .wait_timeout(state, remaining)
+                .expect("delivery log poisoned");
+            state = next;
+            if timed_out.timed_out() && state.total < count {
+                return false;
+            }
+        }
+    }
+
+    /// Blocks until the cumulative delivery count reaches `count` or the
+    /// timeout expires; returns a snapshot of the buffered deliveries.
+    pub fn wait_for(&self, count: u64, timeout: Duration) -> Vec<RuntimeDelivery> {
+        self.wait_for_total(count, timeout);
+        self.snapshot()
     }
 }
 
 /// A sans-IO node as the runtime executes it: boxed, sendable to its thread.
-pub type BoxedNode<M> = Box<dyn Node<Msg = M> + Send>;
+pub type BoxedNode<M> = Box<dyn wbam_types::Node<Msg = M> + Send>;
 
 /// Handle to a running in-process cluster.
 pub struct InProcessCluster<M> {
-    senders: HashMap<ProcessId, Sender<Envelope<M>>>,
-    deliveries: Arc<Mutex<Vec<RuntimeDelivery>>>,
+    senders: Arc<HashMap<ProcessId, Sender<Envelope<M>>>>,
+    deliveries: Arc<DeliveryLog>,
     threads: Vec<JoinHandle<()>>,
     started: Instant,
 }
 
-impl<M: Send + Clone + 'static> InProcessCluster<M> {
+impl<M: Send + 'static> InProcessCluster<M> {
     /// Spawns one thread per node and wires them together with channels.
     pub fn spawn(nodes: Vec<BoxedNode<M>>) -> Self {
         let started = Instant::now();
-        let deliveries: Arc<Mutex<Vec<RuntimeDelivery>>> = Arc::new(Mutex::new(Vec::new()));
+        let deliveries = Arc::new(DeliveryLog::new());
         let mut senders: HashMap<ProcessId, Sender<Envelope<M>>> = HashMap::new();
-        let mut receivers: Vec<(BoxedNode<M>, Receiver<Envelope<M>>)> = Vec::new();
+        let mut receivers = Vec::new();
         for node in nodes {
             let (tx, rx) = unbounded();
             senders.insert(node.id(), tx);
             receivers.push((node, rx));
         }
+        let senders = Arc::new(senders);
         let mut threads = Vec::new();
         for (node, rx) in receivers {
-            let senders = senders.clone();
+            let transport = ChannelTransport::new(node.id(), Arc::clone(&senders));
             let deliveries = Arc::clone(&deliveries);
             threads.push(std::thread::spawn(move || {
-                run_node(node, rx, senders, deliveries, started);
+                run_node(node, rx, transport, deliveries, started);
             }));
         }
         InProcessCluster {
@@ -141,37 +207,74 @@ impl<M: Send + Clone + 'static> InProcessCluster<M> {
         }
     }
 
+    fn control(&self, at: ProcessId, envelope: Envelope<M>) -> Result<(), WbamError> {
+        let tx = self.senders.get(&at).ok_or(WbamError::UnknownProcess(at))?;
+        tx.send(envelope).map_err(|_| WbamError::NotReady {
+            process: at,
+            reason: "node thread has exited".to_string(),
+        })
+    }
+
     /// Submits an application message for multicast at the given node
     /// (normally a client node).
-    pub fn submit(&self, at: ProcessId, msg: AppMessage) {
-        if let Some(tx) = self.senders.get(&at) {
-            let _ = tx.send(Envelope::Submit(msg));
-        }
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WbamError::UnknownProcess`] when no node with id `at` exists
+    /// in this cluster (a typo'd target used to be silently dropped, making it
+    /// indistinguishable from a lost message), or [`WbamError::NotReady`] when
+    /// the node's thread has exited.
+    pub fn submit(&self, at: ProcessId, msg: AppMessage) -> Result<(), WbamError> {
+        self.control(at, Envelope::Submit(msg))
     }
 
     /// Tells a node to start leader recovery (for failover demonstrations).
-    pub fn become_leader(&self, at: ProcessId) {
-        if let Some(tx) = self.senders.get(&at) {
-            let _ = tx.send(Envelope::BecomeLeader);
-        }
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::submit`].
+    pub fn become_leader(&self, at: ProcessId) -> Result<(), WbamError> {
+        self.control(at, Envelope::BecomeLeader)
     }
 
-    /// A snapshot of all deliveries observed so far.
+    /// Injects `Event::Restart` at a node: volatile context is discarded and
+    /// the node rejoins the protocol, mirroring the simulator's restart path.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::submit`].
+    pub fn restart(&self, at: ProcessId) -> Result<(), WbamError> {
+        self.control(at, Envelope::Restart)
+    }
+
+    /// A snapshot of the deliveries currently buffered (those not yet
+    /// removed by [`Self::drain_deliveries`]).
     pub fn deliveries(&self) -> Vec<RuntimeDelivery> {
-        self.deliveries.lock().clone()
+        self.deliveries.snapshot()
     }
 
-    /// Blocks until at least `count` deliveries have been observed or the
-    /// timeout expires; returns the deliveries observed so far.
+    /// Removes and returns all buffered deliveries, so long-running clusters
+    /// can consume the log incrementally instead of growing it without bound.
+    /// The cumulative count in [`Self::total_deliveries`] is unaffected.
+    pub fn drain_deliveries(&self) -> Vec<RuntimeDelivery> {
+        self.deliveries.drain()
+    }
+
+    /// Total number of deliveries observed since spawn, including drained
+    /// ones.
+    pub fn total_deliveries(&self) -> u64 {
+        self.deliveries.total()
+    }
+
+    /// Blocks until at least `count` deliveries have been observed (counting
+    /// drained ones) or the timeout expires; returns the deliveries currently
+    /// buffered.
+    ///
+    /// Waiting blocks on a condition variable signalled by every delivery —
+    /// it no longer busy-polls with a sleep, nor clones the entire log once
+    /// per millisecond while waiting.
     pub fn wait_for_deliveries(&self, count: usize, timeout: Duration) -> Vec<RuntimeDelivery> {
-        let deadline = Instant::now() + timeout;
-        loop {
-            let current = self.deliveries.lock().clone();
-            if current.len() >= count || Instant::now() >= deadline {
-                return current;
-            }
-            std::thread::sleep(Duration::from_millis(1));
-        }
+        self.deliveries.wait_for(count as u64, timeout)
     }
 
     /// Time since the cluster was spawned.
@@ -187,97 +290,6 @@ impl<M: Send + Clone + 'static> InProcessCluster<M> {
         for t in self.threads {
             let _ = t.join();
         }
-    }
-}
-
-fn run_node<M: Send + Clone + 'static>(
-    mut node: BoxedNode<M>,
-    rx: Receiver<Envelope<M>>,
-    senders: HashMap<ProcessId, Sender<Envelope<M>>>,
-    deliveries: Arc<Mutex<Vec<RuntimeDelivery>>>,
-    started: Instant,
-) {
-    let my_id = node.id();
-    let mut timers: BinaryHeap<PendingTimer> = BinaryHeap::new();
-    let mut generations: HashMap<TimerId, u64> = HashMap::new();
-
-    let execute = |actions: Vec<Action<M>>,
-                   timers: &mut BinaryHeap<PendingTimer>,
-                   generations: &mut HashMap<TimerId, u64>| {
-        for action in actions {
-            match action {
-                Action::Send { to, msg } => {
-                    if let Some(tx) = senders.get(&to) {
-                        let _ = tx.send(Envelope::FromPeer { from: my_id, msg });
-                    }
-                }
-                Action::Deliver(delivery) => {
-                    deliveries.lock().push(RuntimeDelivery {
-                        process: my_id,
-                        delivery,
-                        elapsed: started.elapsed(),
-                    });
-                }
-                Action::SetTimer { id, delay } => {
-                    let gen = generations.entry(id).and_modify(|g| *g += 1).or_insert(1);
-                    timers.push(PendingTimer {
-                        deadline: Instant::now() + delay,
-                        id,
-                        generation: *gen,
-                    });
-                }
-                Action::CancelTimer(id) => {
-                    generations.entry(id).and_modify(|g| *g += 1).or_insert(1);
-                }
-            }
-        }
-    };
-
-    // Initialise the node.
-    let init_actions = node.on_event(started.elapsed(), Event::Init);
-    execute(init_actions, &mut timers, &mut generations);
-
-    loop {
-        // Fire any due timers.
-        let now = Instant::now();
-        while let Some(t) = timers.peek() {
-            if t.deadline > now {
-                break;
-            }
-            let t = timers.pop().expect("peeked");
-            if generations.get(&t.id).copied().unwrap_or(0) != t.generation {
-                continue; // cancelled or re-armed
-            }
-            let elapsed = started.elapsed();
-            let actions = node.on_event(
-                elapsed,
-                Event::Timer {
-                    id: t.id,
-                    now: elapsed,
-                },
-            );
-            execute(actions, &mut timers, &mut generations);
-        }
-        // Wait for the next message or the next timer deadline.
-        let wait = timers
-            .peek()
-            .map(|t| t.deadline.saturating_duration_since(Instant::now()))
-            .unwrap_or(Duration::from_millis(50));
-        let envelope = match rx.recv_timeout(wait) {
-            Ok(e) => e,
-            Err(crossbeam_channel::RecvTimeoutError::Timeout) => continue,
-            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => break,
-        };
-        let elapsed = started.elapsed();
-        let actions = match envelope {
-            Envelope::Shutdown => break,
-            Envelope::FromPeer { from, msg } => {
-                node.on_event(elapsed, Event::Message { from, msg })
-            }
-            Envelope::Submit(msg) => node.on_event(elapsed, Event::Multicast(msg)),
-            Envelope::BecomeLeader => node.on_event(elapsed, Event::BecomeLeader),
-        };
-        execute(actions, &mut timers, &mut generations);
     }
 }
 
@@ -316,7 +328,7 @@ mod tests {
                 Destination::new(vec![GroupId(0), GroupId(1)]).unwrap(),
                 Payload::from(format!("op-{seq}").as_str()),
             );
-            handle.submit(client, msg);
+            handle.submit(client, msg).unwrap();
         }
         // 5 messages × 6 replicas + 5 client completions = 35 deliveries.
         let deliveries = handle.wait_for_deliveries(35, Duration::from_secs(10));
@@ -351,6 +363,81 @@ mod tests {
         let handle = InProcessCluster::spawn(build_nodes(&cluster));
         assert!(handle.deliveries().is_empty());
         assert!(handle.uptime() < Duration::from_secs(5));
+        handle.shutdown();
+    }
+
+    /// Regression (runtime bugfix sweep): control operations on an unknown
+    /// process id fail loudly instead of silently no-opping — a typo'd target
+    /// used to look exactly like a lost message.
+    #[test]
+    fn control_operations_reject_unknown_processes() {
+        let cluster = ClusterConfig::builder().groups(1, 3).clients(1).build();
+        let handle = InProcessCluster::spawn(build_nodes(&cluster));
+        let bogus = ProcessId(999);
+        let msg = AppMessage::new(
+            MsgId::new(bogus, 0),
+            Destination::single(GroupId(0)),
+            Payload::from("x"),
+        );
+        assert_eq!(
+            handle.submit(bogus, msg),
+            Err(WbamError::UnknownProcess(bogus))
+        );
+        assert_eq!(
+            handle.become_leader(bogus),
+            Err(WbamError::UnknownProcess(bogus))
+        );
+        assert_eq!(handle.restart(bogus), Err(WbamError::UnknownProcess(bogus)));
+        handle.shutdown();
+    }
+
+    /// Regression (runtime bugfix sweep): draining the delivery log keeps the
+    /// cumulative count intact, and waiting counts drained deliveries — so a
+    /// long-running embedder can drain incrementally without ever growing the
+    /// buffer or confusing waiters.
+    #[test]
+    fn drain_keeps_cumulative_count_and_wait_semantics() {
+        let cluster = ClusterConfig::builder().groups(1, 3).clients(1).build();
+        let handle = InProcessCluster::spawn(build_nodes(&cluster));
+        let client = cluster.clients()[0];
+        let submit = |seq: u64| {
+            let msg = AppMessage::new(
+                MsgId::new(client, seq),
+                Destination::single(GroupId(0)),
+                Payload::from("x"),
+            );
+            handle.submit(client, msg).unwrap();
+        };
+        submit(0);
+        // 3 replica deliveries + 1 client completion.
+        assert!(handle.deliveries.wait_for_total(4, Duration::from_secs(10)));
+        let drained = handle.drain_deliveries();
+        assert!(drained.len() >= 4);
+        assert!(handle.deliveries().len() < drained.len());
+        assert_eq!(handle.total_deliveries(), drained.len() as u64);
+        // The next wait counts the drained deliveries too.
+        submit(1);
+        let buffered = handle.wait_for_deliveries(8, Duration::from_secs(10));
+        assert!(handle.total_deliveries() >= 8);
+        // Only the new deliveries are buffered.
+        assert!(buffered.iter().all(|d| d.delivery.msg.id.seq == 1));
+        handle.shutdown();
+    }
+
+    /// The condvar wait wakes promptly (well under the timeout) once the
+    /// expected count is reached, and respects the timeout when it is not.
+    #[test]
+    fn wait_for_deliveries_times_out_cleanly() {
+        let cluster = ClusterConfig::builder().groups(1, 3).clients(1).build();
+        let handle = InProcessCluster::spawn(build_nodes(&cluster));
+        let begin = Instant::now();
+        let observed = handle.wait_for_deliveries(1, Duration::from_millis(200));
+        assert!(observed.is_empty());
+        let waited = begin.elapsed();
+        assert!(
+            waited >= Duration::from_millis(150),
+            "returned after {waited:?} without any delivery"
+        );
         handle.shutdown();
     }
 }

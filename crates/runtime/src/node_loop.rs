@@ -1,0 +1,155 @@
+//! The transport-independent node event loop.
+//!
+//! One sans-IO [`Node`] runs on one OS thread: the loop fires due timers from
+//! the node's own timer heap, waits for the next envelope (peer message or
+//! control event) and executes the actions the node returns — sends through
+//! the [`Transport`], deliveries into the shared [`DeliveryLog`]. Both the
+//! in-process cluster and the per-process TCP runtime run this exact loop, so
+//! a protocol behaves identically under either deployment.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::Receiver;
+use wbam_types::{Action, AppMessage, Event, TimerId};
+
+use crate::transport::Transport;
+use crate::{BoxedNode, DeliveryLog, RuntimeDelivery};
+
+/// A unit of input for a node thread: either a protocol message from a peer
+/// or a control event injected by the embedding application.
+pub(crate) enum Envelope<M> {
+    /// A protocol message from another process.
+    FromPeer {
+        /// The sending process.
+        from: wbam_types::ProcessId,
+        /// The message.
+        msg: M,
+    },
+    /// Submit an application message for multicast ([`Event::Multicast`]).
+    Submit(AppMessage),
+    /// Tell the node to start leader recovery ([`Event::BecomeLeader`]).
+    BecomeLeader,
+    /// Tell the node it restarted after a crash ([`Event::Restart`]): volatile
+    /// context is gone, timers must be re-armed, the protocol rejoined.
+    Restart,
+    /// Stop the node thread.
+    Shutdown,
+}
+
+struct PendingTimer {
+    deadline: Instant,
+    id: TimerId,
+    generation: u64,
+}
+
+impl PartialEq for PendingTimer {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline
+    }
+}
+impl Eq for PendingTimer {}
+impl PartialOrd for PendingTimer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingTimer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.deadline.cmp(&self.deadline) // min-heap
+    }
+}
+
+/// Runs `node` until a [`Envelope::Shutdown`] arrives or every envelope
+/// sender disconnects.
+pub(crate) fn run_node<M, T>(
+    mut node: BoxedNode<M>,
+    rx: Receiver<Envelope<M>>,
+    transport: T,
+    deliveries: Arc<DeliveryLog>,
+    started: Instant,
+) where
+    M: Send + 'static,
+    T: Transport<M>,
+{
+    let my_id = node.id();
+    let mut timers: BinaryHeap<PendingTimer> = BinaryHeap::new();
+    let mut generations: HashMap<TimerId, u64> = HashMap::new();
+
+    let execute = |actions: Vec<Action<M>>,
+                   timers: &mut BinaryHeap<PendingTimer>,
+                   generations: &mut HashMap<TimerId, u64>| {
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => transport.send(to, msg),
+                Action::Deliver(delivery) => {
+                    deliveries.push(RuntimeDelivery {
+                        process: my_id,
+                        delivery,
+                        elapsed: started.elapsed(),
+                    });
+                }
+                Action::SetTimer { id, delay } => {
+                    let gen = generations.entry(id).and_modify(|g| *g += 1).or_insert(1);
+                    timers.push(PendingTimer {
+                        deadline: Instant::now() + delay,
+                        id,
+                        generation: *gen,
+                    });
+                }
+                Action::CancelTimer(id) => {
+                    generations.entry(id).and_modify(|g| *g += 1).or_insert(1);
+                }
+            }
+        }
+    };
+
+    // Initialise the node.
+    let init_actions = node.on_event(started.elapsed(), Event::Init);
+    execute(init_actions, &mut timers, &mut generations);
+
+    loop {
+        // Fire any due timers.
+        let now = Instant::now();
+        while let Some(t) = timers.peek() {
+            if t.deadline > now {
+                break;
+            }
+            let t = timers.pop().expect("peeked");
+            if generations.get(&t.id).copied().unwrap_or(0) != t.generation {
+                continue; // cancelled or re-armed
+            }
+            let elapsed = started.elapsed();
+            let actions = node.on_event(
+                elapsed,
+                Event::Timer {
+                    id: t.id,
+                    now: elapsed,
+                },
+            );
+            execute(actions, &mut timers, &mut generations);
+        }
+        // Wait for the next message or the next timer deadline.
+        let wait = timers
+            .peek()
+            .map(|t| t.deadline.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(50));
+        let envelope = match rx.recv_timeout(wait) {
+            Ok(e) => e,
+            Err(crossbeam_channel::RecvTimeoutError::Timeout) => continue,
+            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => break,
+        };
+        let elapsed = started.elapsed();
+        let actions = match envelope {
+            Envelope::Shutdown => break,
+            Envelope::FromPeer { from, msg } => {
+                node.on_event(elapsed, Event::Message { from, msg })
+            }
+            Envelope::Submit(msg) => node.on_event(elapsed, Event::Multicast(msg)),
+            Envelope::BecomeLeader => node.on_event(elapsed, Event::BecomeLeader),
+            Envelope::Restart => node.on_event(elapsed, Event::Restart),
+        };
+        execute(actions, &mut timers, &mut generations);
+    }
+}

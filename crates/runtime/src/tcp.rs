@@ -1,0 +1,650 @@
+//! Loopback/LAN TCP transport and the per-process node runtime behind the
+//! `wbamd` deployment binary.
+//!
+//! Every peer pair is connected by two *simplex* TCP connections, one per
+//! direction: a process dials each peer it sends to and uses that connection
+//! only for writing, and accepts incoming connections only for reading. This
+//! keeps connection management trivial (no simultaneous-open deduplication)
+//! at the cost of one extra socket per pair — irrelevant at the cluster sizes
+//! atomic multicast targets.
+//!
+//! Framing is `wbam_types::wire` (`u32` big-endian length + JSON body). The
+//! first frame on every connection is a `Hello` handshake identifying the
+//! dialling process; all subsequent frames carry protocol messages. A writer
+//! that loses its connection reconnects with exponential backoff and re-sends
+//! the frame that failed, so a restarted peer process rejoins exactly like
+//! the simulator's `Event::Restart` path: messages sent while it was down are
+//! either queued behind the reconnect or dropped with the dead connection,
+//! and the protocols' retry timers recover — the fair-lossy link model.
+//!
+//! # Example
+//!
+//! Spawn a 1-group × 1-replica "cluster" plus a client, each on its own TCP
+//! endpoint (in production each [`TcpNode`] lives in its own OS process):
+//!
+//! ```
+//! use std::collections::BTreeMap;
+//! use std::time::Duration;
+//! use wbam_core::{ClientConfig, MulticastClient, ReplicaConfig, WhiteBoxReplica};
+//! use wbam_runtime::TcpNode;
+//! use wbam_types::{AppMessage, ClusterConfig, Destination, GroupId, MsgId, Payload, ProcessId};
+//!
+//! let cluster = ClusterConfig::builder().groups(1, 1).clients(1).build();
+//! let replica = cluster.groups()[0].members()[0];
+//! let client = cluster.clients()[0];
+//! // Reserve two loopback ports for the example.
+//! let mut addrs = BTreeMap::new();
+//! for p in [replica, client] {
+//!     let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+//!     addrs.insert(p, l.local_addr().unwrap());
+//! }
+//! let r = TcpNode::spawn(
+//!     Box::new(WhiteBoxReplica::new(
+//!         ReplicaConfig::new(replica, GroupId(0), cluster.clone()).without_auto_election(),
+//!     )),
+//!     &addrs,
+//!     false,
+//! )
+//! .unwrap();
+//! let c = TcpNode::spawn(
+//!     Box::new(MulticastClient::new(ClientConfig::new(client, cluster.clone()))),
+//!     &addrs,
+//!     false,
+//! )
+//! .unwrap();
+//! c.submit(AppMessage::new(
+//!     MsgId::new(client, 0),
+//!     Destination::single(GroupId(0)),
+//!     Payload::from("over tcp"),
+//! ))
+//! .unwrap();
+//! // One replica delivery + one client completion.
+//! assert!(r.wait_for_total(1, Duration::from_secs(10)));
+//! assert!(c.wait_for_total(1, Duration::from_secs(10)));
+//! r.shutdown();
+//! c.shutdown();
+//! ```
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::BytesMut;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use wbam_types::wire::{decode_frame, encode_frame};
+use wbam_types::{AppMessage, ProcessId, WbamError};
+
+use crate::node_loop::{run_node, Envelope};
+use crate::transport::Transport;
+use crate::{BoxedNode, DeliveryLog, RuntimeDelivery};
+
+/// First reconnect delay of a writer that lost its connection.
+const BACKOFF_INITIAL: Duration = Duration::from_millis(10);
+/// Backoff cap: a writer re-dials a down peer at least this often.
+const BACKOFF_MAX: Duration = Duration::from_millis(500);
+/// Granularity at which blocked IO threads observe the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// What travels inside a TCP frame: a connection handshake or a protocol
+/// message. Every frame is encoded with [`wbam_types::wire::encode_frame`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum WireFrame<M> {
+    /// First frame of every connection: identifies the dialling process, so
+    /// the accepting side can tag subsequent frames with their sender.
+    Hello {
+        /// The dialling process.
+        from: ProcessId,
+    },
+    /// A protocol message.
+    Protocol(M),
+}
+
+/// TCP transport: one writer thread per peer, dialling `addrs[peer]` and
+/// framing every message with `wbam_types::wire`. Messages a node sends to
+/// *itself* (a leader is a member of its own group and ACCEPTs to every
+/// member) short-circuit into the local envelope channel instead of crossing
+/// the network stack.
+pub struct TcpTransport<M> {
+    local: ProcessId,
+    loopback: Sender<Envelope<M>>,
+    peers: HashMap<ProcessId, Sender<M>>,
+}
+
+impl<M: Serialize + Send + 'static> TcpTransport<M> {
+    /// Creates the transport used by `local` to reach every other process in
+    /// `addrs`, spawning one writer thread per peer. Returns the transport
+    /// and the writer thread handles (joined on shutdown).
+    pub(crate) fn new(
+        local: ProcessId,
+        loopback: Sender<Envelope<M>>,
+        addrs: &BTreeMap<ProcessId, SocketAddr>,
+        shutdown: Arc<AtomicBool>,
+    ) -> (Self, Vec<JoinHandle<()>>) {
+        let mut peers = HashMap::new();
+        let mut threads = Vec::new();
+        for (&peer, &addr) in addrs {
+            if peer == local {
+                continue;
+            }
+            let (tx, rx) = unbounded();
+            peers.insert(peer, tx);
+            let shutdown = Arc::clone(&shutdown);
+            threads.push(std::thread::spawn(move || {
+                writer_loop::<M>(local, addr, rx, shutdown);
+            }));
+        }
+        (
+            TcpTransport {
+                local,
+                loopback,
+                peers,
+            },
+            threads,
+        )
+    }
+}
+
+impl<M: Serialize + Send + 'static> Transport<M> for TcpTransport<M> {
+    fn send(&self, to: ProcessId, msg: M) {
+        if to == self.local {
+            let _ = self.loopback.send(Envelope::FromPeer {
+                from: self.local,
+                msg,
+            });
+        } else if let Some(tx) = self.peers.get(&to) {
+            let _ = tx.send(msg); // queued behind any reconnect in progress
+        }
+    }
+}
+
+/// Sleeps for `total`, observing the shutdown flag every poll interval;
+/// returns `false` when shutdown was raised.
+fn sleep_unless_shutdown(total: Duration, shutdown: &AtomicBool) -> bool {
+    let mut remaining = total;
+    while !remaining.is_zero() {
+        if shutdown.load(Ordering::Relaxed) {
+            return false;
+        }
+        let step = remaining.min(POLL_INTERVAL);
+        std::thread::sleep(step);
+        remaining -= step;
+    }
+    !shutdown.load(Ordering::Relaxed)
+}
+
+/// Dials `addr` until it connects, with exponential backoff (full `backoff`
+/// sleeps, shutdown observed every poll interval); returns `None` when the
+/// shutdown flag is raised first.
+fn connect_with_backoff(addr: SocketAddr, shutdown: &AtomicBool) -> Option<TcpStream> {
+    let mut backoff = BACKOFF_INITIAL;
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return None;
+        }
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                return Some(stream);
+            }
+            Err(_) => {
+                if !sleep_unless_shutdown(backoff, shutdown) {
+                    return None;
+                }
+                backoff = (backoff * 2).min(BACKOFF_MAX);
+            }
+        }
+    }
+}
+
+/// Owns the simplex connection from `local` to one peer: (re)connects with
+/// backoff, sends the `Hello` handshake, then pumps queued messages into
+/// frames. A frame whose write fails is re-sent on the next connection.
+fn writer_loop<M: Serialize>(
+    local: ProcessId,
+    addr: SocketAddr,
+    rx: Receiver<M>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let mut pending: Option<M> = None;
+    'connection: loop {
+        let Some(mut stream) = connect_with_backoff(addr, &shutdown) else {
+            return;
+        };
+        let hello = match encode_frame(&WireFrame::<M>::Hello { from: local }) {
+            Ok(f) => f,
+            Err(_) => return, // ProcessId serialisation cannot fail
+        };
+        if stream.write_all(&hello).is_err() {
+            // A connect that succeeds but whose first write fails (e.g. the
+            // peer's backlog accepted, then the process died) must not
+            // re-dial in a tight loop.
+            if !sleep_unless_shutdown(BACKOFF_INITIAL, &shutdown) {
+                return;
+            }
+            continue 'connection;
+        }
+        loop {
+            let msg = match pending.take() {
+                Some(m) => m,
+                None => match rx.recv_timeout(POLL_INTERVAL) {
+                    Ok(m) => m,
+                    Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
+                        if shutdown.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        continue;
+                    }
+                    Err(crossbeam_channel::RecvTimeoutError::Disconnected) => return,
+                },
+            };
+            // Wrap, encode, and take the message back out so the write can be
+            // retried on a fresh connection without requiring `M: Clone`.
+            let wrapped = WireFrame::Protocol(msg);
+            let frame = encode_frame(&wrapped);
+            let WireFrame::Protocol(msg) = wrapped else {
+                unreachable!("wrapped a Protocol frame")
+            };
+            match frame {
+                // An unencodable message (e.g. over MAX_FRAME_LEN) is dropped:
+                // it could never reach the peer, and retrying cannot help.
+                Err(_) => continue,
+                Ok(frame) => {
+                    if stream.write_all(&frame).is_err() {
+                        pending = Some(msg);
+                        if !sleep_unless_shutdown(BACKOFF_INITIAL, &shutdown) {
+                            return;
+                        }
+                        continue 'connection;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Accepts connections on `listener` and spawns one reader per connection.
+/// Reader threads are detached; they exit on EOF, on a framing error, or
+/// within one poll interval of shutdown.
+fn listener_loop<M: DeserializeOwned + Send + 'static>(
+    listener: TcpListener,
+    env_tx: Sender<Envelope<M>>,
+    shutdown: Arc<AtomicBool>,
+) {
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let env_tx = env_tx.clone();
+                let shutdown = Arc::clone(&shutdown);
+                std::thread::spawn(move || reader_loop(stream, env_tx, shutdown));
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Reads frames off one accepted connection. The first frame must be a
+/// [`WireFrame::Hello`]; protocol frames before it (or any undecodable frame
+/// — a corrupt length prefix cannot be resynced from) drop the connection,
+/// and the peer's writer re-dials.
+fn reader_loop<M: DeserializeOwned>(
+    mut stream: TcpStream,
+    env_tx: Sender<Envelope<M>>,
+    shutdown: Arc<AtomicBool>,
+) {
+    // On BSD-derived stacks an accepted socket inherits the listener's
+    // nonblocking flag (it does not on Linux); force blocking mode so the
+    // read timeout below paces the loop instead of a WouldBlock busy-spin.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let mut buf = BytesMut::new();
+    let mut chunk = vec![0u8; 64 * 1024];
+    let mut from: Option<ProcessId> = None;
+    loop {
+        loop {
+            match decode_frame::<WireFrame<M>>(&mut buf) {
+                Ok(Some(WireFrame::Hello { from: peer })) => from = Some(peer),
+                Ok(Some(WireFrame::Protocol(msg))) => {
+                    let Some(peer) = from else { return };
+                    if env_tx.send(Envelope::FromPeer { from: peer, msg }).is_err() {
+                        return; // node thread gone
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => return,
+            }
+        }
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// One protocol node running over real TCP: the per-process runtime behind
+/// the `wbamd` deployment binary (one OS process = one [`TcpNode`]).
+///
+/// The node runs the same event loop as [`InProcessCluster`](crate::InProcessCluster)
+/// — only the transport differs — so a protocol that is correct under the
+/// simulator and the in-process runtime behaves identically here.
+pub struct TcpNode<M> {
+    id: ProcessId,
+    env_tx: Sender<Envelope<M>>,
+    deliveries: Arc<DeliveryLog>,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    started: Instant,
+}
+
+impl<M: Serialize + DeserializeOwned + Send + 'static> TcpNode<M> {
+    /// Binds `addrs[node.id()]`, spawns the listener, the per-peer writer
+    /// threads and the node thread, and starts the node with `Event::Init`.
+    ///
+    /// With `restart = true` the node additionally receives `Event::Restart`
+    /// before any peer traffic — the flag a redeployed `wbamd` process passes
+    /// so the replica rejoins its group (fresh ballot via the `NEW_LEADER`
+    /// handshake, state re-synchronised from a quorum) exactly like the
+    /// simulator's restart path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WbamError::UnknownProcess`] when `addrs` has no entry for
+    /// the node, or [`WbamError::Io`] when binding its listen address fails.
+    pub fn spawn(
+        node: BoxedNode<M>,
+        addrs: &BTreeMap<ProcessId, SocketAddr>,
+        restart: bool,
+    ) -> Result<Self, WbamError> {
+        let id = node.id();
+        let listen = *addrs.get(&id).ok_or(WbamError::UnknownProcess(id))?;
+        let listener = TcpListener::bind(listen)?;
+        listener.set_nonblocking(true)?;
+
+        let started = Instant::now();
+        let deliveries = Arc::new(DeliveryLog::new());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (env_tx, env_rx) = unbounded();
+        let mut threads = Vec::new();
+
+        if restart {
+            // Enqueued before the listener thread exists, so the node is
+            // guaranteed to process Event::Init then Event::Restart before
+            // any peer traffic (connections parked in the kernel backlog are
+            // only read once the listener thread starts accepting below).
+            let _ = env_tx.send(Envelope::Restart);
+        }
+        {
+            let env_tx = env_tx.clone();
+            let shutdown = Arc::clone(&shutdown);
+            threads.push(std::thread::spawn(move || {
+                listener_loop(listener, env_tx, shutdown);
+            }));
+        }
+        let (transport, writer_threads) =
+            TcpTransport::new(id, env_tx.clone(), addrs, Arc::clone(&shutdown));
+        threads.extend(writer_threads);
+        {
+            let deliveries = Arc::clone(&deliveries);
+            threads.push(std::thread::spawn(move || {
+                run_node(node, env_rx, transport, deliveries, started);
+            }));
+        }
+        Ok(TcpNode {
+            id,
+            env_tx,
+            deliveries,
+            shutdown,
+            threads,
+            started,
+        })
+    }
+
+    /// The process this node plays.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// Submits an application message for multicast at this node (normally a
+    /// client node).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WbamError::NotReady`] when the node thread has exited.
+    pub fn submit(&self, msg: AppMessage) -> Result<(), WbamError> {
+        self.control(Envelope::Submit(msg))
+    }
+
+    /// Tells the node to start leader recovery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WbamError::NotReady`] when the node thread has exited.
+    pub fn become_leader(&self) -> Result<(), WbamError> {
+        self.control(Envelope::BecomeLeader)
+    }
+
+    fn control(&self, envelope: Envelope<M>) -> Result<(), WbamError> {
+        self.env_tx.send(envelope).map_err(|_| WbamError::NotReady {
+            process: self.id,
+            reason: "node thread has exited".to_string(),
+        })
+    }
+
+    /// A snapshot of the deliveries currently buffered.
+    pub fn deliveries(&self) -> Vec<RuntimeDelivery> {
+        self.deliveries.snapshot()
+    }
+
+    /// Removes and returns all buffered deliveries (see
+    /// [`InProcessCluster::drain_deliveries`](crate::InProcessCluster::drain_deliveries)).
+    pub fn drain_deliveries(&self) -> Vec<RuntimeDelivery> {
+        self.deliveries.drain()
+    }
+
+    /// Total number of deliveries observed since spawn, including drained ones.
+    pub fn total_deliveries(&self) -> u64 {
+        self.deliveries.total()
+    }
+
+    /// Blocks until the cumulative delivery count reaches `count` or the
+    /// timeout expires; returns whether the count was reached.
+    pub fn wait_for_total(&self, count: u64, timeout: Duration) -> bool {
+        self.deliveries.wait_for_total(count, timeout)
+    }
+
+    /// Time since the node was spawned.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Stops the node and all its IO threads and waits for them to exit.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        let _ = self.env_tx.send(Envelope::Shutdown);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbam_core::{ClientConfig, MulticastClient, ReplicaConfig, WhiteBoxMsg, WhiteBoxReplica};
+    use wbam_types::{ClusterConfig, Destination, GroupId, MsgId, Payload};
+
+    /// Reserves one free loopback port per process by briefly binding port 0.
+    fn reserve_addrs(cluster: &ClusterConfig) -> BTreeMap<ProcessId, SocketAddr> {
+        cluster
+            .all_processes()
+            .into_iter()
+            .map(|p| {
+                let l = TcpListener::bind("127.0.0.1:0").expect("bind port 0");
+                (p, l.local_addr().expect("local addr"))
+            })
+            .collect()
+    }
+
+    fn spawn_replica(
+        cluster: &ClusterConfig,
+        addrs: &BTreeMap<ProcessId, SocketAddr>,
+        member: ProcessId,
+        restart: bool,
+    ) -> TcpNode<WhiteBoxMsg> {
+        let group = cluster.group_of(member).expect("replica group");
+        let cfg = ReplicaConfig::new(member, group, cluster.clone()).without_auto_election();
+        TcpNode::spawn(Box::new(WhiteBoxReplica::new(cfg)), addrs, restart).expect("spawn")
+    }
+
+    fn order_of(node: &TcpNode<WhiteBoxMsg>) -> Vec<MsgId> {
+        node.deliveries()
+            .iter()
+            .map(|d| d.delivery.msg.id)
+            .collect()
+    }
+
+    /// A 2-group × 3-replica cluster over real loopback sockets delivers
+    /// cross-group multicasts in identical per-replica order.
+    #[test]
+    fn tcp_cluster_delivers_cross_group_multicasts_in_order() {
+        let cluster = ClusterConfig::builder().groups(2, 3).clients(1).build();
+        let addrs = reserve_addrs(&cluster);
+        let replicas: Vec<TcpNode<WhiteBoxMsg>> = cluster
+            .groups()
+            .iter()
+            .flat_map(|gc| gc.members().to_vec())
+            .map(|m| spawn_replica(&cluster, &addrs, m, false))
+            .collect();
+        let client_id = cluster.clients()[0];
+        let client = TcpNode::spawn(
+            Box::new(MulticastClient::new(ClientConfig::new(
+                client_id,
+                cluster.clone(),
+            ))),
+            &addrs,
+            false,
+        )
+        .expect("spawn client");
+
+        for seq in 0..5u64 {
+            client
+                .submit(AppMessage::new(
+                    MsgId::new(client_id, seq),
+                    Destination::new(vec![GroupId(0), GroupId(1)]).unwrap(),
+                    Payload::from(format!("op-{seq}").as_str()),
+                ))
+                .unwrap();
+        }
+        assert!(client.wait_for_total(5, Duration::from_secs(30)));
+        for r in &replicas {
+            assert!(
+                r.wait_for_total(5, Duration::from_secs(30)),
+                "replica {} delivered only {}",
+                r.id(),
+                r.total_deliveries()
+            );
+        }
+        let reference = order_of(&replicas[0]);
+        assert_eq!(reference.len(), 5);
+        for r in &replicas[1..] {
+            assert_eq!(order_of(r), reference, "replica {} order differs", r.id());
+        }
+        for r in replicas {
+            r.shutdown();
+        }
+        client.shutdown();
+    }
+
+    /// Killing a follower's process and spawning a fresh one on the same
+    /// address (the `wbamd --restart` path) rejoins it to the group: peers'
+    /// writers reconnect with backoff, the fresh node's `Event::Restart`
+    /// pulls the group state via the NEW_LEADER handshake, and it ends up
+    /// with the same delivery order as the survivors.
+    #[test]
+    fn restarted_process_rejoins_over_tcp() {
+        let cluster = ClusterConfig::builder().groups(1, 3).clients(1).build();
+        let addrs = reserve_addrs(&cluster);
+        let members = cluster.groups()[0].members().to_vec();
+        let mut replicas: BTreeMap<ProcessId, TcpNode<WhiteBoxMsg>> = members
+            .iter()
+            .map(|m| (*m, spawn_replica(&cluster, &addrs, *m, false)))
+            .collect();
+        let client_id = cluster.clients()[0];
+        let client = TcpNode::spawn(
+            Box::new(MulticastClient::new(ClientConfig::new(
+                client_id,
+                cluster.clone(),
+            ))),
+            &addrs,
+            false,
+        )
+        .expect("spawn client");
+        let submit = |seq: u64| {
+            client
+                .submit(AppMessage::new(
+                    MsgId::new(client_id, seq),
+                    Destination::single(GroupId(0)),
+                    Payload::from(format!("op-{seq}").as_str()),
+                ))
+                .unwrap();
+        };
+
+        for seq in 0..3 {
+            submit(seq);
+        }
+        assert!(client.wait_for_total(3, Duration::from_secs(30)));
+
+        // Kill the follower p1 (its listener and sockets die with it).
+        let victim = members[1];
+        replicas.remove(&victim).unwrap().shutdown();
+
+        // The remaining quorum keeps delivering.
+        for seq in 3..5 {
+            submit(seq);
+        }
+        assert!(client.wait_for_total(5, Duration::from_secs(30)));
+
+        // A fresh process takes over the victim's address and rejoins.
+        let rejoined = spawn_replica(&cluster, &addrs, victim, true);
+        // It recovers the full history (its delivery log starts empty) and
+        // keeps up with new traffic.
+        submit(5);
+        assert!(
+            rejoined.wait_for_total(6, Duration::from_secs(30)),
+            "rejoined replica delivered only {}",
+            rejoined.total_deliveries()
+        );
+        assert!(client.wait_for_total(6, Duration::from_secs(30)));
+        let survivor = &replicas[&members[0]];
+        assert!(survivor.wait_for_total(6, Duration::from_secs(30)));
+        assert_eq!(
+            order_of(&rejoined),
+            order_of(survivor),
+            "rejoined replica order differs from survivor"
+        );
+
+        rejoined.shutdown();
+        for (_, r) in replicas {
+            r.shutdown();
+        }
+        client.shutdown();
+    }
+}

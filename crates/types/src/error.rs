@@ -84,6 +84,10 @@ pub enum WbamError {
     Config(ConfigError),
     /// Encoding or decoding of a wire message failed.
     Codec(String),
+    /// An IO operation of a networked runtime failed (bind, connect, read or
+    /// write on a transport socket). Carries the rendered `std::io::Error`
+    /// so the error stays `Clone` and serialisable.
+    Io(String),
 }
 
 impl fmt::Display for WbamError {
@@ -97,6 +101,7 @@ impl fmt::Display for WbamError {
             }
             WbamError::Config(e) => write!(f, "configuration error: {e}"),
             WbamError::Codec(e) => write!(f, "codec error: {e}"),
+            WbamError::Io(e) => write!(f, "io error: {e}"),
         }
     }
 }
@@ -113,6 +118,12 @@ impl Error for WbamError {
 impl From<ConfigError> for WbamError {
     fn from(e: ConfigError) -> Self {
         WbamError::Config(e)
+    }
+}
+
+impl From<std::io::Error> for WbamError {
+    fn from(e: std::io::Error) -> Self {
+        WbamError::Io(e.to_string())
     }
 }
 
@@ -155,6 +166,14 @@ mod tests {
             reason: "recovering".to_string(),
         };
         assert!(e.to_string().contains("recovering"));
+    }
+
+    #[test]
+    fn io_errors_convert_and_render() {
+        let io = std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "refused");
+        let e: WbamError = io.into();
+        assert!(matches!(e, WbamError::Io(_)));
+        assert!(e.to_string().contains("refused"));
     }
 
     #[test]

@@ -23,9 +23,20 @@ pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
 /// # Errors
 ///
 /// Returns [`WbamError::Codec`] if serialisation fails (which only happens for
-/// types whose `Serialize` implementation can fail).
+/// types whose `Serialize` implementation can fail) or if the serialised body
+/// exceeds [`MAX_FRAME_LEN`]. The length check matters: `body.len() as u32`
+/// would otherwise silently truncate a body longer than `u32::MAX`, emitting a
+/// corrupt length prefix the peer cannot resync from, and any frame longer
+/// than [`MAX_FRAME_LEN`] would be rejected by the receiving [`decode_frame`]
+/// anyway.
 pub fn encode_frame<M: Serialize>(msg: &M) -> Result<Bytes, WbamError> {
     let body = serde_json::to_vec(msg).map_err(|e| WbamError::Codec(e.to_string()))?;
+    if body.len() > MAX_FRAME_LEN {
+        return Err(WbamError::Codec(format!(
+            "frame body of {} bytes exceeds maximum {MAX_FRAME_LEN}",
+            body.len()
+        )));
+    }
     let mut buf = BytesMut::with_capacity(4 + body.len());
     buf.put_u32(body.len() as u32);
     buf.put_slice(&body);
@@ -132,6 +143,38 @@ mod tests {
         assert_eq!(decode_frame::<Ping>(&mut buf).unwrap().unwrap(), a);
         assert_eq!(decode_frame::<Ping>(&mut buf).unwrap().unwrap(), b);
         assert_eq!(decode_frame::<Ping>(&mut buf).unwrap(), None);
+    }
+
+    /// A frame body one byte over the limit is rejected on the encode side
+    /// (instead of truncating its length prefix), while a body at exactly the
+    /// limit round-trips. Every added `x` in `note` grows the JSON body by
+    /// exactly one byte, so the body length can be dialled in precisely.
+    #[test]
+    fn encode_rejects_bodies_over_the_frame_limit() {
+        let overhead = serde_json::to_vec(&Ping {
+            seq: 7,
+            note: String::new(),
+        })
+        .unwrap()
+        .len();
+
+        let over = Ping {
+            seq: 7,
+            note: "x".repeat(MAX_FRAME_LEN - overhead + 1),
+        };
+        let err = encode_frame(&over).unwrap_err();
+        assert!(matches!(err, WbamError::Codec(_)), "got {err:?}");
+        assert!(err.to_string().contains("exceeds maximum"));
+
+        let at_limit = Ping {
+            seq: 7,
+            note: "x".repeat(MAX_FRAME_LEN - overhead),
+        };
+        let frame = encode_frame(&at_limit).unwrap();
+        assert_eq!(frame.len(), 4 + MAX_FRAME_LEN);
+        let mut buf = BytesMut::from(&frame[..]);
+        let back: Ping = decode_frame(&mut buf).unwrap().unwrap();
+        assert_eq!(back, at_limit);
     }
 
     #[test]
