@@ -1,0 +1,520 @@
+//! In-tree compact binary data format for the serde compatibility shim.
+//!
+//! This is the deployed runtime's wire codec (see `WIRE.md` at the repo root
+//! for the byte-for-byte specification). Like the `serde_json` shim it
+//! round-trips the shim's self-describing [`serde::value::Value`] model
+//! exactly, but in a length-delimited binary form built for small frames and
+//! cheap encode/decode:
+//!
+//! * all lengths and unsigned integers are LEB128 varints; signed integers
+//!   are zigzag-mapped first;
+//! * unsigned integers `0..=127` are a single byte (the tag itself);
+//! * map keys (struct field names, enum variant names) are interned per
+//!   message: each distinct key is transmitted once, then referenced by a
+//!   varint index, so batches of repeated structs carry near-zero name
+//!   overhead;
+//! * sequences whose elements are all unsigned integers `<= 255` — the shim's
+//!   encoding of `Vec<u8>`/`Bytes` payloads — are packed as raw bytes.
+//!
+//! Entry points mirror `serde_json`: [`to_vec`] / [`from_slice`] for typed
+//! values, plus [`value_to_vec`] / [`value_from_slice`] for raw `Value` trees
+//! (used by the property tests).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::de::DeserializeOwned;
+use serde::value::Value;
+use serde::Serialize;
+
+/// Type tag for [`Value::Null`].
+const TAG_NULL: u8 = 0x00;
+/// Type tag for [`Value::Bool`]`(false)`.
+const TAG_FALSE: u8 = 0x01;
+/// Type tag for [`Value::Bool`]`(true)`.
+const TAG_TRUE: u8 = 0x02;
+/// Type tag for [`Value::U64`]; payload is a LEB128 varint.
+const TAG_U64: u8 = 0x03;
+/// Type tag for [`Value::I64`]; payload is a zigzag LEB128 varint.
+const TAG_I64: u8 = 0x04;
+/// Type tag for [`Value::F64`]; payload is the 8-byte little-endian IEEE-754
+/// bit pattern.
+const TAG_F64: u8 = 0x05;
+/// Type tag for [`Value::Str`]; payload is a varint byte length + UTF-8.
+const TAG_STR: u8 = 0x06;
+/// Type tag for [`Value::Seq`]; payload is a varint count + elements.
+const TAG_SEQ: u8 = 0x07;
+/// Type tag for [`Value::Map`]; payload is a varint count + interned-key
+/// entries.
+const TAG_MAP: u8 = 0x08;
+/// Type tag for a packed byte sequence: a [`Value::Seq`] whose elements are
+/// all `U64 <= 255`, stored as a varint count + raw bytes.
+const TAG_BYTES: u8 = 0x09;
+/// Tags `0x80..=0xFF` encode `Value::U64(n)` for `n <= 127` inline as
+/// `0x80 | n`.
+const TAG_SMALL_U64: u8 = 0x80;
+
+/// Maximum nesting depth accepted by the decoder, guarding the stack against
+/// adversarial input from the network.
+const MAX_DEPTH: usize = 128;
+
+/// An error produced while encoding to or decoding from the binary format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A specialised `Result` for binary conversions.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialises a value to its binary encoding.
+///
+/// # Errors
+///
+/// Never fails for values producible by the shim's `Serialize` impls; the
+/// `Result` mirrors the `serde_json` entry points so call sites are
+/// format-agnostic.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    Ok(value_to_vec(&value.serialize_value()))
+}
+
+/// Deserialises a value from its binary encoding.
+///
+/// # Errors
+///
+/// Returns an error on malformed input, trailing bytes, or a mismatch between
+/// the decoded shape and the target type.
+pub fn from_slice<T: DeserializeOwned>(input: &[u8]) -> Result<T> {
+    let value = value_from_slice(input)?;
+    T::deserialize_value(&value).map_err(|e| Error::new(e.to_string()))
+}
+
+/// Encodes a raw [`Value`] tree.
+pub fn value_to_vec(value: &Value) -> Vec<u8> {
+    let mut enc = Encoder {
+        out: Vec::with_capacity(64),
+        keys: HashMap::new(),
+    };
+    enc.write_value(value);
+    enc.out
+}
+
+/// Decodes a raw [`Value`] tree, rejecting trailing bytes.
+///
+/// # Errors
+///
+/// Returns an error on truncated or malformed input, on nesting deeper than
+/// an internal limit, or if bytes remain after the value.
+pub fn value_from_slice(input: &[u8]) -> Result<Value> {
+    let mut dec = Decoder {
+        bytes: input,
+        pos: 0,
+        keys: Vec::new(),
+    };
+    let value = dec.read_value(0)?;
+    if dec.pos != dec.bytes.len() {
+        return Err(Error::new(format!(
+            "trailing bytes after value: {} consumed, {} present",
+            dec.pos,
+            dec.bytes.len()
+        )));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Encoder
+// ---------------------------------------------------------------------------
+
+struct Encoder {
+    out: Vec<u8>,
+    /// Per-message key dictionary: key string -> 1-based index.
+    keys: HashMap<String, u64>,
+}
+
+impl Encoder {
+    fn write_varint(&mut self, mut n: u64) {
+        loop {
+            let byte = (n & 0x7F) as u8;
+            n >>= 7;
+            if n == 0 {
+                self.out.push(byte);
+                return;
+            }
+            self.out.push(byte | 0x80);
+        }
+    }
+
+    fn write_value(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.out.push(TAG_NULL),
+            Value::Bool(false) => self.out.push(TAG_FALSE),
+            Value::Bool(true) => self.out.push(TAG_TRUE),
+            Value::U64(n) if *n <= 0x7F => self.out.push(TAG_SMALL_U64 | *n as u8),
+            Value::U64(n) => {
+                self.out.push(TAG_U64);
+                self.write_varint(*n);
+            }
+            Value::I64(n) => {
+                self.out.push(TAG_I64);
+                self.write_varint(zigzag(*n));
+            }
+            Value::F64(x) => {
+                self.out.push(TAG_F64);
+                self.out.extend_from_slice(&x.to_bits().to_le_bytes());
+            }
+            Value::Str(s) => {
+                self.out.push(TAG_STR);
+                self.write_varint(s.len() as u64);
+                self.out.extend_from_slice(s.as_bytes());
+            }
+            Value::Seq(items) => {
+                if !items.is_empty()
+                    && items
+                        .iter()
+                        .all(|i| matches!(i, Value::U64(n) if *n <= 0xFF))
+                {
+                    self.out.push(TAG_BYTES);
+                    self.write_varint(items.len() as u64);
+                    for item in items {
+                        match item {
+                            Value::U64(n) => self.out.push(*n as u8),
+                            _ => unreachable!("checked above"),
+                        }
+                    }
+                } else {
+                    self.out.push(TAG_SEQ);
+                    self.write_varint(items.len() as u64);
+                    for item in items {
+                        self.write_value(item);
+                    }
+                }
+            }
+            Value::Map(entries) => {
+                self.out.push(TAG_MAP);
+                self.write_varint(entries.len() as u64);
+                for (key, value) in entries {
+                    match self.keys.get(key) {
+                        Some(&idx) => self.write_varint(idx),
+                        None => {
+                            let idx = self.keys.len() as u64 + 1;
+                            self.keys.insert(key.clone(), idx);
+                            self.write_varint(0);
+                            self.write_varint(key.len() as u64);
+                            self.out.extend_from_slice(key.as_bytes());
+                        }
+                    }
+                    self.write_value(value);
+                }
+            }
+        }
+    }
+}
+
+/// Maps a signed integer to an unsigned one with small absolute values small:
+/// `0, -1, 1, -2, ...` become `0, 1, 2, 3, ...`.
+fn zigzag(n: i64) -> u64 {
+    ((n << 1) ^ (n >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+fn unzigzag(n: u64) -> i64 {
+    ((n >> 1) as i64) ^ -((n & 1) as i64)
+}
+
+// ---------------------------------------------------------------------------
+// Decoder
+// ---------------------------------------------------------------------------
+
+struct Decoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    /// Per-message key dictionary, in first-transmission order.
+    keys: Vec<String>,
+}
+
+impl<'a> Decoder<'a> {
+    fn bump(&mut self) -> Result<u8> {
+        let b = self
+            .bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error::new("unexpected end of binary input"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn read_varint(&mut self) -> Result<u64> {
+        let mut n: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.bump()?;
+            if shift == 63 && byte > 1 {
+                return Err(Error::new("varint overflows u64"));
+            }
+            n |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(n);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(Error::new("varint longer than 10 bytes"));
+            }
+        }
+    }
+
+    /// Reads a length that must not exceed the remaining input (each counted
+    /// item needs at least one byte), so counts can't force huge allocations.
+    fn read_len(&mut self, what: &str) -> Result<usize> {
+        let n = self.read_varint()?;
+        let remaining = (self.bytes.len() - self.pos) as u64;
+        if n > remaining {
+            return Err(Error::new(format!(
+                "{what} length {n} exceeds remaining input ({remaining} bytes)"
+            )));
+        }
+        Ok(n as usize)
+    }
+
+    fn read_exact(&mut self, len: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| Error::new("unexpected end of binary input"))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn read_string(&mut self, what: &str) -> Result<String> {
+        let len = self.read_len(what)?;
+        let bytes = self.read_exact(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| Error::new(format!("invalid UTF-8 in {what}: {e}")))
+    }
+
+    fn read_value(&mut self, depth: usize) -> Result<Value> {
+        if depth > MAX_DEPTH {
+            return Err(Error::new("value nesting exceeds maximum depth"));
+        }
+        let tag = self.bump()?;
+        if tag & TAG_SMALL_U64 != 0 {
+            return Ok(Value::U64(u64::from(tag & 0x7F)));
+        }
+        match tag {
+            TAG_NULL => Ok(Value::Null),
+            TAG_FALSE => Ok(Value::Bool(false)),
+            TAG_TRUE => Ok(Value::Bool(true)),
+            TAG_U64 => self.read_varint().map(Value::U64),
+            TAG_I64 => self.read_varint().map(|n| Value::I64(unzigzag(n))),
+            TAG_F64 => {
+                let bytes = self.read_exact(8)?;
+                let bits = u64::from_le_bytes(bytes.try_into().expect("8-byte slice"));
+                Ok(Value::F64(f64::from_bits(bits)))
+            }
+            TAG_STR => self.read_string("string").map(Value::Str),
+            TAG_SEQ => {
+                let count = self.read_len("sequence")?;
+                let mut items = Vec::with_capacity(count);
+                for _ in 0..count {
+                    items.push(self.read_value(depth + 1)?);
+                }
+                Ok(Value::Seq(items))
+            }
+            TAG_BYTES => {
+                let count = self.read_len("byte sequence")?;
+                let bytes = self.read_exact(count)?;
+                Ok(Value::Seq(
+                    bytes.iter().map(|&b| Value::U64(u64::from(b))).collect(),
+                ))
+            }
+            TAG_MAP => {
+                let count = self.read_len("map")?;
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let key_ref = self.read_varint()?;
+                    let key = if key_ref == 0 {
+                        let key = self.read_string("map key")?;
+                        self.keys.push(key.clone());
+                        key
+                    } else {
+                        self.keys
+                            .get(key_ref as usize - 1)
+                            .cloned()
+                            .ok_or_else(|| {
+                                Error::new(format!(
+                                    "map key reference {key_ref} out of range ({} interned)",
+                                    self.keys.len()
+                                ))
+                            })?
+                    };
+                    entries.push((key, self.read_value(depth + 1)?));
+                }
+                Ok(Value::Map(entries))
+            }
+            other => Err(Error::new(format!(
+                "unknown type tag 0x{other:02x} at byte {}",
+                self.pos - 1
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_value(v: &Value) {
+        let bytes = value_to_vec(v);
+        let back = value_from_slice(&bytes).expect("decode");
+        assert_eq!(&back, v, "round-trip mismatch for encoding {bytes:?}");
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Value::Null,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::U64(0),
+            Value::U64(127),
+            Value::U64(128),
+            Value::U64(u64::MAX),
+            Value::I64(0),
+            Value::I64(-1),
+            Value::I64(i64::MIN),
+            Value::I64(i64::MAX),
+            Value::F64(0.1),
+            Value::F64(-1.5e300),
+            Value::Str(String::new()),
+            Value::Str("unicode ✓ épée 😀".into()),
+        ] {
+            round_trip_value(&v);
+        }
+    }
+
+    #[test]
+    fn small_ints_are_one_byte() {
+        assert_eq!(value_to_vec(&Value::U64(0)), vec![0x80]);
+        assert_eq!(value_to_vec(&Value::U64(127)), vec![0xFF]);
+        assert_eq!(value_to_vec(&Value::U64(128)), vec![TAG_U64, 0x80, 0x01]);
+    }
+
+    #[test]
+    fn byte_seqs_are_packed() {
+        let v = Value::Seq((0..=255u64).map(Value::U64).collect());
+        let bytes = value_to_vec(&v);
+        assert_eq!(bytes[0], TAG_BYTES);
+        // tag + 2-byte varint count + 256 raw bytes.
+        assert_eq!(bytes.len(), 1 + 2 + 256);
+        round_trip_value(&v);
+        // A 256-valued element forces the general Seq encoding.
+        let v = Value::Seq(vec![Value::U64(256)]);
+        assert_eq!(value_to_vec(&v)[0], TAG_SEQ);
+        round_trip_value(&v);
+        // The empty Seq stays a Seq.
+        let v = Value::Seq(vec![]);
+        assert_eq!(value_to_vec(&v), vec![TAG_SEQ, 0]);
+        round_trip_value(&v);
+    }
+
+    #[test]
+    fn repeated_map_keys_are_interned() {
+        let entry = Value::Map(vec![
+            ("alpha".into(), Value::U64(1)),
+            ("beta".into(), Value::U64(2)),
+        ]);
+        let seq = Value::Seq(vec![entry.clone(); 10]);
+        let bytes = value_to_vec(&seq);
+        // Each key's bytes appear exactly once in the encoding.
+        let count = |needle: &[u8]| bytes.windows(needle.len()).filter(|w| *w == needle).count();
+        assert_eq!(count(b"alpha"), 1);
+        assert_eq!(count(b"beta"), 1);
+        round_trip_value(&seq);
+    }
+
+    #[test]
+    fn nested_containers_round_trip() {
+        let v = Value::Map(vec![
+            (
+                "seq".into(),
+                Value::Seq(vec![Value::Null, Value::Bool(true), Value::I64(-7)]),
+            ),
+            (
+                "map".into(),
+                Value::Map(vec![("seq".into(), Value::Str("shared key".into()))]),
+            ),
+        ]);
+        round_trip_value(&v);
+    }
+
+    #[test]
+    fn typed_round_trip_matches_json_shim() {
+        let v = vec![1u64, 2, 300];
+        let bytes = to_vec(&v).unwrap();
+        assert_eq!(from_slice::<Vec<u64>>(&bytes).unwrap(), v);
+        let o: Option<String> = Some("x".into());
+        let bytes = to_vec(&o).unwrap();
+        assert_eq!(from_slice::<Option<String>>(&bytes).unwrap(), o);
+    }
+
+    #[test]
+    fn malformed_input_is_rejected() {
+        // Truncated varint.
+        assert!(value_from_slice(&[TAG_U64, 0x80]).is_err());
+        // Truncated string.
+        assert!(value_from_slice(&[TAG_STR, 5, b'a']).is_err());
+        // Length exceeding input.
+        assert!(value_from_slice(&[TAG_SEQ, 0xFF, 0x7F]).is_err());
+        // Unknown tag.
+        assert!(value_from_slice(&[0x0A]).is_err());
+        // Bad key reference.
+        assert!(value_from_slice(&[TAG_MAP, 1, 2, TAG_NULL]).is_err());
+        // Trailing bytes.
+        assert!(value_from_slice(&[TAG_NULL, TAG_NULL]).is_err());
+        // Empty input.
+        assert!(value_from_slice(&[]).is_err());
+        // Varint overflowing u64 (11 continuation bytes).
+        let overlong = [0xFF; 11];
+        let mut buf = vec![TAG_U64];
+        buf.extend_from_slice(&overlong);
+        assert!(value_from_slice(&buf).is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected() {
+        let mut v = Value::Null;
+        for _ in 0..200 {
+            v = Value::Seq(vec![v]);
+        }
+        let bytes = value_to_vec(&v);
+        assert!(value_from_slice(&bytes).is_err());
+    }
+
+    #[test]
+    fn zigzag_is_an_involution_on_edges() {
+        for n in [0i64, -1, 1, i64::MIN, i64::MAX, -1234567890123] {
+            assert_eq!(unzigzag(zigzag(n)), n);
+        }
+    }
+}

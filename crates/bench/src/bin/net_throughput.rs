@@ -3,7 +3,7 @@
 //! `BENCH_throughput.json` trajectory.
 //!
 //! ```text
-//! net_throughput [--smoke] [--messages N] [--out FILE]
+//! net_throughput [--smoke] [--messages N] [--wire binary|json|both] [--out FILE]
 //! ```
 //!
 //! Each measured point launches a fresh 2-group × 3-replica white-box cluster
@@ -11,11 +11,17 @@
 //! closed-loop client) over loopback TCP, runs the client to completion and
 //! parses its summary. One JSON record per point is appended to
 //! `BENCH_net.json` (same record shape as the simulated benches, environment
-//! `"loopback-tcp"`). Unlike the simulated benches, these numbers include
-//! real syscalls, real framing and real scheduler noise.
+//! `"loopback-tcp"`, `wire` naming the codec). Unlike the simulated benches,
+//! these numbers include real syscalls, real framing and real scheduler noise.
 //!
-//! `--smoke` shrinks the per-point message count for CI and gates on basic
-//! sanity (every point completed, non-zero throughput).
+//! Every point runs a warm-up pass first (`wbamd --warmup`): the client's
+//! dials, preamble exchanges and first protocol round-trips complete before
+//! the measured window opens, so short runs are not polluted by one-time
+//! connection cost.
+//!
+//! `--wire` selects the codec(s) to measure (default `binary`; `both` runs
+//! the whole sweep twice). `--smoke` shrinks the per-point message count for
+//! CI and gates on basic sanity (every point completed, non-zero throughput).
 //!
 //! The `wbamd` binary is expected next to this one in the target directory:
 //! build it first with `cargo build --release -p wbam-harness --bin wbamd`.
@@ -25,7 +31,7 @@ use std::process::{Command, Stdio};
 
 use wbam_bench::header;
 use wbam_harness::{BenchRecord, ChildGuard, ClientSummary, DeploySpec, Protocol};
-use wbam_types::wire::from_json;
+use wbam_types::wire::{from_json, WireCodec};
 
 struct Config {
     label: &'static str,
@@ -71,6 +77,23 @@ const CONFIGS: &[Config] = &[
         max_batch: 16,
         batch_delay_ms: 1,
     },
+    Config {
+        label: "1-group, 64 outstanding",
+        dest_groups: 1,
+        outstanding: 64,
+        max_batch: 1,
+        batch_delay_ms: 0,
+    },
+    // The peak-throughput shape on a small host: a deep closed-loop pipeline
+    // with large protocol batches, so the per-message cost is almost entirely
+    // amortized (one coalesced handoff and one socket write per batch).
+    Config {
+        label: "1-group, 512 outstanding, batch 128",
+        dest_groups: 1,
+        outstanding: 512,
+        max_batch: 128,
+        batch_delay_ms: 1,
+    },
 ];
 
 fn wbamd_path() -> PathBuf {
@@ -84,9 +107,16 @@ fn wbamd_path() -> PathBuf {
     path
 }
 
-fn run_point(wbamd: &PathBuf, dir: &std::path::Path, cfg: &Config, messages: u64) -> ClientSummary {
+fn run_point(
+    wbamd: &PathBuf,
+    dir: &std::path::Path,
+    cfg: &Config,
+    codec: WireCodec,
+    messages: u64,
+) -> ClientSummary {
     let mut spec = DeploySpec::loopback_free_ports(Protocol::WhiteBox, 2, 3, 1)
         .expect("reserve loopback ports");
+    spec.wire = Some(codec.name().to_string());
     spec.max_batch = cfg.max_batch;
     spec.batch_delay_ms = cfg.batch_delay_ms;
     // Benchmarks never kill processes; a conservatively long election timeout
@@ -114,6 +144,10 @@ fn run_point(wbamd: &PathBuf, dir: &std::path::Path, cfg: &Config, messages: u64
     }
 
     let dest = if cfg.dest_groups == 1 { "0" } else { "0,1" };
+    // Enough warm-up traffic to dial every connection and drain the first
+    // protocol round-trips before the measured window opens; scaled with the
+    // pipeline depth so deeper pipelines also reach steady state.
+    let warmup = (cfg.outstanding * 4).max(32);
     let summary_path = dir.join("summary.json");
     let status = Command::new(wbamd)
         .arg("--spec")
@@ -122,6 +156,8 @@ fn run_point(wbamd: &PathBuf, dir: &std::path::Path, cfg: &Config, messages: u64
         .arg("6")
         .arg("--multicast")
         .arg(messages.to_string())
+        .arg("--warmup")
+        .arg(warmup.to_string())
         .arg("--outstanding")
         .arg(cfg.outstanding.to_string())
         .arg("--dest")
@@ -142,6 +178,7 @@ fn main() {
     let smoke = args.iter().any(|a| a == "--smoke");
     let mut messages: u64 = if smoke { 200 } else { 2000 };
     let mut out = "BENCH_net.json".to_string();
+    let mut wire = "binary".to_string();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -152,10 +189,16 @@ fn main() {
                     .expect("--messages N");
             }
             "--out" => out = iter.next().expect("--out FILE").clone(),
+            "--wire" => wire = iter.next().expect("--wire binary|json|both").clone(),
             "--smoke" => {}
             other => panic!("unknown argument {other:?}"),
         }
     }
+    let codecs: Vec<WireCodec> = match wire.as_str() {
+        "both" => vec![WireCodec::Binary, WireCodec::Json],
+        name => vec![WireCodec::from_name(name)
+            .unwrap_or_else(|| panic!("unknown --wire {name:?} (expected binary, json or both)"))],
+    };
 
     header("Loopback TCP deployment: closed-loop throughput & latency");
     println!(
@@ -163,8 +206,8 @@ fn main() {
         messages
     );
     println!(
-        "{:<36} {:>12} {:>10} {:>10} {:>10}",
-        "configuration", "msg/s", "p50 ms", "p99 ms", "mean ms"
+        "{:<36} {:>7} {:>12} {:>10} {:>10} {:>10}",
+        "configuration", "wire", "msg/s", "p50 ms", "p99 ms", "mean ms"
     );
 
     let wbamd = wbamd_path();
@@ -172,34 +215,38 @@ fn main() {
     std::fs::create_dir_all(&dir).expect("create temp dir");
 
     let mut records = Vec::new();
-    for cfg in CONFIGS {
-        let summary = run_point(&wbamd, &dir, cfg, messages);
-        assert_eq!(summary.completed, messages, "{}: incomplete run", cfg.label);
-        assert!(
-            summary.throughput_msg_s > 0.0,
-            "{}: zero throughput",
-            cfg.label
-        );
-        println!(
-            "{:<36} {:>12.1} {:>10.3} {:>10.3} {:>10.3}",
-            cfg.label,
-            summary.throughput_msg_s,
-            summary.latency_p50_ms,
-            summary.latency_p99_ms,
-            summary.latency_mean_ms
-        );
-        records.push(BenchRecord {
-            bench: "net_throughput".to_string(),
-            environment: "loopback-tcp".to_string(),
-            protocol: Protocol::WhiteBox.label().to_string(),
-            max_batch: cfg.max_batch,
-            clients: 1,
-            dest_groups: cfg.dest_groups,
-            throughput_msg_s: summary.throughput_msg_s,
-            latency_p50_ms: summary.latency_p50_ms,
-            latency_p99_ms: summary.latency_p99_ms,
-            latency_mean_ms: summary.latency_mean_ms,
-        });
+    for &codec in &codecs {
+        for cfg in CONFIGS {
+            let summary = run_point(&wbamd, &dir, cfg, codec, messages);
+            assert_eq!(summary.completed, messages, "{}: incomplete run", cfg.label);
+            assert!(
+                summary.throughput_msg_s > 0.0,
+                "{}: zero throughput",
+                cfg.label
+            );
+            println!(
+                "{:<36} {:>7} {:>12.1} {:>10.3} {:>10.3} {:>10.3}",
+                cfg.label,
+                codec.name(),
+                summary.throughput_msg_s,
+                summary.latency_p50_ms,
+                summary.latency_p99_ms,
+                summary.latency_mean_ms
+            );
+            records.push(BenchRecord {
+                bench: "net_throughput".to_string(),
+                environment: "loopback-tcp".to_string(),
+                wire: Some(codec.name().to_string()),
+                protocol: Protocol::WhiteBox.label().to_string(),
+                max_batch: cfg.max_batch,
+                clients: 1,
+                dest_groups: cfg.dest_groups,
+                throughput_msg_s: summary.throughput_msg_s,
+                latency_p50_ms: summary.latency_p50_ms,
+                latency_p99_ms: summary.latency_p99_ms,
+                latency_mean_ms: summary.latency_mean_ms,
+            });
+        }
     }
     let _ = std::fs::remove_dir_all(&dir);
 

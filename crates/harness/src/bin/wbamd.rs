@@ -1,13 +1,17 @@
 //! `wbamd` — one WBAM cluster process (a replica or a client) over real TCP.
 //!
 //! ```text
-//! wbamd --spec cluster.json --id N [--restart] [--deliveries FILE]
+//! wbamd --spec cluster.json --id N [--restart] [--wire binary|json]
+//!       [--deliveries FILE]
 //!       [--multicast N [--outstanding K] [--dest g0,g1] [--payload BYTES]
-//!        [--first-seq S] [--summary FILE]]
+//!        [--warmup W] [--first-seq S] [--summary FILE]]
 //! ```
 //!
 //! Every process of a cluster is started with the same
-//! [`DeploySpec`] JSON file and its own `--id`.
+//! [`DeploySpec`] JSON file and its own `--id`. `--wire` overrides the
+//! spec's wire codec (compact binary by default, `json` for debuggable
+//! frames); all processes must agree or the connection preamble rejects the
+//! mismatch with a clear error.
 //! Replica processes run until killed, appending one
 //! [`DeliveryLine`] JSON line per delivery to
 //! `--deliveries` (flushed per line, so an orchestrator can tail it and a
@@ -19,8 +23,11 @@
 //! Client processes (`--multicast`) drive a closed-loop workload: keep
 //! `--outstanding` multicasts in flight until `--multicast` of them complete,
 //! then write a [`ClientSummary`] JSON object to
-//! `--summary` and exit 0. `--first-seq` lets successive client invocations
-//! of the same process id keep message identifiers unique.
+//! `--summary` and exit 0. `--warmup` runs that many extra multicasts (same
+//! closed loop, same destinations) *before* the measured window opens, so
+//! connection dials and preamble handshakes land in the warm-up instead of
+//! polluting the recorded throughput. `--first-seq` lets successive client
+//! invocations of the same process id keep message identifiers unique.
 
 use std::fs::OpenOptions;
 use std::io::Write as _;
@@ -42,11 +49,13 @@ struct Args {
     spec: String,
     id: u32,
     restart: bool,
+    wire: Option<String>,
     deliveries: Option<String>,
     multicast: Option<u64>,
     outstanding: u64,
     dest: Option<Vec<GroupId>>,
     payload: usize,
+    warmup: u64,
     first_seq: u64,
     summary: Option<String>,
 }
@@ -58,11 +67,13 @@ fn parse_args() -> Result<Args, String> {
         spec: String::new(),
         id: 0,
         restart: false,
+        wire: None,
         deliveries: None,
         multicast: None,
         outstanding: 1,
         dest: None,
         payload: 20,
+        warmup: 0,
         first_seq: 0,
         summary: None,
     };
@@ -82,6 +93,13 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--restart" => args.restart = true,
+            "--wire" => {
+                let name = value("--wire")?;
+                if wbam_types::wire::WireCodec::from_name(&name).is_none() {
+                    return Err(format!("--wire {name:?}: expected \"binary\" or \"json\""));
+                }
+                args.wire = Some(name);
+            }
             "--deliveries" => args.deliveries = Some(value("--deliveries")?),
             "--multicast" => {
                 let count: u64 = value("--multicast")?
@@ -113,6 +131,11 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--payload: {e}"))?;
             }
+            "--warmup" => {
+                args.warmup = value("--warmup")?
+                    .parse()
+                    .map_err(|e| format!("--warmup: {e}"))?;
+            }
             "--first-seq" => {
                 args.first_seq = value("--first-seq")?
                     .parse()
@@ -121,9 +144,10 @@ fn parse_args() -> Result<Args, String> {
             "--summary" => args.summary = Some(value("--summary")?),
             "--help" | "-h" => {
                 return Err(
-                    "usage: wbamd --spec FILE --id N [--restart] [--deliveries FILE] \
+                    "usage: wbamd --spec FILE --id N [--restart] [--wire binary|json] \
+                     [--deliveries FILE] \
                      [--multicast N [--outstanding K] [--dest g0,g1] [--payload BYTES] \
-                     [--first-seq S] [--summary FILE]]"
+                     [--warmup W] [--first-seq S] [--summary FILE]]"
                         .to_string(),
                 )
             }
@@ -200,13 +224,13 @@ where
     let id = node.id();
     let total = args.multicast.unwrap_or(0);
     let mut next_seq = args.first_seq;
-    let mut submitted = 0u64;
     let mut submit_times: std::collections::BTreeMap<MsgId, Duration> =
         std::collections::BTreeMap::new();
     let mut latencies: Vec<Duration> = Vec::new();
     let mut first_submit: Option<Duration> = None;
     let mut last_completion = Duration::ZERO;
     let mut last_progress = Instant::now();
+    let mut seen = 0u64;
 
     let submit_one = |node: &TcpNode<M>,
                       next_seq: &mut u64,
@@ -225,47 +249,66 @@ where
         ))
     };
 
-    while submitted < total && submitted < args.outstanding {
-        submit_one(&node, &mut next_seq, &mut submit_times, &mut first_submit)?;
-        submitted += 1;
-    }
-
-    let mut seen = 0u64;
-    while (latencies.len() as u64) < total {
-        // Block on the delivery log's condvar (no poll-loop latency); the
-        // short timeout only bounds how often the stall check runs.
-        node.wait_for_total(seen + 1, Duration::from_millis(100));
-        let completions = node.drain_deliveries();
-        if completions.is_empty() {
-            if last_progress.elapsed() > CLIENT_STALL_TIMEOUT {
-                return Err(WbamError::NotReady {
-                    process: id,
-                    reason: format!(
-                        "no completion for {CLIENT_STALL_TIMEOUT:?} ({} of {total} done)",
-                        latencies.len()
-                    ),
-                });
-            }
+    // Two closed-loop phases over the same machinery: an unmeasured warm-up
+    // (establishes every connection and preamble handshake on the request
+    // path, fully drained before the clock starts) and the measured run. The
+    // first recorded completion therefore never pays a dial.
+    for (count, measured) in [(args.warmup, false), (total, true)] {
+        if count == 0 {
             continue;
         }
-        seen += completions.len() as u64;
-        last_progress = Instant::now();
-        for d in completions {
-            let msg_id = d.delivery.msg.id;
-            sink.write(&DeliveryLine::new(
-                id,
-                msg_id,
-                d.delivery.global_ts,
-                d.elapsed,
-            ))?;
-            let Some(at) = submit_times.remove(&msg_id) else {
-                continue; // duplicate completion
-            };
-            latencies.push(d.elapsed.saturating_sub(at));
-            last_completion = d.elapsed;
-            if submitted < total {
-                submit_one(&node, &mut next_seq, &mut submit_times, &mut first_submit)?;
-                submitted += 1;
+        if measured {
+            latencies.clear();
+            first_submit = None;
+            last_completion = Duration::ZERO;
+        }
+        let mut submitted = 0u64;
+        let mut done = 0u64;
+        while submitted < count && submitted < args.outstanding {
+            submit_one(&node, &mut next_seq, &mut submit_times, &mut first_submit)?;
+            submitted += 1;
+        }
+        while done < count {
+            // Block on the delivery log's condvar (no poll-loop latency); the
+            // short timeout only bounds how often the stall check runs.
+            node.wait_for_total(seen + 1, Duration::from_millis(100));
+            let completions = node.drain_deliveries();
+            if completions.is_empty() {
+                if last_progress.elapsed() > CLIENT_STALL_TIMEOUT {
+                    return Err(WbamError::NotReady {
+                        process: id,
+                        reason: format!(
+                            "no completion for {CLIENT_STALL_TIMEOUT:?} ({done} of {count} done{})",
+                            if measured { "" } else { " in warm-up" }
+                        ),
+                    });
+                }
+                continue;
+            }
+            seen += completions.len() as u64;
+            last_progress = Instant::now();
+            for d in completions {
+                let msg_id = d.delivery.msg.id;
+                if measured {
+                    sink.write(&DeliveryLine::new(
+                        id,
+                        msg_id,
+                        d.delivery.global_ts,
+                        d.elapsed,
+                    ))?;
+                }
+                let Some(at) = submit_times.remove(&msg_id) else {
+                    continue; // duplicate completion
+                };
+                done += 1;
+                if measured {
+                    latencies.push(d.elapsed.saturating_sub(at));
+                    last_completion = d.elapsed;
+                }
+                if submitted < count {
+                    submit_one(&node, &mut next_seq, &mut submit_times, &mut first_submit)?;
+                    submitted += 1;
+                }
             }
         }
     }
@@ -308,6 +351,12 @@ fn run() -> Result<(), WbamError> {
     let id = ProcessId(args.id);
     let role = spec.role_of(id)?;
     let addrs = spec.addr_map()?;
+    let codec = match &args.wire {
+        Some(name) => {
+            wbam_types::wire::WireCodec::from_name(name).expect("validated by parse_args")
+        }
+        None => spec.wire_codec()?,
+    };
     let sink = JsonlSink::open(args.deliveries.as_deref())?;
     let dest = args
         .dest
@@ -326,11 +375,17 @@ fn run() -> Result<(), WbamError> {
         (DeployRole::Replica(_), None) => match spec.protocol()? {
             wbam_harness::Protocol::WhiteBox => {
                 let node: BoxedNode<_> = Box::new(spec.whitebox_replica(id)?);
-                run_replica(TcpNode::spawn(node, &addrs, args.restart)?, sink)
+                run_replica(
+                    TcpNode::spawn_with_codec(node, &addrs, args.restart, codec)?,
+                    sink,
+                )
             }
             _ => {
                 let node: BoxedNode<_> = Box::new(spec.baseline_replica(id)?);
-                run_replica(TcpNode::spawn(node, &addrs, args.restart)?, sink)
+                run_replica(
+                    TcpNode::spawn_with_codec(node, &addrs, args.restart, codec)?,
+                    sink,
+                )
             }
         },
         (DeployRole::Client, Some(_)) => {
@@ -338,7 +393,7 @@ fn run() -> Result<(), WbamError> {
                 wbam_harness::Protocol::WhiteBox => {
                     let node: BoxedNode<_> = Box::new(spec.whitebox_client(id)?);
                     run_client(
-                        TcpNode::spawn(node, &addrs, args.restart)?,
+                        TcpNode::spawn_with_codec(node, &addrs, args.restart, codec)?,
                         &args,
                         dest,
                         sink,
@@ -347,7 +402,7 @@ fn run() -> Result<(), WbamError> {
                 _ => {
                     let node: BoxedNode<_> = Box::new(spec.baseline_client(id)?);
                     run_client(
-                        TcpNode::spawn(node, &addrs, args.restart)?,
+                        TcpNode::spawn_with_codec(node, &addrs, args.restart, codec)?,
                         &args,
                         dest,
                         sink,

@@ -93,6 +93,7 @@ impl SweepPoint {
         BenchRecord {
             bench: bench.to_string(),
             environment: environment.to_string(),
+            wire: None,
             protocol: self.protocol.clone(),
             max_batch: self.max_batch,
             clients: self.clients,
@@ -114,6 +115,10 @@ pub struct BenchRecord {
     pub bench: String,
     /// Environment label (`lan`, `wan`, ...).
     pub environment: String,
+    /// Wire codec the cluster ran with (`"binary"` or `"json"`). `None` for
+    /// simulated benches, which exchange in-memory values and never hit a
+    /// serialiser. Old records without the field parse as `None`.
+    pub wire: Option<String>,
     /// Protocol label.
     pub protocol: String,
     /// Batch-size knob (1 = unbatched).
@@ -332,6 +337,14 @@ mod tests {
         let json = serde_json::to_string(&record).unwrap();
         let back: BenchRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(back, record);
+
+        // Records written before the `wire` field existed must keep parsing
+        // (the field is absent in BENCH_*.json lines from earlier runs).
+        let legacy = json.replacen("\"wire\":null,", "", 1);
+        assert_ne!(legacy, json, "expected to strip the wire field");
+        let old: BenchRecord = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(old.wire, None);
+        assert_eq!(old, record);
 
         let path =
             std::env::temp_dir().join(format!("wbam_bench_test_{}.json", std::process::id()));

@@ -7,8 +7,9 @@
 //! surviving quorum, restarts the victim with `--restart` (a fresh process on
 //! the same address, like a redeployment), and asserts that every replica —
 //! including the rejoined one — delivered every message in the identical
-//! order. This is the CI `net-smoke` job and the paper-gap closer for
-//! "simulated, not deployed".
+//! order. The scenario runs once per wire codec (binary and JSON), so both
+//! framing paths stay deployable. This is the CI `net-smoke` job and the
+//! paper-gap closer for "simulated, not deployed".
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -16,7 +17,7 @@ use std::process::{Command, Stdio};
 use std::time::{Duration, Instant};
 
 use wbam_harness::{ChildGuard, ClientSummary, DeliveryLine, DeploySpec, Protocol};
-use wbam_types::wire::from_json;
+use wbam_types::wire::{from_json, WireCodec};
 use wbam_types::MsgId;
 
 /// The running cluster: every replica child is wrapped in a [`ChildGuard`],
@@ -111,13 +112,17 @@ fn wait_for_lines(path: &Path, count: usize, timeout: Duration) -> Vec<MsgId> {
     }
 }
 
-#[test]
-fn tcp_process_cluster_survives_kill_and_restart() {
-    let dir = std::env::temp_dir().join(format!("wbam-net-smoke-{}", std::process::id()));
+fn kill_and_restart_scenario(codec: WireCodec) {
+    let dir = std::env::temp_dir().join(format!(
+        "wbam-net-smoke-{}-{}",
+        codec.name(),
+        std::process::id()
+    ));
     std::fs::create_dir_all(&dir).expect("create temp dir");
 
     let mut spec = DeploySpec::loopback_free_ports(Protocol::WhiteBox, 2, 3, 1)
         .expect("reserve loopback ports");
+    spec.wire = Some(codec.name().to_string());
     // Generous failure-detector timing: CI runners schedule seven processes'
     // worth of threads, and a spurious election would only slow the test.
     spec.heartbeat_ms = 100;
@@ -137,6 +142,14 @@ fn tcp_process_cluster_survives_kill_and_restart() {
     // Phase 1: 20 cross-group multicasts against the full cluster.
     let s1 = run_client(&cluster, 6, 20, 0);
     assert_eq!(s1.completed, 20);
+
+    // The client completing does not mean every *follower* has delivered:
+    // completions come from the destination leaders, and the trailing
+    // COMMITs race the kill below. Wait for the victim to log all of phase 1
+    // first — the final assertion relies on its pre-kill log being a
+    // 20-message prefix.
+    let pre = wait_for_lines(&deliveries_path(&dir, "p1"), 20, Duration::from_secs(60));
+    assert_eq!(pre.len(), 20, "victim logged {} of phase 1", pre.len());
 
     // SIGKILL a follower of group 0 (dropping its guard kills and reaps the
     // process). The remaining 2-of-3 quorum (and all of group 1) must keep
@@ -180,4 +193,14 @@ fn tcp_process_cluster_survives_kill_and_restart() {
         pre_kill.len()
     );
     assert_eq!(pre_kill[..], reference[..pre_kill.len()]);
+}
+
+#[test]
+fn tcp_process_cluster_survives_kill_and_restart() {
+    kill_and_restart_scenario(WireCodec::Binary);
+}
+
+#[test]
+fn tcp_process_cluster_survives_kill_and_restart_json_wire() {
+    kill_and_restart_scenario(WireCodec::Json);
 }

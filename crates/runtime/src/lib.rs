@@ -13,10 +13,11 @@
 //!   transport is an in-process channel per node ([`ChannelTransport`]).
 //!   Ideal for embedding a whole cluster in one service or test.
 //! * [`TcpNode`] — one node per OS process, the transport is real TCP with
-//!   `wbam_types::wire` framing, per-peer writer threads and
-//!   reconnect-with-backoff ([`tcp::TcpTransport`]). This is what the
-//!   `wbamd` deployment binary (in `wbam-harness`) runs; see `crates/harness`
-//!   for the cluster topology spec.
+//!   `wbam_types::wire` framing (compact binary by default, JSON behind
+//!   `--wire json`), driven by a single nonblocking poller thread with
+//!   coalesced writes and reconnect-with-backoff ([`tcp::TcpTransport`]).
+//!   This is what the `wbamd` deployment binary (in `wbam-harness`) runs; see
+//!   `crates/harness` for the cluster topology spec.
 //!
 //! # Example
 //!
@@ -113,6 +114,20 @@ impl DeliveryLog {
         let mut state = self.state.lock().expect("delivery log poisoned");
         state.buffered.push(delivery);
         state.total += 1;
+        self.newly_delivered.notify_all();
+    }
+
+    /// Appends a batch of deliveries under a single lock acquisition, waking
+    /// waiters once. The node event loop hands over all deliveries of one
+    /// protocol step through this, so the hot path takes the log mutex at
+    /// most once per event instead of once per delivery.
+    pub fn push_many(&self, deliveries: Vec<RuntimeDelivery>) {
+        if deliveries.is_empty() {
+            return;
+        }
+        let mut state = self.state.lock().expect("delivery log poisoned");
+        state.total += deliveries.len() as u64;
+        state.buffered.extend(deliveries);
         self.newly_delivered.notify_all();
     }
 

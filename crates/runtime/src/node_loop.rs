@@ -38,6 +38,11 @@ pub(crate) enum Envelope<M> {
     Shutdown,
 }
 
+/// Upper bound on envelopes coalesced into one pass of the node loop: large
+/// enough to amortize the transport handoff across a busy burst, small enough
+/// that due timers (checked between passes) never wait long.
+const MAX_ENVELOPE_BATCH: usize = 256;
+
 struct PendingTimer {
     deadline: Instant,
     id: TimerId,
@@ -77,14 +82,21 @@ pub(crate) fn run_node<M, T>(
     let mut timers: BinaryHeap<PendingTimer> = BinaryHeap::new();
     let mut generations: HashMap<TimerId, u64> = HashMap::new();
 
+    // The hot path is one queue handoff per event: sends are batched into a
+    // single `Transport::send_many` call (for the TCP transport, one command
+    // into the poller thread's channel) and deliveries into a single
+    // `DeliveryLog::push_many` (one mutex acquisition), instead of paying the
+    // handoff per message.
     let execute = |actions: Vec<Action<M>>,
                    timers: &mut BinaryHeap<PendingTimer>,
                    generations: &mut HashMap<TimerId, u64>| {
+        let mut sends: Vec<(wbam_types::ProcessId, M)> = Vec::new();
+        let mut delivered: Vec<RuntimeDelivery> = Vec::new();
         for action in actions {
             match action {
-                Action::Send { to, msg } => transport.send(to, msg),
+                Action::Send { to, msg } => sends.push((to, msg)),
                 Action::Deliver(delivery) => {
-                    deliveries.push(RuntimeDelivery {
+                    delivered.push(RuntimeDelivery {
                         process: my_id,
                         delivery,
                         elapsed: started.elapsed(),
@@ -103,6 +115,10 @@ pub(crate) fn run_node<M, T>(
                 }
             }
         }
+        if !sends.is_empty() {
+            transport.send_many(sends);
+        }
+        deliveries.push_many(delivered);
     };
 
     // Initialise the node.
@@ -140,16 +156,44 @@ pub(crate) fn run_node<M, T>(
             Err(crossbeam_channel::RecvTimeoutError::Timeout) => continue,
             Err(crossbeam_channel::RecvTimeoutError::Disconnected) => break,
         };
-        let elapsed = started.elapsed();
-        let actions = match envelope {
-            Envelope::Shutdown => break,
-            Envelope::FromPeer { from, msg } => {
-                node.on_event(elapsed, Event::Message { from, msg })
+        // Coalesce a burst: everything already queued behind the first
+        // envelope is processed in the same pass, so one busy stretch costs
+        // one `send_many` handoff (one poller wakeup) and one `push_many`
+        // instead of paying both per message. Bounded so timers never starve.
+        let mut batch = Vec::with_capacity(8);
+        batch.push(envelope);
+        while batch.len() < MAX_ENVELOPE_BATCH {
+            match rx.try_recv() {
+                Ok(e) => batch.push(e),
+                Err(_) => break,
             }
-            Envelope::Submit(msg) => node.on_event(elapsed, Event::Multicast(msg)),
-            Envelope::BecomeLeader => node.on_event(elapsed, Event::BecomeLeader),
-            Envelope::Restart => node.on_event(elapsed, Event::Restart),
-        };
+        }
+        let mut stop = false;
+        let mut actions = Vec::new();
+        for envelope in batch {
+            let elapsed = started.elapsed();
+            match envelope {
+                Envelope::Shutdown => {
+                    stop = true;
+                    break;
+                }
+                Envelope::FromPeer { from, msg } => {
+                    actions.extend(node.on_event(elapsed, Event::Message { from, msg }));
+                }
+                Envelope::Submit(msg) => {
+                    actions.extend(node.on_event(elapsed, Event::Multicast(msg)));
+                }
+                Envelope::BecomeLeader => {
+                    actions.extend(node.on_event(elapsed, Event::BecomeLeader));
+                }
+                Envelope::Restart => {
+                    actions.extend(node.on_event(elapsed, Event::Restart));
+                }
+            }
+        }
         execute(actions, &mut timers, &mut generations);
+        if stop {
+            break;
+        }
     }
 }

@@ -8,14 +8,33 @@
 //! at the cost of one extra socket per pair — irrelevant at the cluster sizes
 //! atomic multicast targets.
 //!
-//! Framing is `wbam_types::wire` (`u32` big-endian length + JSON body). The
-//! first frame on every connection is a `Hello` handshake identifying the
-//! dialling process; all subsequent frames carry protocol messages. A writer
-//! that loses its connection reconnects with exponential backoff and re-sends
-//! the frame that failed, so a restarted peer process rejoins exactly like
-//! the simulator's `Event::Restart` path: messages sent while it was down are
-//! either queued behind the reconnect or dropped with the dead connection,
-//! and the protocols' retry timers recover — the fair-lossy link model.
+//! All of a process's network IO is driven by **one nonblocking poller
+//! thread** (see `WIRE.md` and DESIGN.md): it accepts inbound connections,
+//! drains readable sockets, dials peers with exponential backoff, and flushes
+//! per-peer output buffers with coalesced writes — a whole burst of frames
+//! queued by the node thread goes out in one `write` call, so protocol
+//! batches stay batched on the socket. The node thread hands frames to the
+//! poller through a single command channel; the poller parks in a short
+//! `recv_timeout` on that channel when idle (sends wake it instantly, the
+//! wait adaptively backs off when the process is quiet), so nothing ever
+//! busy-spins. This replaces the earlier two-OS-threads-per-peer design: a
+//! six-replica deployment now runs two threads per process (node + poller)
+//! instead of ten or more.
+//!
+//! Framing is `wbam_types::wire`: each connection opens with the 4-byte
+//! preamble (`"WB"` magic, wire version, codec byte) and a `Hello` frame
+//! identifying the dialling process, then carries length-prefixed protocol
+//! frames encoded with the negotiated [`WireCodec`] — compact binary by
+//! default, JSON behind the `wbamd --wire json` compatibility flag. A peer
+//! whose preamble disagrees (wrong codec, wrong version, not a WBAM process
+//! at all) is rejected immediately with a clear error on stderr, so a
+//! mixed-codec cluster fails fast instead of surfacing as garbled frames.
+//!
+//! Connection loss follows the fair-lossy link model the protocols are
+//! designed for: bytes in flight die with the connection, frames queued while
+//! a peer is down are capped and flushed after the reconnect (with backoff),
+//! and the protocols' retry timers recover whatever was lost — so a restarted
+//! peer process rejoins exactly like the simulator's `Event::Restart` path.
 //!
 //! # Example
 //!
@@ -65,38 +84,59 @@
 //! c.shutdown();
 //! ```
 
-use std::collections::{BTreeMap, HashMap};
-use std::io::{Read, Write};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use bytes::BytesMut;
-use crossbeam_channel::{unbounded, Receiver, Sender};
+use bytes::Bytes;
+use crossbeam_channel::{unbounded, Receiver, Sender, TryRecvError};
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
-use wbam_types::wire::{decode_frame, encode_frame};
+use wbam_types::wire::{
+    check_preamble, decode_frame_slice, encode_frame_with, encode_preamble, WireCodec, PREAMBLE_LEN,
+};
 use wbam_types::{AppMessage, ProcessId, WbamError};
 
 use crate::node_loop::{run_node, Envelope};
 use crate::transport::Transport;
 use crate::{BoxedNode, DeliveryLog, RuntimeDelivery};
 
-/// First reconnect delay of a writer that lost its connection.
+/// First re-dial delay after a failed or lost connection.
 const BACKOFF_INITIAL: Duration = Duration::from_millis(10);
-/// Backoff cap: a writer re-dials a down peer at least this often.
+/// Backoff cap: the poller re-dials a down peer at least this often.
 const BACKOFF_MAX: Duration = Duration::from_millis(500);
-/// Granularity at which blocked IO threads observe the shutdown flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(50);
+/// Upper bound on one (blocking) dial attempt from the poller thread.
+/// Loopback dials resolve instantly (connect or refuse); this only matters on
+/// a real LAN with an unreachable peer.
+const DIAL_TIMEOUT: Duration = Duration::from_millis(250);
+/// Shortest idle wait of the poller between iterations. The wait runs on the
+/// command channel, so outbound sends cut it short instantly; it exists to
+/// yield the core to the node thread instead of spinning.
+const IDLE_MIN: Duration = Duration::from_micros(50);
+/// Longest idle wait once the process has been quiet for a while; also
+/// bounds how stale the shutdown flag can get.
+const IDLE_MAX: Duration = Duration::from_millis(50);
+/// How long after the last socket/channel activity the poller keeps its
+/// wait at [`IDLE_MIN`] before backing off exponentially toward [`IDLE_MAX`].
+const HOT_WINDOW: Duration = Duration::from_millis(5);
+/// Cap on a peer's output buffer. When it is full, new frames are dropped
+/// (fair-lossy: the protocols' retry timers recover) — this bounds memory
+/// while a peer is down without ever cutting a queued frame in half.
+const OUTBUF_CAP: usize = 8 * 1024 * 1024;
+/// Read granularity of the poller.
+const READ_CHUNK: usize = 64 * 1024;
 
 /// What travels inside a TCP frame: a connection handshake or a protocol
-/// message. Every frame is encoded with [`wbam_types::wire::encode_frame`].
+/// message, encoded with the connection's negotiated [`WireCodec`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 enum WireFrame<M> {
-    /// First frame of every connection: identifies the dialling process, so
-    /// the accepting side can tag subsequent frames with their sender.
+    /// First frame of every connection (right after the preamble): identifies
+    /// the dialling process, so the accepting side can tag subsequent frames
+    /// with their sender.
     Hello {
         /// The dialling process.
         from: ProcessId,
@@ -105,237 +145,393 @@ enum WireFrame<M> {
     Protocol(M),
 }
 
-/// TCP transport: one writer thread per peer, dialling `addrs[peer]` and
-/// framing every message with `wbam_types::wire`. Messages a node sends to
-/// *itself* (a leader is a member of its own group and ACCEPTs to every
-/// member) short-circuit into the local envelope channel instead of crossing
-/// the network stack.
-pub struct TcpTransport<M> {
-    local: ProcessId,
-    loopback: Sender<Envelope<M>>,
-    peers: HashMap<ProcessId, Sender<M>>,
+/// A batch of already-encoded frames from the node thread to the poller.
+pub(crate) enum PollerCmd {
+    /// Frames to append to the named peers' output buffers, in order.
+    Frames(Vec<(ProcessId, Bytes)>),
+    /// Stop the poller and drop all connections.
+    Shutdown,
 }
 
-impl<M: Serialize + Send + 'static> TcpTransport<M> {
+/// TCP transport: encodes messages into wire frames on the node thread and
+/// hands them — a whole protocol step per handoff — to the process's poller
+/// thread, which owns every socket. Messages a node sends to *itself* (a
+/// leader is a member of its own group and ACCEPTs to every member)
+/// short-circuit into the local envelope channel instead of crossing the
+/// network stack.
+pub struct TcpTransport<M> {
+    local: ProcessId,
+    codec: WireCodec,
+    loopback: Sender<Envelope<M>>,
+    cmd_tx: Sender<PollerCmd>,
+    peers: HashSet<ProcessId>,
+}
+
+impl<M: Serialize + DeserializeOwned + Send + 'static> TcpTransport<M> {
     /// Creates the transport used by `local` to reach every other process in
-    /// `addrs`, spawning one writer thread per peer. Returns the transport
-    /// and the writer thread handles (joined on shutdown).
+    /// `addrs` and spawns the poller thread that owns `listener` and all
+    /// peer connections. Returns the transport, a command handle for
+    /// shutdown, and the poller's join handle.
     pub(crate) fn new(
         local: ProcessId,
+        codec: WireCodec,
+        listener: TcpListener,
         loopback: Sender<Envelope<M>>,
         addrs: &BTreeMap<ProcessId, SocketAddr>,
         shutdown: Arc<AtomicBool>,
-    ) -> (Self, Vec<JoinHandle<()>>) {
-        let mut peers = HashMap::new();
-        let mut threads = Vec::new();
-        for (&peer, &addr) in addrs {
-            if peer == local {
-                continue;
-            }
-            let (tx, rx) = unbounded();
-            peers.insert(peer, tx);
-            let shutdown = Arc::clone(&shutdown);
-            threads.push(std::thread::spawn(move || {
-                writer_loop::<M>(local, addr, rx, shutdown);
-            }));
-        }
+    ) -> (Self, Sender<PollerCmd>, JoinHandle<()>) {
+        let (cmd_tx, cmd_rx) = unbounded();
+        // Preamble + Hello, sent as the first bytes of every outbound
+        // connection. Encoded once here (where `M: Serialize` is in scope);
+        // the poller itself only needs to decode.
+        let mut hello = encode_preamble(codec).to_vec();
+        let hello_frame = encode_frame_with(codec, &WireFrame::<M>::Hello { from: local })
+            .expect("Hello frame serialisation cannot fail");
+        hello.extend_from_slice(&hello_frame);
+
+        let peer_addrs: Vec<(ProcessId, SocketAddr)> = addrs
+            .iter()
+            .filter(|(&p, _)| p != local)
+            .map(|(&p, &a)| (p, a))
+            .collect();
+        let peers = peer_addrs.iter().map(|&(p, _)| p).collect();
+        let env_tx = loopback.clone();
+        let handle = std::thread::spawn(move || {
+            poller_loop::<M>(codec, listener, peer_addrs, hello, cmd_rx, env_tx, shutdown);
+        });
         (
             TcpTransport {
                 local,
+                codec,
                 loopback,
+                cmd_tx: cmd_tx.clone(),
                 peers,
             },
-            threads,
+            cmd_tx,
+            handle,
         )
     }
+
+    fn encode(&self, msg: M) -> Option<Bytes> {
+        // An unencodable message (e.g. over MAX_FRAME_LEN) is dropped: it
+        // could never reach the peer, and retrying cannot help.
+        encode_frame_with(self.codec, &WireFrame::Protocol(msg)).ok()
+    }
 }
 
-impl<M: Serialize + Send + 'static> Transport<M> for TcpTransport<M> {
+impl<M: Serialize + DeserializeOwned + Send + 'static> Transport<M> for TcpTransport<M> {
     fn send(&self, to: ProcessId, msg: M) {
-        if to == self.local {
-            let _ = self.loopback.send(Envelope::FromPeer {
-                from: self.local,
-                msg,
-            });
-        } else if let Some(tx) = self.peers.get(&to) {
-            let _ = tx.send(msg); // queued behind any reconnect in progress
+        self.send_many(vec![(to, msg)]);
+    }
+
+    fn send_many(&self, msgs: Vec<(ProcessId, M)>) {
+        let mut frames = Vec::with_capacity(msgs.len());
+        for (to, msg) in msgs {
+            if to == self.local {
+                let _ = self.loopback.send(Envelope::FromPeer {
+                    from: self.local,
+                    msg,
+                });
+            } else if self.peers.contains(&to) {
+                if let Some(frame) = self.encode(msg) {
+                    frames.push((to, frame));
+                }
+            }
+        }
+        if !frames.is_empty() {
+            let _ = self.cmd_tx.send(PollerCmd::Frames(frames));
         }
     }
 }
 
-/// Sleeps for `total`, observing the shutdown flag every poll interval;
-/// returns `false` when shutdown was raised.
-fn sleep_unless_shutdown(total: Duration, shutdown: &AtomicBool) -> bool {
-    let mut remaining = total;
-    while !remaining.is_zero() {
+/// Outbound state for one peer, owned by the poller: the (re)dialled
+/// connection and the coalescing output buffer.
+struct PeerOut {
+    addr: SocketAddr,
+    conn: Option<TcpStream>,
+    /// Queued wire bytes; `offset..` is the unsent suffix. Always cut at
+    /// frame boundaries when no connection is up.
+    outbuf: Vec<u8>,
+    offset: usize,
+    next_dial: Instant,
+    backoff: Duration,
+}
+
+impl PeerOut {
+    fn new(addr: SocketAddr, now: Instant) -> Self {
+        PeerOut {
+            addr,
+            conn: None,
+            outbuf: Vec::new(),
+            offset: 0,
+            next_dial: now,
+            backoff: BACKOFF_INITIAL,
+        }
+    }
+
+    fn queued(&self) -> usize {
+        self.outbuf.len() - self.offset
+    }
+
+    /// Appends one frame, dropping it when the buffer is full (fair-lossy —
+    /// dropping the *new* frame, never truncating the buffer, keeps the byte
+    /// stream cut at frame boundaries even mid-flush).
+    fn queue(&mut self, frame: &[u8]) {
+        if self.queued() + frame.len() > OUTBUF_CAP {
+            return;
+        }
+        self.outbuf.extend_from_slice(frame);
+    }
+
+    /// Drops the connection and everything queued behind it: a partial frame
+    /// cannot be resumed on a fresh connection, and the fair-lossy model says
+    /// the protocols re-drive whatever mattered.
+    fn disconnect(&mut self, now: Instant) {
+        self.conn = None;
+        self.outbuf.clear();
+        self.offset = 0;
+        self.next_dial = now + BACKOFF_INITIAL;
+        self.backoff = (BACKOFF_INITIAL * 2).min(BACKOFF_MAX);
+    }
+}
+
+/// Inbound state for one accepted connection.
+struct InConn {
+    stream: TcpStream,
+    /// Peer address, for error messages only.
+    desc: String,
+    buf: Vec<u8>,
+    preamble_ok: bool,
+    from: Option<ProcessId>,
+}
+
+/// The single IO thread of a [`TcpNode`] process: accepts, reads, dials and
+/// writes every socket, nonblocking throughout. See the module docs for the
+/// scheduling discipline.
+fn poller_loop<M: DeserializeOwned + Send + 'static>(
+    codec: WireCodec,
+    listener: TcpListener,
+    peer_addrs: Vec<(ProcessId, SocketAddr)>,
+    hello: Vec<u8>,
+    cmd_rx: Receiver<PollerCmd>,
+    env_tx: Sender<Envelope<M>>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let start = Instant::now();
+    let mut peers: HashMap<ProcessId, PeerOut> = peer_addrs
+        .into_iter()
+        .map(|(p, a)| (p, PeerOut::new(a, start)))
+        .collect();
+    let mut inbound: Vec<InConn> = Vec::new();
+    let mut chunk = vec![0u8; READ_CHUNK];
+    let mut idle = IDLE_MIN;
+    let mut last_progress = Instant::now();
+
+    loop {
         if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut progress = false;
+
+        // 1. Drain queued commands from the node thread.
+        loop {
+            match cmd_rx.try_recv() {
+                Ok(PollerCmd::Frames(frames)) => {
+                    progress = true;
+                    for (to, frame) in frames {
+                        if let Some(peer) = peers.get_mut(&to) {
+                            peer.queue(&frame);
+                        }
+                    }
+                }
+                Ok(PollerCmd::Shutdown) | Err(TryRecvError::Disconnected) => return,
+                Err(TryRecvError::Empty) => break,
+            }
+        }
+
+        // 2. Accept new inbound connections.
+        loop {
+            match listener.accept() {
+                Ok((stream, addr)) => {
+                    let _ = stream.set_nonblocking(true);
+                    let _ = stream.set_nodelay(true);
+                    inbound.push(InConn {
+                        stream,
+                        desc: addr.to_string(),
+                        buf: Vec::new(),
+                        preamble_ok: false,
+                        from: None,
+                    });
+                    progress = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break, // transient accept error; retry next iteration
+            }
+        }
+
+        // 3. Read and decode from every inbound connection.
+        inbound.retain_mut(|conn| service_inbound(conn, codec, &env_tx, &mut chunk, &mut progress));
+
+        // 4. Dial due peers and flush their output buffers.
+        let now = Instant::now();
+        for peer in peers.values_mut() {
+            service_peer(peer, &hello, now, &mut progress);
+        }
+
+        // 5. Park on the command channel: a send from the node thread wakes
+        // the poller instantly; otherwise the wait stays minimal while there
+        // has been recent activity and backs off exponentially when the
+        // process is quiet. Never a busy spin — on a single-core box the
+        // node thread needs the CPU more than the poller needs another lap.
+        if progress {
+            last_progress = Instant::now();
+            idle = IDLE_MIN;
+        } else if last_progress.elapsed() > HOT_WINDOW {
+            idle = (idle * 2).min(IDLE_MAX);
+        }
+        match cmd_rx.recv_timeout(idle) {
+            Ok(PollerCmd::Frames(frames)) => {
+                last_progress = Instant::now();
+                idle = IDLE_MIN;
+                for (to, frame) in frames {
+                    if let Some(peer) = peers.get_mut(&to) {
+                        peer.queue(&frame);
+                    }
+                }
+            }
+            Ok(PollerCmd::Shutdown) => return,
+            Err(crossbeam_channel::RecvTimeoutError::Timeout) => {}
+            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Drains one inbound connection: reads until `WouldBlock`, then decodes
+/// every complete frame with a cursor and compacts the buffer once. Returns
+/// `false` when the connection should be dropped (EOF, IO error, bad
+/// preamble, undecodable frame — a corrupt length prefix cannot be resynced
+/// from; the peer's poller re-dials).
+fn service_inbound<M: DeserializeOwned>(
+    conn: &mut InConn,
+    codec: WireCodec,
+    env_tx: &Sender<Envelope<M>>,
+    chunk: &mut [u8],
+    progress: &mut bool,
+) -> bool {
+    loop {
+        match conn.stream.read(chunk) {
+            Ok(0) => return false,
+            Ok(n) => {
+                conn.buf.extend_from_slice(&chunk[..n]);
+                *progress = true;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    let mut pos = 0usize;
+    if !conn.preamble_ok {
+        if conn.buf.len() < PREAMBLE_LEN {
+            return true; // need more bytes
+        }
+        let mut preamble = [0u8; PREAMBLE_LEN];
+        preamble.copy_from_slice(&conn.buf[..PREAMBLE_LEN]);
+        if let Err(e) = check_preamble(&preamble, codec) {
+            eprintln!("wbam-runtime: rejecting connection from {}: {e}", conn.desc);
             return false;
         }
-        let step = remaining.min(POLL_INTERVAL);
-        std::thread::sleep(step);
-        remaining -= step;
+        conn.preamble_ok = true;
+        pos = PREAMBLE_LEN;
     }
-    !shutdown.load(Ordering::Relaxed)
+    loop {
+        match decode_frame_slice::<WireFrame<M>>(codec, &conn.buf[pos..]) {
+            Ok(Some((WireFrame::Hello { from }, used))) => {
+                conn.from = Some(from);
+                pos += used;
+            }
+            Ok(Some((WireFrame::Protocol(msg), used))) => {
+                pos += used;
+                let Some(from) = conn.from else {
+                    eprintln!(
+                        "wbam-runtime: dropping connection from {}: protocol frame before Hello",
+                        conn.desc
+                    );
+                    return false;
+                };
+                if env_tx.send(Envelope::FromPeer { from, msg }).is_err() {
+                    return false; // node thread gone
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                eprintln!("wbam-runtime: dropping connection from {}: {e}", conn.desc);
+                return false;
+            }
+        }
+    }
+    if pos > 0 {
+        conn.buf.drain(..pos);
+    }
+    true
 }
 
-/// Dials `addr` until it connects, with exponential backoff (full `backoff`
-/// sleeps, shutdown observed every poll interval); returns `None` when the
-/// shutdown flag is raised first.
-fn connect_with_backoff(addr: SocketAddr, shutdown: &AtomicBool) -> Option<TcpStream> {
-    let mut backoff = BACKOFF_INITIAL;
-    loop {
-        if shutdown.load(Ordering::Relaxed) {
-            return None;
+/// Dials a peer if due and flushes its output buffer with coalesced writes:
+/// everything queued goes to the kernel in as few `write` calls as the
+/// socket buffer allows.
+fn service_peer(peer: &mut PeerOut, hello: &[u8], now: Instant, progress: &mut bool) {
+    if peer.conn.is_none() {
+        // Dial lazily: only a peer we have bytes for is worth a connection.
+        if peer.queued() == 0 || now < peer.next_dial {
+            return;
         }
-        match TcpStream::connect(addr) {
+        match TcpStream::connect_timeout(&peer.addr, DIAL_TIMEOUT) {
             Ok(stream) => {
                 let _ = stream.set_nodelay(true);
-                return Some(stream);
+                let _ = stream.set_nonblocking(true);
+                // The fresh connection starts with preamble + Hello, then
+                // whatever queued up while the peer was down.
+                let mut buf = Vec::with_capacity(hello.len() + peer.queued());
+                buf.extend_from_slice(hello);
+                buf.extend_from_slice(&peer.outbuf[peer.offset..]);
+                peer.outbuf = buf;
+                peer.offset = 0;
+                peer.conn = Some(stream);
+                peer.backoff = BACKOFF_INITIAL;
+                *progress = true;
             }
             Err(_) => {
-                if !sleep_unless_shutdown(backoff, shutdown) {
-                    return None;
-                }
-                backoff = (backoff * 2).min(BACKOFF_MAX);
-            }
-        }
-    }
-}
-
-/// Owns the simplex connection from `local` to one peer: (re)connects with
-/// backoff, sends the `Hello` handshake, then pumps queued messages into
-/// frames. A frame whose write fails is re-sent on the next connection.
-fn writer_loop<M: Serialize>(
-    local: ProcessId,
-    addr: SocketAddr,
-    rx: Receiver<M>,
-    shutdown: Arc<AtomicBool>,
-) {
-    let mut pending: Option<M> = None;
-    'connection: loop {
-        let Some(mut stream) = connect_with_backoff(addr, &shutdown) else {
-            return;
-        };
-        let hello = match encode_frame(&WireFrame::<M>::Hello { from: local }) {
-            Ok(f) => f,
-            Err(_) => return, // ProcessId serialisation cannot fail
-        };
-        if stream.write_all(&hello).is_err() {
-            // A connect that succeeds but whose first write fails (e.g. the
-            // peer's backlog accepted, then the process died) must not
-            // re-dial in a tight loop.
-            if !sleep_unless_shutdown(BACKOFF_INITIAL, &shutdown) {
+                peer.next_dial = now + peer.backoff;
+                peer.backoff = (peer.backoff * 2).min(BACKOFF_MAX);
                 return;
             }
-            continue 'connection;
         }
-        loop {
-            let msg = match pending.take() {
-                Some(m) => m,
-                None => match rx.recv_timeout(POLL_INTERVAL) {
-                    Ok(m) => m,
-                    Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
-                        if shutdown.load(Ordering::Relaxed) {
-                            return;
-                        }
-                        continue;
-                    }
-                    Err(crossbeam_channel::RecvTimeoutError::Disconnected) => return,
-                },
-            };
-            // Wrap, encode, and take the message back out so the write can be
-            // retried on a fresh connection without requiring `M: Clone`.
-            let wrapped = WireFrame::Protocol(msg);
-            let frame = encode_frame(&wrapped);
-            let WireFrame::Protocol(msg) = wrapped else {
-                unreachable!("wrapped a Protocol frame")
-            };
-            match frame {
-                // An unencodable message (e.g. over MAX_FRAME_LEN) is dropped:
-                // it could never reach the peer, and retrying cannot help.
-                Err(_) => continue,
-                Ok(frame) => {
-                    if stream.write_all(&frame).is_err() {
-                        pending = Some(msg);
-                        if !sleep_unless_shutdown(BACKOFF_INITIAL, &shutdown) {
-                            return;
-                        }
-                        continue 'connection;
-                    }
-                }
+    }
+    let stream = peer.conn.as_mut().expect("connected above");
+    while peer.offset < peer.outbuf.len() {
+        match stream.write(&peer.outbuf[peer.offset..]) {
+            Ok(0) => {
+                peer.disconnect(now);
+                return;
+            }
+            Ok(n) => {
+                peer.offset += n;
+                *progress = true;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break, // socket buffer full
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                peer.disconnect(now);
+                return;
             }
         }
     }
-}
-
-/// Accepts connections on `listener` and spawns one reader per connection.
-/// Reader threads are detached; they exit on EOF, on a framing error, or
-/// within one poll interval of shutdown.
-fn listener_loop<M: DeserializeOwned + Send + 'static>(
-    listener: TcpListener,
-    env_tx: Sender<Envelope<M>>,
-    shutdown: Arc<AtomicBool>,
-) {
-    while !shutdown.load(Ordering::Relaxed) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let env_tx = env_tx.clone();
-                let shutdown = Arc::clone(&shutdown);
-                std::thread::spawn(move || reader_loop(stream, env_tx, shutdown));
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                std::thread::sleep(POLL_INTERVAL);
-            }
-            Err(_) => return,
-        }
-    }
-}
-
-/// Reads frames off one accepted connection. The first frame must be a
-/// [`WireFrame::Hello`]; protocol frames before it (or any undecodable frame
-/// — a corrupt length prefix cannot be resynced from) drop the connection,
-/// and the peer's writer re-dials.
-fn reader_loop<M: DeserializeOwned>(
-    mut stream: TcpStream,
-    env_tx: Sender<Envelope<M>>,
-    shutdown: Arc<AtomicBool>,
-) {
-    // On BSD-derived stacks an accepted socket inherits the listener's
-    // nonblocking flag (it does not on Linux); force blocking mode so the
-    // read timeout below paces the loop instead of a WouldBlock busy-spin.
-    let _ = stream.set_nonblocking(false);
-    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-    let mut buf = BytesMut::new();
-    let mut chunk = vec![0u8; 64 * 1024];
-    let mut from: Option<ProcessId> = None;
-    loop {
-        loop {
-            match decode_frame::<WireFrame<M>>(&mut buf) {
-                Ok(Some(WireFrame::Hello { from: peer })) => from = Some(peer),
-                Ok(Some(WireFrame::Protocol(msg))) => {
-                    let Some(peer) = from else { return };
-                    if env_tx.send(Envelope::FromPeer { from: peer, msg }).is_err() {
-                        return; // node thread gone
-                    }
-                }
-                Ok(None) => break,
-                Err(_) => return,
-            }
-        }
-        if shutdown.load(Ordering::Relaxed) {
-            return;
-        }
-        match stream.read(&mut chunk) {
-            Ok(0) => return,
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut => {}
-            Err(_) => return,
-        }
+    if peer.offset == peer.outbuf.len() {
+        peer.outbuf.clear();
+        peer.offset = 0;
+    } else if peer.offset > READ_CHUNK {
+        peer.outbuf.drain(..peer.offset);
+        peer.offset = 0;
     }
 }
 
@@ -348,6 +544,7 @@ fn reader_loop<M: DeserializeOwned>(
 pub struct TcpNode<M> {
     id: ProcessId,
     env_tx: Sender<Envelope<M>>,
+    cmd_tx: Sender<PollerCmd>,
     deliveries: Arc<DeliveryLog>,
     shutdown: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
@@ -355,8 +552,24 @@ pub struct TcpNode<M> {
 }
 
 impl<M: Serialize + DeserializeOwned + Send + 'static> TcpNode<M> {
-    /// Binds `addrs[node.id()]`, spawns the listener, the per-peer writer
-    /// threads and the node thread, and starts the node with `Event::Init`.
+    /// Spawns the node with the default wire codec ([`WireCodec::Binary`]);
+    /// see [`Self::spawn_with_codec`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::spawn_with_codec`].
+    pub fn spawn(
+        node: BoxedNode<M>,
+        addrs: &BTreeMap<ProcessId, SocketAddr>,
+        restart: bool,
+    ) -> Result<Self, WbamError> {
+        Self::spawn_with_codec(node, addrs, restart, WireCodec::default())
+    }
+
+    /// Binds `addrs[node.id()]`, spawns the poller thread and the node
+    /// thread, and starts the node with `Event::Init`. All connections use
+    /// `codec` for their frame bodies; the preamble handshake rejects peers
+    /// running a different codec (or wire version) with a clear error.
     ///
     /// With `restart = true` the node additionally receives `Event::Restart`
     /// before any peer traffic — the flag a redeployed `wbamd` process passes
@@ -368,10 +581,11 @@ impl<M: Serialize + DeserializeOwned + Send + 'static> TcpNode<M> {
     ///
     /// Returns [`WbamError::UnknownProcess`] when `addrs` has no entry for
     /// the node, or [`WbamError::Io`] when binding its listen address fails.
-    pub fn spawn(
+    pub fn spawn_with_codec(
         node: BoxedNode<M>,
         addrs: &BTreeMap<ProcessId, SocketAddr>,
         restart: bool,
+        codec: WireCodec,
     ) -> Result<Self, WbamError> {
         let id = node.id();
         let listen = *addrs.get(&id).ok_or(WbamError::UnknownProcess(id))?;
@@ -385,22 +599,21 @@ impl<M: Serialize + DeserializeOwned + Send + 'static> TcpNode<M> {
         let mut threads = Vec::new();
 
         if restart {
-            // Enqueued before the listener thread exists, so the node is
+            // Enqueued before the poller thread exists, so the node is
             // guaranteed to process Event::Init then Event::Restart before
             // any peer traffic (connections parked in the kernel backlog are
-            // only read once the listener thread starts accepting below).
+            // only read once the poller starts accepting).
             let _ = env_tx.send(Envelope::Restart);
         }
-        {
-            let env_tx = env_tx.clone();
-            let shutdown = Arc::clone(&shutdown);
-            threads.push(std::thread::spawn(move || {
-                listener_loop(listener, env_tx, shutdown);
-            }));
-        }
-        let (transport, writer_threads) =
-            TcpTransport::new(id, env_tx.clone(), addrs, Arc::clone(&shutdown));
-        threads.extend(writer_threads);
+        let (transport, cmd_tx, poller) = TcpTransport::new(
+            id,
+            codec,
+            listener,
+            env_tx.clone(),
+            addrs,
+            Arc::clone(&shutdown),
+        );
+        threads.push(poller);
         {
             let deliveries = Arc::clone(&deliveries);
             threads.push(std::thread::spawn(move || {
@@ -410,6 +623,7 @@ impl<M: Serialize + DeserializeOwned + Send + 'static> TcpNode<M> {
         Ok(TcpNode {
             id,
             env_tx,
+            cmd_tx,
             deliveries,
             shutdown,
             threads,
@@ -475,10 +689,11 @@ impl<M: Serialize + DeserializeOwned + Send + 'static> TcpNode<M> {
         self.started.elapsed()
     }
 
-    /// Stops the node and all its IO threads and waits for them to exit.
+    /// Stops the node and its poller thread and waits for them to exit.
     pub fn shutdown(mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
         let _ = self.env_tx.send(Envelope::Shutdown);
+        let _ = self.cmd_tx.send(PollerCmd::Shutdown);
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
@@ -508,10 +723,12 @@ mod tests {
         addrs: &BTreeMap<ProcessId, SocketAddr>,
         member: ProcessId,
         restart: bool,
+        codec: WireCodec,
     ) -> TcpNode<WhiteBoxMsg> {
         let group = cluster.group_of(member).expect("replica group");
         let cfg = ReplicaConfig::new(member, group, cluster.clone()).without_auto_election();
-        TcpNode::spawn(Box::new(WhiteBoxReplica::new(cfg)), addrs, restart).expect("spawn")
+        TcpNode::spawn_with_codec(Box::new(WhiteBoxReplica::new(cfg)), addrs, restart, codec)
+            .expect("spawn")
     }
 
     fn order_of(node: &TcpNode<WhiteBoxMsg>) -> Vec<MsgId> {
@@ -522,7 +739,8 @@ mod tests {
     }
 
     /// A 2-group × 3-replica cluster over real loopback sockets delivers
-    /// cross-group multicasts in identical per-replica order.
+    /// cross-group multicasts in identical per-replica order (binary codec,
+    /// the deployed default).
     #[test]
     fn tcp_cluster_delivers_cross_group_multicasts_in_order() {
         let cluster = ClusterConfig::builder().groups(2, 3).clients(1).build();
@@ -531,7 +749,7 @@ mod tests {
             .groups()
             .iter()
             .flat_map(|gc| gc.members().to_vec())
-            .map(|m| spawn_replica(&cluster, &addrs, m, false))
+            .map(|m| spawn_replica(&cluster, &addrs, m, false, WireCodec::Binary))
             .collect();
         let client_id = cluster.clients()[0];
         let client = TcpNode::spawn(
@@ -573,9 +791,98 @@ mod tests {
         client.shutdown();
     }
 
+    /// The `--wire json` compatibility codec still carries a cluster
+    /// end-to-end: a 1-group × 3-replica cluster plus client, all speaking
+    /// JSON frames, delivers in identical order.
+    #[test]
+    fn json_codec_cluster_delivers() {
+        let cluster = ClusterConfig::builder().groups(1, 3).clients(1).build();
+        let addrs = reserve_addrs(&cluster);
+        let replicas: Vec<TcpNode<WhiteBoxMsg>> = cluster.groups()[0]
+            .members()
+            .iter()
+            .map(|&m| spawn_replica(&cluster, &addrs, m, false, WireCodec::Json))
+            .collect();
+        let client_id = cluster.clients()[0];
+        let client = TcpNode::spawn_with_codec(
+            Box::new(MulticastClient::new(ClientConfig::new(
+                client_id,
+                cluster.clone(),
+            ))),
+            &addrs,
+            false,
+            WireCodec::Json,
+        )
+        .expect("spawn client");
+        for seq in 0..3u64 {
+            client
+                .submit(AppMessage::new(
+                    MsgId::new(client_id, seq),
+                    Destination::single(GroupId(0)),
+                    Payload::from(format!("op-{seq}").as_str()),
+                ))
+                .unwrap();
+        }
+        assert!(client.wait_for_total(3, Duration::from_secs(30)));
+        for r in &replicas {
+            assert!(r.wait_for_total(3, Duration::from_secs(30)));
+        }
+        let reference = order_of(&replicas[0]);
+        for r in &replicas[1..] {
+            assert_eq!(order_of(r), reference);
+        }
+        for r in replicas {
+            r.shutdown();
+        }
+        client.shutdown();
+    }
+
+    /// Regression for the handshake version/codec negotiation: a peer whose
+    /// preamble announces the wrong codec (or garbage) is disconnected
+    /// promptly — the accepting side closes the socket instead of trying to
+    /// parse frames it cannot decode.
+    #[test]
+    fn mismatched_preamble_is_rejected_with_prompt_close() {
+        let cluster = ClusterConfig::builder().groups(1, 1).clients(0).build();
+        let addrs = reserve_addrs(&cluster);
+        let replica = cluster.groups()[0].members()[0];
+        let node = spawn_replica(&cluster, &addrs, replica, false, WireCodec::Binary);
+
+        let probe = |preamble: &[u8]| -> std::io::Result<usize> {
+            let mut stream = TcpStream::connect(addrs[&replica]).expect("dial node");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .unwrap();
+            stream.write_all(preamble).expect("write preamble");
+            let mut buf = [0u8; 16];
+            stream.read(&mut buf)
+        };
+
+        // A JSON-codec peer dialling a binary-codec node: closed with EOF (or
+        // reset), never left hanging and never answered with data.
+        match probe(&encode_preamble(WireCodec::Json)) {
+            Ok(0) => {}
+            Ok(n) => panic!("expected EOF, read {n} bytes"),
+            Err(e) => assert!(
+                matches!(e.kind(), ErrorKind::ConnectionReset | ErrorKind::BrokenPipe),
+                "unexpected error {e:?}"
+            ),
+        }
+        // A non-WBAM client (wrong magic) gets the same prompt close.
+        match probe(b"GET /") {
+            Ok(0) => {}
+            Ok(n) => panic!("expected EOF, read {n} bytes"),
+            Err(e) => assert!(
+                matches!(e.kind(), ErrorKind::ConnectionReset | ErrorKind::BrokenPipe),
+                "unexpected error {e:?}"
+            ),
+        }
+        node.shutdown();
+    }
+
     /// Killing a follower's process and spawning a fresh one on the same
     /// address (the `wbamd --restart` path) rejoins it to the group: peers'
-    /// writers reconnect with backoff, the fresh node's `Event::Restart`
+    /// pollers reconnect with backoff, the fresh node's `Event::Restart`
     /// pulls the group state via the NEW_LEADER handshake, and it ends up
     /// with the same delivery order as the survivors.
     #[test]
@@ -585,7 +892,12 @@ mod tests {
         let members = cluster.groups()[0].members().to_vec();
         let mut replicas: BTreeMap<ProcessId, TcpNode<WhiteBoxMsg>> = members
             .iter()
-            .map(|m| (*m, spawn_replica(&cluster, &addrs, *m, false)))
+            .map(|m| {
+                (
+                    *m,
+                    spawn_replica(&cluster, &addrs, *m, false, WireCodec::Binary),
+                )
+            })
             .collect();
         let client_id = cluster.clients()[0];
         let client = TcpNode::spawn(
@@ -623,7 +935,7 @@ mod tests {
         assert!(client.wait_for_total(5, Duration::from_secs(30)));
 
         // A fresh process takes over the victim's address and rejoins.
-        let rejoined = spawn_replica(&cluster, &addrs, victim, true);
+        let rejoined = spawn_replica(&cluster, &addrs, victim, true, WireCodec::Binary);
         // It recovers the full history (its delivery log starts empty) and
         // keeps up with new traffic.
         submit(5);

@@ -9,9 +9,9 @@
 //! * [`ChannelTransport`] — in-process crossbeam channels, one per node
 //!   (used by [`InProcessCluster`](crate::InProcessCluster)); and
 //! * [`TcpTransport`](crate::tcp::TcpTransport) — real TCP sockets with
-//!   `wbam_types::wire` framing, one writer thread per peer, used by the
-//!   per-process [`TcpNode`](crate::tcp::TcpNode) runtime and the `wbamd`
-//!   deployment binary.
+//!   `wbam_types::wire` framing, driven by a single nonblocking poller
+//!   thread, used by the per-process [`TcpNode`](crate::tcp::TcpNode)
+//!   runtime and the `wbamd` deployment binary.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -31,6 +31,18 @@ use crate::node_loop::Envelope;
 pub trait Transport<M>: Send + 'static {
     /// Sends `msg` to process `to`. Never blocks on the peer.
     fn send(&self, to: ProcessId, msg: M);
+
+    /// Sends a batch of messages, preserving per-destination order.
+    ///
+    /// The node event loop hands over all sends of one protocol step through
+    /// this, so a transport with per-handoff cost (the TCP poller's command
+    /// channel) pays it once per event instead of once per message. The
+    /// default just loops over [`send`](Self::send).
+    fn send_many(&self, msgs: Vec<(ProcessId, M)>) {
+        for (to, msg) in msgs {
+            self.send(to, msg);
+        }
+    }
 }
 
 /// In-process transport: peers are threads in this process, each owning an

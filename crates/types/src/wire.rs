@@ -3,10 +3,20 @@
 //! The sans-IO protocols exchange strongly typed messages; when they are run
 //! over a byte-oriented transport (the loopback TCP transport of
 //! `wbam-runtime`, or a file-based trace), messages are framed as
-//! `u32 big-endian length || serde_json body`. JSON was chosen over a custom
-//! binary codec because the protocols are latency- rather than
-//! bandwidth-bound (payloads in the paper's evaluation are 20 bytes) and a
-//! self-describing format makes traces debuggable.
+//! `u32 big-endian length || body`, where the body is produced by a
+//! [`WireCodec`]:
+//!
+//! * [`WireCodec::Binary`] (the default) — the compact `serde_binary` format:
+//!   varint integers, interned map keys, packed byte payloads. This is the
+//!   deployed runtime's codec; `WIRE.md` at the repo root specifies it
+//!   byte-for-byte.
+//! * [`WireCodec::Json`] — self-describing `serde_json` bodies, kept for
+//!   debuggable traces and as a compatibility flag (`wbamd --wire json`).
+//!
+//! Connections additionally start with a fixed 4-byte preamble
+//! (`"WB" || version || codec`) so that a mixed-codec or mixed-version
+//! cluster fails fast with a clear error instead of surfacing as garbled
+//! frame decodes. See [`encode_preamble`] / [`check_preamble`].
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serde::de::DeserializeOwned;
@@ -18,7 +28,112 @@ use crate::error::WbamError;
 /// prefixes when reading from a byte stream.
 pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
 
-/// Encodes a message as a length-prefixed frame.
+/// The two magic bytes opening every connection preamble.
+pub const WIRE_MAGIC: [u8; 2] = *b"WB";
+
+/// The wire protocol version negotiated in the connection preamble.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Length of the connection preamble in bytes.
+pub const PREAMBLE_LEN: usize = 4;
+
+/// The serialisation format used for frame bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WireCodec {
+    /// Compact binary bodies (`serde_binary`); the deployed default.
+    #[default]
+    Binary,
+    /// Self-describing JSON bodies (`serde_json`); the compatibility codec.
+    Json,
+}
+
+impl WireCodec {
+    /// The codec byte carried in the connection preamble.
+    pub const fn wire_byte(self) -> u8 {
+        match self {
+            WireCodec::Json => 1,
+            WireCodec::Binary => 2,
+        }
+    }
+
+    /// Inverse of [`Self::wire_byte`].
+    pub fn from_wire_byte(byte: u8) -> Option<Self> {
+        match byte {
+            1 => Some(WireCodec::Json),
+            2 => Some(WireCodec::Binary),
+            _ => None,
+        }
+    }
+
+    /// The codec's name as used by `--wire` flags and bench records.
+    pub const fn name(self) -> &'static str {
+        match self {
+            WireCodec::Json => "json",
+            WireCodec::Binary => "binary",
+        }
+    }
+
+    /// Parses a `--wire` flag value.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "json" => Some(WireCodec::Json),
+            "binary" => Some(WireCodec::Binary),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for WireCodec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builds the 4-byte preamble a connecting peer must send before its first
+/// frame: `WIRE_MAGIC || WIRE_VERSION || codec byte`.
+pub const fn encode_preamble(codec: WireCodec) -> [u8; PREAMBLE_LEN] {
+    [
+        WIRE_MAGIC[0],
+        WIRE_MAGIC[1],
+        WIRE_VERSION,
+        codec.wire_byte(),
+    ]
+}
+
+/// Validates a received connection preamble against the local codec.
+///
+/// # Errors
+///
+/// Returns [`WbamError::Codec`] with a message naming the exact mismatch —
+/// wrong magic (not a WBAM peer), unsupported version, unknown codec byte, or
+/// a codec disagreeing with `expected` (e.g. a `--wire json` process dialling
+/// a `--wire binary` cluster).
+pub fn check_preamble(bytes: &[u8; PREAMBLE_LEN], expected: WireCodec) -> Result<(), WbamError> {
+    if bytes[..2] != WIRE_MAGIC {
+        return Err(WbamError::Codec(format!(
+            "connection preamble has bad magic {:02x}{:02x} (expected \"WB\"): not a WBAM peer",
+            bytes[0], bytes[1]
+        )));
+    }
+    if bytes[2] != WIRE_VERSION {
+        return Err(WbamError::Codec(format!(
+            "peer speaks wire version {} but this process speaks {WIRE_VERSION}",
+            bytes[2]
+        )));
+    }
+    match WireCodec::from_wire_byte(bytes[3]) {
+        None => Err(WbamError::Codec(format!(
+            "peer sent unknown wire codec byte {}",
+            bytes[3]
+        ))),
+        Some(codec) if codec != expected => Err(WbamError::Codec(format!(
+            "wire codec mismatch: peer uses --wire {codec} but this process uses --wire {expected}"
+        ))),
+        Some(_) => Ok(()),
+    }
+}
+
+/// Encodes a message as a length-prefixed frame using `codec` for the body.
 ///
 /// # Errors
 ///
@@ -27,10 +142,14 @@ pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
 /// exceeds [`MAX_FRAME_LEN`]. The length check matters: `body.len() as u32`
 /// would otherwise silently truncate a body longer than `u32::MAX`, emitting a
 /// corrupt length prefix the peer cannot resync from, and any frame longer
-/// than [`MAX_FRAME_LEN`] would be rejected by the receiving [`decode_frame`]
-/// anyway.
-pub fn encode_frame<M: Serialize>(msg: &M) -> Result<Bytes, WbamError> {
-    let body = serde_json::to_vec(msg).map_err(|e| WbamError::Codec(e.to_string()))?;
+/// than [`MAX_FRAME_LEN`] would be rejected by the receiving decode anyway.
+pub fn encode_frame_with<M: Serialize>(codec: WireCodec, msg: &M) -> Result<Bytes, WbamError> {
+    let body = match codec {
+        WireCodec::Json => serde_json::to_vec(msg).map_err(|e| WbamError::Codec(e.to_string()))?,
+        WireCodec::Binary => {
+            serde_binary::to_vec(msg).map_err(|e| WbamError::Codec(e.to_string()))?
+        }
+    };
     if body.len() > MAX_FRAME_LEN {
         return Err(WbamError::Codec(format!(
             "frame body of {} bytes exceeds maximum {MAX_FRAME_LEN}",
@@ -43,6 +162,45 @@ pub fn encode_frame<M: Serialize>(msg: &M) -> Result<Bytes, WbamError> {
     Ok(buf.freeze())
 }
 
+/// Attempts to decode one frame from the front of the byte slice `input`.
+///
+/// Returns the decoded message and the number of bytes consumed, or
+/// `Ok(None)` when `input` does not yet contain a full frame. Unlike
+/// [`decode_frame_with`] this never shifts buffer contents, so a reader can
+/// decode a whole burst of frames with a cursor and compact its buffer once.
+///
+/// # Errors
+///
+/// Returns [`WbamError::Codec`] when the length prefix exceeds
+/// [`MAX_FRAME_LEN`] or the body fails to deserialise.
+pub fn decode_frame_slice<M: DeserializeOwned>(
+    codec: WireCodec,
+    input: &[u8],
+) -> Result<Option<(M, usize)>, WbamError> {
+    if input.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes([input[0], input[1], input[2], input[3]]) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WbamError::Codec(format!(
+            "frame length {len} exceeds maximum {MAX_FRAME_LEN}"
+        )));
+    }
+    if input.len() < 4 + len {
+        return Ok(None);
+    }
+    let body = &input[4..4 + len];
+    let msg = match codec {
+        WireCodec::Json => {
+            serde_json::from_slice(body).map_err(|e| WbamError::Codec(e.to_string()))?
+        }
+        WireCodec::Binary => {
+            serde_binary::from_slice(body).map_err(|e| WbamError::Codec(e.to_string()))?
+        }
+    };
+    Ok(Some((msg, 4 + len)))
+}
+
 /// Attempts to decode one frame from the front of `buf`.
 ///
 /// On success the consumed bytes are removed from `buf` and the decoded message
@@ -53,23 +211,40 @@ pub fn encode_frame<M: Serialize>(msg: &M) -> Result<Bytes, WbamError> {
 ///
 /// Returns [`WbamError::Codec`] when the length prefix exceeds
 /// [`MAX_FRAME_LEN`] or the body fails to deserialise.
+pub fn decode_frame_with<M: DeserializeOwned>(
+    codec: WireCodec,
+    buf: &mut BytesMut,
+) -> Result<Option<M>, WbamError> {
+    match decode_frame_slice(codec, &buf[..])? {
+        Some((msg, consumed)) => {
+            buf.advance(consumed);
+            Ok(Some(msg))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Encodes a message as a length-prefixed JSON frame.
+///
+/// Shorthand for [`encode_frame_with`] with [`WireCodec::Json`], kept for
+/// traces and tooling that want self-describing bodies.
+///
+/// # Errors
+///
+/// Same conditions as [`encode_frame_with`].
+pub fn encode_frame<M: Serialize>(msg: &M) -> Result<Bytes, WbamError> {
+    encode_frame_with(WireCodec::Json, msg)
+}
+
+/// Attempts to decode one JSON frame from the front of `buf`.
+///
+/// Shorthand for [`decode_frame_with`] with [`WireCodec::Json`].
+///
+/// # Errors
+///
+/// Same conditions as [`decode_frame_with`].
 pub fn decode_frame<M: DeserializeOwned>(buf: &mut BytesMut) -> Result<Option<M>, WbamError> {
-    if buf.len() < 4 {
-        return Ok(None);
-    }
-    let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
-    if len > MAX_FRAME_LEN {
-        return Err(WbamError::Codec(format!(
-            "frame length {len} exceeds maximum {MAX_FRAME_LEN}"
-        )));
-    }
-    if buf.len() < 4 + len {
-        return Ok(None);
-    }
-    buf.advance(4);
-    let body = buf.split_to(len);
-    let msg = serde_json::from_slice(&body).map_err(|e| WbamError::Codec(e.to_string()))?;
-    Ok(Some(msg))
+    decode_frame_with(WireCodec::Json, buf)
 }
 
 /// Encodes a message directly to a JSON string (used for traces and tooling).
@@ -101,48 +276,103 @@ mod tests {
         note: String,
     }
 
+    const BOTH: [WireCodec; 2] = [WireCodec::Json, WireCodec::Binary];
+
     #[test]
     fn frame_round_trip() {
+        for codec in BOTH {
+            let msg = Ping {
+                seq: 7,
+                note: "hello".to_string(),
+            };
+            let frame = encode_frame_with(codec, &msg).unwrap();
+            let mut buf = BytesMut::from(&frame[..]);
+            let back: Ping = decode_frame_with(codec, &mut buf).unwrap().unwrap();
+            assert_eq!(back, msg);
+            assert!(buf.is_empty());
+        }
+    }
+
+    #[test]
+    fn binary_frames_are_smaller() {
         let msg = Ping {
-            seq: 7,
+            seq: 123_456,
             note: "hello".to_string(),
         };
-        let frame = encode_frame(&msg).unwrap();
-        let mut buf = BytesMut::from(&frame[..]);
-        let back: Ping = decode_frame(&mut buf).unwrap().unwrap();
-        assert_eq!(back, msg);
-        assert!(buf.is_empty());
+        let json = encode_frame_with(WireCodec::Json, &msg).unwrap();
+        let binary = encode_frame_with(WireCodec::Binary, &msg).unwrap();
+        assert!(
+            binary.len() < json.len(),
+            "binary {} >= json {}",
+            binary.len(),
+            json.len()
+        );
     }
 
     #[test]
     fn partial_frames_request_more_data() {
-        let msg = Ping {
-            seq: 1,
-            note: "x".to_string(),
-        };
-        let frame = encode_frame(&msg).unwrap();
-        let mut buf = BytesMut::from(&frame[..3]);
-        assert_eq!(decode_frame::<Ping>(&mut buf).unwrap(), None);
-        let mut buf = BytesMut::from(&frame[..frame.len() - 1]);
-        assert_eq!(decode_frame::<Ping>(&mut buf).unwrap(), None);
+        for codec in BOTH {
+            let msg = Ping {
+                seq: 1,
+                note: "x".to_string(),
+            };
+            let frame = encode_frame_with(codec, &msg).unwrap();
+            let mut buf = BytesMut::from(&frame[..3]);
+            assert_eq!(decode_frame_with::<Ping>(codec, &mut buf).unwrap(), None);
+            let mut buf = BytesMut::from(&frame[..frame.len() - 1]);
+            assert_eq!(decode_frame_with::<Ping>(codec, &mut buf).unwrap(), None);
+        }
     }
 
     #[test]
     fn multiple_frames_in_one_buffer() {
+        for codec in BOTH {
+            let a = Ping {
+                seq: 1,
+                note: "a".to_string(),
+            };
+            let b = Ping {
+                seq: 2,
+                note: "b".to_string(),
+            };
+            let mut buf = BytesMut::new();
+            buf.extend_from_slice(&encode_frame_with(codec, &a).unwrap());
+            buf.extend_from_slice(&encode_frame_with(codec, &b).unwrap());
+            assert_eq!(
+                decode_frame_with::<Ping>(codec, &mut buf).unwrap().unwrap(),
+                a
+            );
+            assert_eq!(
+                decode_frame_with::<Ping>(codec, &mut buf).unwrap().unwrap(),
+                b
+            );
+            assert_eq!(decode_frame_with::<Ping>(codec, &mut buf).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn slice_decode_reports_consumed_bytes() {
         let a = Ping {
             seq: 1,
             note: "a".to_string(),
         };
         let b = Ping {
             seq: 2,
-            note: "b".to_string(),
+            note: "bb".to_string(),
         };
-        let mut buf = BytesMut::new();
-        buf.extend_from_slice(&encode_frame(&a).unwrap());
-        buf.extend_from_slice(&encode_frame(&b).unwrap());
-        assert_eq!(decode_frame::<Ping>(&mut buf).unwrap().unwrap(), a);
-        assert_eq!(decode_frame::<Ping>(&mut buf).unwrap().unwrap(), b);
-        assert_eq!(decode_frame::<Ping>(&mut buf).unwrap(), None);
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&encode_frame_with(WireCodec::Binary, &a).unwrap());
+        stream.extend_from_slice(&encode_frame_with(WireCodec::Binary, &b).unwrap());
+        let (first, consumed): (Ping, usize) = decode_frame_slice(WireCodec::Binary, &stream)
+            .unwrap()
+            .unwrap();
+        assert_eq!(first, a);
+        let (second, rest): (Ping, usize) =
+            decode_frame_slice(WireCodec::Binary, &stream[consumed..])
+                .unwrap()
+                .unwrap();
+        assert_eq!(second, b);
+        assert_eq!(consumed + rest, stream.len());
     }
 
     /// A frame body one byte over the limit is rejected on the encode side
@@ -179,18 +409,73 @@ mod tests {
 
     #[test]
     fn oversized_length_prefix_is_rejected() {
-        let mut buf = BytesMut::new();
-        buf.put_u32(u32::MAX);
-        buf.put_slice(&[0u8; 16]);
-        assert!(decode_frame::<Ping>(&mut buf).is_err());
+        for codec in BOTH {
+            let mut buf = BytesMut::new();
+            buf.put_u32(u32::MAX);
+            buf.put_slice(&[0u8; 16]);
+            assert!(decode_frame_with::<Ping>(codec, &mut buf).is_err());
+        }
     }
 
     #[test]
     fn corrupt_body_is_rejected() {
-        let mut buf = BytesMut::new();
-        buf.put_u32(3);
-        buf.put_slice(b"not");
-        assert!(decode_frame::<Ping>(&mut buf).is_err());
+        for codec in BOTH {
+            let mut buf = BytesMut::new();
+            buf.put_u32(3);
+            buf.put_slice(b"not");
+            assert!(decode_frame_with::<Ping>(codec, &mut buf).is_err());
+        }
+    }
+
+    #[test]
+    fn cross_codec_decode_fails() {
+        // A JSON frame fed to the binary decoder (and vice versa) must error,
+        // not silently decode: this is what the preamble handshake prevents.
+        let msg = Ping {
+            seq: 9,
+            note: "mismatch".to_string(),
+        };
+        let json = encode_frame_with(WireCodec::Json, &msg).unwrap();
+        let mut buf = BytesMut::from(&json[..]);
+        assert!(decode_frame_with::<Ping>(WireCodec::Binary, &mut buf).is_err());
+        let binary = encode_frame_with(WireCodec::Binary, &msg).unwrap();
+        let mut buf = BytesMut::from(&binary[..]);
+        assert!(decode_frame_with::<Ping>(WireCodec::Json, &mut buf).is_err());
+    }
+
+    #[test]
+    fn preamble_round_trip_and_mismatches() {
+        for codec in BOTH {
+            let p = encode_preamble(codec);
+            assert_eq!(p.len(), PREAMBLE_LEN);
+            check_preamble(&p, codec).unwrap();
+        }
+        // Codec mismatch names both sides.
+        let err = check_preamble(&encode_preamble(WireCodec::Json), WireCodec::Binary).unwrap_err();
+        let text = err.to_string();
+        assert!(
+            text.contains("--wire json") && text.contains("--wire binary"),
+            "{text}"
+        );
+        // Bad magic (e.g. an HTTP client) is called out as a non-WBAM peer.
+        let err = check_preamble(b"GET ", WireCodec::Binary).unwrap_err();
+        assert!(err.to_string().contains("not a WBAM peer"));
+        // Future version byte.
+        let err = check_preamble(&[b'W', b'B', 9, 2], WireCodec::Binary).unwrap_err();
+        assert!(err.to_string().contains("wire version 9"));
+        // Unknown codec byte.
+        let err = check_preamble(&[b'W', b'B', WIRE_VERSION, 7], WireCodec::Binary).unwrap_err();
+        assert!(err.to_string().contains("codec byte 7"));
+    }
+
+    #[test]
+    fn codec_names_round_trip() {
+        for codec in BOTH {
+            assert_eq!(WireCodec::from_name(codec.name()), Some(codec));
+            assert_eq!(WireCodec::from_wire_byte(codec.wire_byte()), Some(codec));
+        }
+        assert_eq!(WireCodec::from_name("msgpack"), None);
+        assert_eq!(WireCodec::default(), WireCodec::Binary);
     }
 
     #[test]

@@ -2,9 +2,12 @@
 //! protocol message type the TCP runtime carries: each `WhiteBoxMsg`,
 //! `BaselineMsg` and `PaxosMsg` variant — including `ACCEPT_BATCH`,
 //! checkpoint-bearing `NEW_STATE` and `STATE_TRANSFER` — must survive
-//! `encode_frame`/`decode_frame` byte-for-byte, both as a single frame and
-//! as concatenated frames fed to the decoder at randomized split points (the
-//! way a TCP reader actually sees them).
+//! framing byte-for-byte under **both wire codecs** (compact binary, the
+//! deployed default, and JSON, the `--wire json` compatibility codec), both
+//! as a single frame and as concatenated frames fed to the decoder at
+//! randomized split points (the way a TCP reader actually sees them). The
+//! preamble handshake that keeps mixed-codec clusters from ever exchanging
+//! frames is regression-tested at the bottom.
 
 use std::collections::BTreeMap;
 
@@ -17,7 +20,9 @@ use serde::Serialize;
 use wbam_baselines::{BaselineMsg, Command};
 use wbam_consensus::{PaxosMsg, Slot};
 use wbam_core::{AcceptEntry, DeliverEntry, RecordSnapshot, StateSnapshot, WhiteBoxMsg};
-use wbam_types::wire::{decode_frame, encode_frame};
+use wbam_types::wire::{
+    check_preamble, decode_frame_with, encode_frame_with, encode_preamble, WireCodec,
+};
 use wbam_types::{
     AppMessage, Ballot, Checkpoint, DeliveredFilter, Destination, GroupId, MsgId, Payload, Phase,
     ProcessId, Timestamp,
@@ -333,16 +338,24 @@ const BASELINE_VARIANTS: usize = 10;
 
 // --- helpers ---------------------------------------------------------------
 
+/// Both codecs the deployment runtime can speak; every round-trip property
+/// below holds for each.
+const CODECS: [WireCodec; 2] = [WireCodec::Binary, WireCodec::Json];
+
 fn round_trip_one<M>(msg: &M)
 where
     M: Serialize + DeserializeOwned + PartialEq + std::fmt::Debug,
 {
-    let frame = encode_frame(msg).expect("encode");
-    let mut buf = BytesMut::new();
-    buf.extend_from_slice(&frame);
-    let back: M = decode_frame(&mut buf).expect("decode").expect("full frame");
-    assert_eq!(&back, msg);
-    assert!(buf.is_empty(), "decoder left {} bytes behind", buf.len());
+    for codec in CODECS {
+        let frame = encode_frame_with(codec, msg).expect("encode");
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&frame);
+        let back: M = decode_frame_with(codec, &mut buf)
+            .unwrap_or_else(|e| panic!("{codec} decode: {e}"))
+            .expect("full frame");
+        assert_eq!(&back, msg);
+        assert!(buf.is_empty(), "decoder left {} bytes behind", buf.len());
+    }
 }
 
 /// Concatenates the frames of `msgs` into one byte stream, feeds the stream
@@ -354,27 +367,31 @@ fn round_trip_stream<M>(msgs: &[M], rng: &mut StdRng)
 where
     M: Serialize + DeserializeOwned + PartialEq + std::fmt::Debug,
 {
-    let mut stream = Vec::new();
-    for m in msgs {
-        stream.extend_from_slice(&encode_frame(m).expect("encode"));
-    }
-    let mut buf = BytesMut::new();
-    let mut decoded: Vec<M> = Vec::new();
-    let mut offset = 0;
-    while offset < stream.len() {
-        let chunk = rng.gen_range(1..=64.min(stream.len() - offset).max(1));
-        let chunk = chunk.min(stream.len() - offset);
-        buf.extend_from_slice(&stream[offset..offset + chunk]);
-        offset += chunk;
-        while let Some(msg) = decode_frame::<M>(&mut buf).expect("decode") {
-            decoded.push(msg);
+    for codec in CODECS {
+        let mut stream = Vec::new();
+        for m in msgs {
+            stream.extend_from_slice(&encode_frame_with(codec, m).expect("encode"));
         }
+        let mut buf = BytesMut::new();
+        let mut decoded: Vec<M> = Vec::new();
+        let mut offset = 0;
+        while offset < stream.len() {
+            let chunk = rng.gen_range(1..=64.min(stream.len() - offset).max(1));
+            let chunk = chunk.min(stream.len() - offset);
+            buf.extend_from_slice(&stream[offset..offset + chunk]);
+            offset += chunk;
+            while let Some(msg) =
+                decode_frame_with::<M>(codec, &mut buf).unwrap_or_else(|e| panic!("{codec}: {e}"))
+            {
+                decoded.push(msg);
+            }
+        }
+        assert_eq!(decoded.len(), msgs.len());
+        for (got, want) in decoded.iter().zip(msgs) {
+            assert_eq!(got, want);
+        }
+        assert!(buf.is_empty());
     }
-    assert_eq!(decoded.len(), msgs.len());
-    for (got, want) in decoded.iter().zip(msgs) {
-        assert_eq!(got, want);
-    }
-    assert!(buf.is_empty());
 }
 
 // --- properties ------------------------------------------------------------
@@ -467,5 +484,51 @@ fn generators_cover_every_whitebox_kind() {
         "CLIENT_REPLY",
     ] {
         assert!(kinds.contains(expected), "generator misses {expected}");
+    }
+}
+
+/// Regression: a JSON peer and a binary peer must fail the *handshake*, not
+/// limp along exchanging frames. The 4-byte preamble disagrees in exactly the
+/// codec byte, `check_preamble` names both codecs in its error, and — the
+/// belt-and-braces layer behind the preamble — a frame encoded with one codec
+/// never decodes as a frame of the other.
+#[test]
+fn json_and_binary_handshakes_reject_each_other() {
+    let json = encode_preamble(WireCodec::Json);
+    let binary = encode_preamble(WireCodec::Binary);
+    assert_ne!(json, binary, "preambles must differ in the codec byte");
+    assert_eq!(json[..3], binary[..3], "magic and version must agree");
+
+    // Same-codec handshakes succeed, cross-codec ones fail with an error
+    // naming both sides' codecs (the operator's hint to fix `--wire`).
+    check_preamble(&json, WireCodec::Json).expect("json peers agree");
+    check_preamble(&binary, WireCodec::Binary).expect("binary peers agree");
+    for (theirs, ours) in [(json, WireCodec::Binary), (binary, WireCodec::Json)] {
+        let err = check_preamble(&theirs, ours).expect_err("mixed codecs must be rejected");
+        let text = err.to_string();
+        assert!(
+            text.contains("binary") && text.contains("json"),
+            "error must name both codecs: {text}"
+        );
+    }
+
+    // Frames of one codec are garbage to the other even if the preamble
+    // check were bypassed: decoding fails instead of yielding a bogus value.
+    let mut rng = StdRng::seed_from_u64(42);
+    for variant in 0..WHITEBOX_VARIANTS {
+        let msg = arb_whitebox(&mut rng, variant);
+        for (enc, dec) in [
+            (WireCodec::Binary, WireCodec::Json),
+            (WireCodec::Json, WireCodec::Binary),
+        ] {
+            let frame = encode_frame_with(enc, &msg).expect("encode");
+            let mut buf = BytesMut::new();
+            buf.extend_from_slice(&frame);
+            let result = decode_frame_with::<WhiteBoxMsg>(dec, &mut buf);
+            assert!(
+                !matches!(&result, Ok(Some(m)) if m == &msg),
+                "{enc} frame of variant {variant} decoded identically under {dec}"
+            );
+        }
     }
 }
