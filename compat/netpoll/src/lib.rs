@@ -1,0 +1,355 @@
+//! Minimal readiness-notification shim over `poll(2)` plus a self-pipe wake
+//! fd, declared directly against the C library — no `libc`/`mio` crates, in
+//! keeping with the workspace's hermetic `compat/` policy (see README.md).
+//!
+//! This exists for exactly one consumer: the single poller thread of the TCP
+//! transport in `wbam-runtime`. The poller multiplexes its listener, every
+//! peer socket and a [`WakePipe`] through [`poll`], so inbound bytes wake it
+//! the instant the kernel marks a socket readable and the node thread wakes
+//! it explicitly (one byte down the pipe) when it queues outbound frames —
+//! no timed parking on either path.
+//!
+//! Everything here is `cfg(unix)`: `poll(2)`, `pipe(2)` and `fcntl(2)` are
+//! POSIX, and the handful of constants baked in below are identical across
+//! the Unixes this workspace builds on (Linux values, with the Darwin/BSD
+//! `O_NONBLOCK` difference handled explicitly). On non-Unix targets the
+//! crate compiles to nothing and the transport falls back to its portable
+//! spin-then-park loop.
+//!
+//! The API is safe: all `unsafe` is contained in this crate, behind
+//! bounds-checked wrappers, so consumers keep their `#![forbid(unsafe_code)]`.
+//!
+//! # Example
+//!
+//! ```
+//! # #[cfg(unix)] {
+//! use std::time::Duration;
+//! use netpoll::{poll, PollFd, WakePipe, POLLIN};
+//!
+//! let wake = WakePipe::new().unwrap();
+//! // Nothing pending: poll times out.
+//! let mut fds = [PollFd::new(wake.read_fd(), POLLIN)];
+//! assert_eq!(poll(&mut fds, Some(Duration::from_millis(1))).unwrap(), 0);
+//! // A wake from (any) thread makes the pipe readable instantly.
+//! wake.wake();
+//! let n = poll(&mut fds, None).unwrap();
+//! assert_eq!(n, 1);
+//! assert!(fds[0].readable());
+//! wake.drain();
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+#[cfg(unix)]
+mod unix {
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    /// Readable data available (request and result flag).
+    pub const POLLIN: i16 = 0x001;
+    /// Writing is possible without blocking (request and result flag).
+    pub const POLLOUT: i16 = 0x004;
+    /// Error condition (result only; always reported, never requested).
+    pub const POLLERR: i16 = 0x008;
+    /// Peer hung up (result only).
+    pub const POLLHUP: i16 = 0x010;
+    /// The fd is not open (result only — a bookkeeping bug in the caller).
+    pub const POLLNVAL: i16 = 0x020;
+
+    // `nfds_t` is `unsigned long` on Linux and `unsigned int` on the BSDs
+    // and Darwin.
+    #[cfg(target_os = "linux")]
+    type NfdsT = std::ffi::c_ulong;
+    #[cfg(not(target_os = "linux"))]
+    type NfdsT = std::ffi::c_uint;
+
+    const F_SETFD: i32 = 2;
+    const F_GETFL: i32 = 3;
+    const F_SETFL: i32 = 4;
+    const FD_CLOEXEC: i32 = 1;
+    #[cfg(target_os = "linux")]
+    const O_NONBLOCK: i32 = 0x800;
+    #[cfg(not(target_os = "linux"))]
+    const O_NONBLOCK: i32 = 0x4;
+
+    // Wrapped in a module so the raw declarations don't collide with the
+    // safe wrappers of the same names.
+    mod c {
+        extern "C" {
+            pub fn poll(fds: *mut super::PollFd, nfds: super::NfdsT, timeout: i32) -> i32;
+            pub fn pipe(fds: *mut i32) -> i32;
+            pub fn fcntl(fd: i32, cmd: i32, ...) -> i32;
+            pub fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+            pub fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+            pub fn close(fd: i32) -> i32;
+        }
+    }
+
+    /// One entry of a [`poll`](crate::poll) set; layout-compatible with the C
+    /// library's `struct pollfd`.
+    #[repr(C)]
+    #[derive(Debug, Clone, Copy)]
+    pub struct PollFd {
+        fd: RawFd,
+        events: i16,
+        revents: i16,
+    }
+
+    impl PollFd {
+        /// An entry watching `fd` for `events` (a bitwise-or of [`POLLIN`]
+        /// and [`POLLOUT`]; error conditions are always reported and need
+        /// not be requested — `events = 0` watches for errors alone).
+        pub fn new(fd: RawFd, events: i16) -> Self {
+            PollFd {
+                fd,
+                events,
+                revents: 0,
+            }
+        }
+
+        /// The watched fd.
+        pub fn fd(&self) -> RawFd {
+            self.fd
+        }
+
+        /// Readable — or in an error/hangup state a read would surface.
+        pub fn readable(&self) -> bool {
+            self.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0
+        }
+
+        /// Writable — or in an error/hangup state a write would surface.
+        pub fn writable(&self) -> bool {
+            self.revents & (POLLOUT | POLLERR | POLLHUP | POLLNVAL) != 0
+        }
+
+        /// In an error, hangup or invalid-fd state.
+        pub fn has_error(&self) -> bool {
+            self.revents & (POLLERR | POLLHUP | POLLNVAL) != 0
+        }
+    }
+
+    /// Converts a timeout to `poll(2)` milliseconds: `None` blocks
+    /// indefinitely; sub-millisecond non-zero waits round *up* so a caller
+    /// asking for "a little while" never gets a busy-spinning zero.
+    fn timeout_ms(timeout: Option<Duration>) -> i32 {
+        match timeout {
+            None => -1,
+            Some(d) => {
+                if d.is_zero() {
+                    0
+                } else {
+                    d.as_millis().clamp(1, i32::MAX as u128) as i32
+                }
+            }
+        }
+    }
+
+    /// Blocks until at least one entry is ready or the timeout expires.
+    /// Returns the number of entries with non-zero `revents` (0 on timeout).
+    /// A signal interrupting the wait reports as a timeout (`Ok(0)`) — the
+    /// caller's loop re-evaluates and re-polls.
+    ///
+    /// # Errors
+    ///
+    /// Any `poll(2)` failure other than `EINTR`, as [`io::Error`].
+    pub fn poll(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+        // SAFETY: `fds` is a valid, exclusively borrowed slice of
+        // `repr(C)`-compatible entries and `len()` is its true length.
+        let rc = unsafe { c::poll(fds.as_mut_ptr(), fds.len() as NfdsT, timeout_ms(timeout)) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            Ok(0)
+        } else {
+            Err(err)
+        }
+    }
+
+    /// A self-pipe: any thread calls [`wake`](Self::wake) to make the read
+    /// end readable, unparking a poller blocked in [`poll`]. Both ends are
+    /// nonblocking — a wake while the pipe is full is a no-op, which is
+    /// exactly right: the poller is already guaranteed to wake and drain.
+    #[derive(Debug)]
+    pub struct WakePipe {
+        read_fd: RawFd,
+        write_fd: RawFd,
+    }
+
+    // SAFETY: the fields are plain fds; `wake`/`drain` issue independent
+    // syscalls that the kernel serialises (single-byte pipe writes are
+    // atomic), and the fds are only closed in `Drop`, which takes `&mut`.
+    unsafe impl Send for WakePipe {}
+    unsafe impl Sync for WakePipe {}
+
+    impl WakePipe {
+        /// Creates the pipe, with both ends nonblocking and close-on-exec.
+        ///
+        /// # Errors
+        ///
+        /// `pipe(2)`/`fcntl(2)` failures, as [`io::Error`].
+        pub fn new() -> io::Result<WakePipe> {
+            let mut fds = [0i32; 2];
+            // SAFETY: `fds` is a valid 2-element array, as pipe(2) requires.
+            if unsafe { c::pipe(fds.as_mut_ptr()) } != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            let pipe = WakePipe {
+                read_fd: fds[0],
+                write_fd: fds[1],
+            };
+            for fd in fds {
+                // SAFETY: `fd` is a freshly created, owned pipe fd; F_GETFL
+                // takes no third argument, F_SETFL/F_SETFD take an int.
+                let rc = unsafe {
+                    let flags = c::fcntl(fd, F_GETFL);
+                    if flags < 0 || c::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0 {
+                        -1
+                    } else {
+                        c::fcntl(fd, F_SETFD, FD_CLOEXEC)
+                    }
+                };
+                if rc < 0 {
+                    return Err(io::Error::last_os_error()); // Drop closes both ends
+                }
+            }
+            Ok(pipe)
+        }
+
+        /// The fd to include (with [`POLLIN`]) in a poll set.
+        pub fn read_fd(&self) -> RawFd {
+            self.read_fd
+        }
+
+        /// Makes the read end readable. Never blocks: a full pipe means the
+        /// poller already has a pending wake, so the dropped byte is free.
+        pub fn wake(&self) {
+            // SAFETY: `write_fd` is owned and open for the lifetime of
+            // `&self`; the 1-byte buffer is valid.
+            unsafe {
+                let _ = c::write(self.write_fd, [1u8].as_ptr(), 1);
+            }
+        }
+
+        /// Empties the read end, consuming every pending wake. Call once per
+        /// poller iteration before draining the work the wakes announced.
+        pub fn drain(&self) {
+            let mut buf = [0u8; 64];
+            loop {
+                // SAFETY: `read_fd` is owned and open; the buffer is valid
+                // for its full length.
+                let n = unsafe { c::read(self.read_fd, buf.as_mut_ptr(), buf.len()) };
+                if n <= 0 {
+                    return; // empty (EAGAIN), EOF or a transient error
+                }
+            }
+        }
+    }
+
+    impl Drop for WakePipe {
+        fn drop(&mut self) {
+            // SAFETY: both fds are owned by `self` and closed exactly once.
+            unsafe {
+                let _ = c::close(self.read_fd);
+                let _ = c::close(self.write_fd);
+            }
+        }
+    }
+}
+
+#[cfg(unix)]
+pub use unix::{poll, PollFd, WakePipe, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn poll_times_out_when_nothing_is_ready() {
+        let wake = WakePipe::new().unwrap();
+        let mut fds = [PollFd::new(wake.read_fd(), POLLIN)];
+        let begin = Instant::now();
+        let n = poll(&mut fds, Some(Duration::from_millis(30))).unwrap();
+        assert_eq!(n, 0);
+        assert!(!fds[0].readable());
+        assert!(begin.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn wake_makes_the_pipe_readable_and_drain_clears_it() {
+        let wake = WakePipe::new().unwrap();
+        wake.wake();
+        wake.wake(); // coalesced: any number of wakes is one readable state
+        let mut fds = [PollFd::new(wake.read_fd(), POLLIN)];
+        assert_eq!(poll(&mut fds, Some(Duration::from_secs(5))).unwrap(), 1);
+        assert!(fds[0].readable());
+        wake.drain();
+        let mut fds = [PollFd::new(wake.read_fd(), POLLIN)];
+        assert_eq!(poll(&mut fds, Some(Duration::from_millis(1))).unwrap(), 0);
+    }
+
+    #[test]
+    fn wake_from_another_thread_unparks_a_blocked_poll() {
+        let wake = std::sync::Arc::new(WakePipe::new().unwrap());
+        let waker = std::sync::Arc::clone(&wake);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            waker.wake();
+        });
+        let mut fds = [PollFd::new(wake.read_fd(), POLLIN)];
+        let begin = Instant::now();
+        assert_eq!(poll(&mut fds, Some(Duration::from_secs(10))).unwrap(), 1);
+        // Unparked by the wake, not the 10 s timeout.
+        assert!(begin.elapsed() < Duration::from_secs(5));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn a_full_pipe_never_blocks_the_waker() {
+        let wake = WakePipe::new().unwrap();
+        // Far beyond any pipe's capacity; every call must return promptly.
+        for _ in 0..200_000 {
+            wake.wake();
+        }
+        wake.drain();
+        let mut fds = [PollFd::new(wake.read_fd(), POLLIN)];
+        assert_eq!(poll(&mut fds, Some(Duration::from_millis(1))).unwrap(), 0);
+    }
+
+    #[test]
+    fn socket_readiness_reports_through_poll() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = std::net::TcpStream::connect(addr).unwrap();
+        let (mut served, _) = listener.accept().unwrap();
+        use std::os::unix::io::AsRawFd;
+
+        // Nothing to read yet.
+        let mut fds = [PollFd::new(served.as_raw_fd(), POLLIN)];
+        assert_eq!(poll(&mut fds, Some(Duration::from_millis(1))).unwrap(), 0);
+
+        // Bytes in flight flip POLLIN...
+        client.write_all(b"ping").unwrap();
+        let mut fds = [PollFd::new(served.as_raw_fd(), POLLIN)];
+        assert_eq!(poll(&mut fds, Some(Duration::from_secs(5))).unwrap(), 1);
+        assert!(fds[0].readable());
+        let mut buf = [0u8; 4];
+        served.read_exact(&mut buf).unwrap();
+
+        // ...and an idle socket is immediately writable.
+        let mut fds = [PollFd::new(served.as_raw_fd(), POLLOUT)];
+        assert_eq!(poll(&mut fds, Some(Duration::from_secs(5))).unwrap(), 1);
+        assert!(fds[0].writable());
+
+        // A hung-up peer reports even with no requested events.
+        drop(client);
+        let mut fds = [PollFd::new(served.as_raw_fd(), POLLIN)];
+        assert_eq!(poll(&mut fds, Some(Duration::from_secs(5))).unwrap(), 1);
+        assert!(fds[0].readable());
+    }
+}

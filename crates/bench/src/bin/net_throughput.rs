@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! net_throughput [--smoke] [--messages N] [--wire binary|json|both] [--out FILE]
+//!                [--latency-gate P50_MS]
 //! ```
 //!
 //! Each measured point launches a fresh 2-group × 3-replica white-box cluster
@@ -23,6 +24,18 @@
 //! the whole sweep twice). `--smoke` shrinks the per-point message count for
 //! CI and gates on basic sanity (every point completed, non-zero throughput).
 //!
+//! Idle-path latency is a first-class metric, not a by-product of the
+//! throughput sweep: a dedicated depth-1 point (1 group, 1 outstanding, no
+//! batching — the paper's 3-delay fast path with nothing queued behind it)
+//! runs first for every codec and is recorded as bench `"net_latency"`.
+//! `--latency-gate P50_MS` turns it into a regression gate: the run fails if
+//! the *binary*-codec depth-1 p50 exceeds the bound on the best of up to
+//! three attempts. Best-of-N is deliberate — on a shared CI core, scheduler
+//! preemption can add ~0.1 ms to a ~0.2 ms path in any one run, but noise
+//! does not reproduce across runs, while the regression this gate guards
+//! against (a timed-park poller) is a *floor* that every attempt hits. Only
+//! the best attempt's record is kept.
+//!
 //! The `wbamd` binary is expected next to this one in the target directory:
 //! build it first with `cargo build --release -p wbam-harness --bin wbamd`.
 
@@ -40,6 +53,17 @@ struct Config {
     max_batch: usize,
     batch_delay_ms: u64,
 }
+
+/// The dedicated idle-path latency point: a depth-1 closed loop into one
+/// group with no batching, so every recorded latency is one unpipelined
+/// 3-delay fast path — exactly what the wake-on-ready poller is for.
+const LATENCY_CONFIG: Config = Config {
+    label: "latency: 1-group, 1 outstanding",
+    dest_groups: 1,
+    outstanding: 1,
+    max_batch: 1,
+    batch_delay_ms: 0,
+};
 
 const CONFIGS: &[Config] = &[
     Config {
@@ -179,6 +203,7 @@ fn main() {
     let mut messages: u64 = if smoke { 200 } else { 2000 };
     let mut out = "BENCH_net.json".to_string();
     let mut wire = "binary".to_string();
+    let mut latency_gate: Option<f64> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -190,6 +215,13 @@ fn main() {
             }
             "--out" => out = iter.next().expect("--out FILE").clone(),
             "--wire" => wire = iter.next().expect("--wire binary|json|both").clone(),
+            "--latency-gate" => {
+                latency_gate = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--latency-gate P50_MS"),
+                );
+            }
             "--smoke" => {}
             other => panic!("unknown argument {other:?}"),
         }
@@ -215,37 +247,114 @@ fn main() {
     std::fs::create_dir_all(&dir).expect("create temp dir");
 
     let mut records = Vec::new();
+    fn measure(
+        wbamd: &PathBuf,
+        dir: &std::path::Path,
+        messages: u64,
+        records: &mut Vec<BenchRecord>,
+        cfg: &Config,
+        codec: WireCodec,
+        bench: &str,
+    ) -> ClientSummary {
+        let summary = run_point(wbamd, dir, cfg, codec, messages);
+        assert_eq!(summary.completed, messages, "{}: incomplete run", cfg.label);
+        assert!(
+            summary.throughput_msg_s > 0.0,
+            "{}: zero throughput",
+            cfg.label
+        );
+        // Benchmarks never kill processes, so the fair-lossy escape hatch
+        // must stay unused — a drop here means latencies include protocol
+        // retries and the numbers are not what they claim to be.
+        assert_eq!(
+            summary.dropped_frames, 0,
+            "{}: transport dropped frames during a fault-free bench run",
+            cfg.label
+        );
+        println!(
+            "{:<36} {:>7} {:>12.1} {:>10.3} {:>10.3} {:>10.3}",
+            cfg.label,
+            codec.name(),
+            summary.throughput_msg_s,
+            summary.latency_p50_ms,
+            summary.latency_p99_ms,
+            summary.latency_mean_ms
+        );
+        records.push(BenchRecord {
+            bench: bench.to_string(),
+            environment: "loopback-tcp".to_string(),
+            wire: Some(codec.name().to_string()),
+            protocol: Protocol::WhiteBox.label().to_string(),
+            max_batch: cfg.max_batch,
+            clients: 1,
+            dest_groups: cfg.dest_groups,
+            throughput_msg_s: summary.throughput_msg_s,
+            latency_p50_ms: summary.latency_p50_ms,
+            latency_p99_ms: summary.latency_p99_ms,
+            latency_mean_ms: summary.latency_mean_ms,
+        });
+        summary
+    }
     for &codec in &codecs {
+        // The latency point first, while the host is coolest.
+        let mut latency = measure(
+            &wbamd,
+            &dir,
+            messages,
+            &mut records,
+            &LATENCY_CONFIG,
+            codec,
+            "net_latency",
+        );
+        if codec == WireCodec::Binary {
+            if let Some(gate) = latency_gate {
+                // Best of up to three attempts (see module docs): scheduler
+                // noise does not reproduce, a park regression does. Keep only
+                // the best attempt's record.
+                for _ in 0..2 {
+                    if latency.latency_p50_ms <= gate {
+                        break;
+                    }
+                    println!(
+                        "  (p50 {:.3} ms over the {gate:.3} ms gate — re-running the \
+                         latency point to rule out scheduler noise)",
+                        latency.latency_p50_ms
+                    );
+                    let retry = measure(
+                        &wbamd,
+                        &dir,
+                        messages,
+                        &mut records,
+                        &LATENCY_CONFIG,
+                        codec,
+                        "net_latency",
+                    );
+                    let worse_back_offset = if retry.latency_p50_ms < latency.latency_p50_ms {
+                        latency = retry;
+                        2 // the previous attempt's record
+                    } else {
+                        1 // the retry's record
+                    };
+                    records.remove(records.len() - worse_back_offset);
+                }
+                assert!(
+                    latency.latency_p50_ms <= gate,
+                    "latency gate: depth-1 binary p50 {:.3} ms exceeds the {gate:.3} ms bound \
+                     on every attempt — the idle-path wake regression is back",
+                    latency.latency_p50_ms
+                );
+            }
+        }
         for cfg in CONFIGS {
-            let summary = run_point(&wbamd, &dir, cfg, codec, messages);
-            assert_eq!(summary.completed, messages, "{}: incomplete run", cfg.label);
-            assert!(
-                summary.throughput_msg_s > 0.0,
-                "{}: zero throughput",
-                cfg.label
+            measure(
+                &wbamd,
+                &dir,
+                messages,
+                &mut records,
+                cfg,
+                codec,
+                "net_throughput",
             );
-            println!(
-                "{:<36} {:>7} {:>12.1} {:>10.3} {:>10.3} {:>10.3}",
-                cfg.label,
-                codec.name(),
-                summary.throughput_msg_s,
-                summary.latency_p50_ms,
-                summary.latency_p99_ms,
-                summary.latency_mean_ms
-            );
-            records.push(BenchRecord {
-                bench: "net_throughput".to_string(),
-                environment: "loopback-tcp".to_string(),
-                wire: Some(codec.name().to_string()),
-                protocol: Protocol::WhiteBox.label().to_string(),
-                max_batch: cfg.max_batch,
-                clients: 1,
-                dest_groups: cfg.dest_groups,
-                throughput_msg_s: summary.throughput_msg_s,
-                latency_p50_ms: summary.latency_p50_ms,
-                latency_p99_ms: summary.latency_p99_ms,
-                latency_mean_ms: summary.latency_mean_ms,
-            });
         }
     }
     let _ = std::fs::remove_dir_all(&dir);

@@ -36,7 +36,7 @@ use std::time::{Duration, Instant};
 
 use serde::de::DeserializeOwned;
 use serde::Serialize;
-use wbam_harness::{ClientSummary, DeliveryLine, DeployRole, DeploySpec};
+use wbam_harness::{ClientSummary, DeliveryLine, DeployRole, DeploySpec, LatencyStats};
 use wbam_runtime::{BoxedNode, TcpNode};
 use wbam_types::wire::to_json;
 use wbam_types::{AppMessage, Destination, GroupId, MsgId, Payload, ProcessId, WbamError};
@@ -190,16 +190,19 @@ impl JsonlSink {
 }
 
 /// Runs a replica process: drain deliveries forever (until killed), blocking
-/// on the delivery log's condvar between batches.
+/// on the delivery log's condvar between batches. Transport frame drops (a
+/// peer down long enough to fill its output buffer) are surfaced on stderr
+/// as they grow — a deployed replica must never lose frames silently.
 fn run_replica<M>(node: TcpNode<M>, mut sink: JsonlSink) -> Result<(), WbamError>
 where
     M: Serialize + DeserializeOwned + Send + 'static,
 {
     let id = node.id();
     let mut seen = 0u64;
+    let mut reported_drops = 0u64;
     loop {
-        node.wait_for_total(seen + 1, Duration::from_secs(3600));
-        for d in node.drain_deliveries() {
+        node.wait_for_total(seen + 1, Duration::from_secs(3600))?;
+        for d in node.drain_deliveries()? {
             seen += 1;
             sink.write(&DeliveryLine::new(
                 id,
@@ -207,6 +210,15 @@ where
                 d.delivery.global_ts,
                 d.elapsed,
             ))?;
+        }
+        let dropped = node.dropped_frames();
+        if dropped > reported_drops {
+            eprintln!(
+                "wbamd: p{} stats: delivered={seen} dropped_frames={dropped} by_peer={:?}",
+                id.0,
+                node.dropped_frames_by_peer()
+            );
+            reported_drops = dropped;
         }
     }
 }
@@ -271,8 +283,8 @@ where
         while done < count {
             // Block on the delivery log's condvar (no poll-loop latency); the
             // short timeout only bounds how often the stall check runs.
-            node.wait_for_total(seen + 1, Duration::from_millis(100));
-            let completions = node.drain_deliveries();
+            node.wait_for_total(seen + 1, Duration::from_millis(100))?;
+            let completions = node.drain_deliveries()?;
             if completions.is_empty() {
                 if last_progress.elapsed() > CLIENT_STALL_TIMEOUT {
                     return Err(WbamError::NotReady {
@@ -313,16 +325,14 @@ where
         }
     }
 
+    let dropped_frames = node.dropped_frames();
     node.shutdown();
-    latencies.sort();
     let completed = latencies.len() as u64;
     let elapsed = last_completion.saturating_sub(first_submit.unwrap_or(Duration::ZERO));
-    let pct = |p: f64| -> f64 {
-        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
-        latencies[idx].as_secs_f64() * 1e3
-    };
-    let mean =
-        latencies.iter().map(|l| l.as_secs_f64()).sum::<f64>() / latencies.len() as f64 * 1e3;
+    let stats = LatencyStats::from_sample(&mut latencies).ok_or_else(|| WbamError::NotReady {
+        process: id,
+        reason: "closed-loop run recorded no latencies".to_string(),
+    })?;
     Ok(ClientSummary {
         process: id.0,
         completed,
@@ -332,9 +342,10 @@ where
         } else {
             completed as f64 / elapsed.as_secs_f64()
         },
-        latency_p50_ms: pct(0.5),
-        latency_p99_ms: pct(0.99),
-        latency_mean_ms: mean,
+        latency_p50_ms: stats.p50_ms,
+        latency_p99_ms: stats.p99_ms,
+        latency_mean_ms: stats.mean_ms,
+        dropped_frames,
     })
 }
 

@@ -33,7 +33,7 @@ pub mod sweep;
 pub mod workload;
 
 pub use cluster::{ClusterSpec, Protocol, ProtocolSim};
-pub use deploy::{ChildGuard, ClientSummary, DeliveryLine, DeployRole, DeploySpec};
+pub use deploy::{ChildGuard, ClientSummary, DeliveryLine, DeployRole, DeploySpec, LatencyStats};
 pub use explorer::{
     explore, generate_schedule, minimize, run_token, ExplorationReport, ExplorerConfig, Finding,
     ScheduleReport, SeedToken, TokenVersion,

@@ -139,9 +139,13 @@ fn kill_and_restart_scenario(codec: WireCodec) {
         spawn_replica(&mut cluster, id, false, &format!("p{id}"));
     }
 
-    // Phase 1: 20 cross-group multicasts against the full cluster.
+    // Phase 1: 20 cross-group multicasts against the full cluster. With
+    // every peer up, the client's transport must not drop a single frame at
+    // the output-buffer cap — a non-zero count here means frames are being
+    // lost (and recovered by retry timers) in a fault-free run.
     let s1 = run_client(&cluster, 6, 20, 0);
     assert_eq!(s1.completed, 20);
+    assert_eq!(s1.dropped_frames, 0, "fault-free phase dropped frames");
 
     // The client completing does not mean every *follower* has delivered:
     // completions come from the destination leaders, and the trailing
@@ -156,9 +160,12 @@ fn kill_and_restart_scenario(codec: WireCodec) {
     // delivering.
     drop(cluster.replicas.remove(&1).expect("victim child"));
 
-    // Phase 2: 10 more multicasts without the victim.
+    // Phase 2: 10 more multicasts without the victim. One dead *replica*
+    // peer cannot make the client drop either: 10 small messages come
+    // nowhere near filling an 8 MiB per-peer buffer.
     let s2 = run_client(&cluster, 6, 10, 20);
     assert_eq!(s2.completed, 10);
+    assert_eq!(s2.dropped_frames, 0, "client dropped frames in phase 2");
 
     // Redeploy the victim: a fresh OS process on the same address, with
     // --restart so it rejoins through the protocol's recovery path. Having
@@ -169,6 +176,7 @@ fn kill_and_restart_scenario(codec: WireCodec) {
     // Phase 3: 5 more multicasts with the rejoined replica back in.
     let s3 = run_client(&cluster, 6, 5, 30);
     assert_eq!(s3.completed, 5);
+    assert_eq!(s3.dropped_frames, 0, "client dropped frames in phase 3");
 
     // Every replica of both groups delivers all 35 messages...
     let reference = wait_for_lines(&deliveries_path(&dir, "p0"), 35, Duration::from_secs(60));

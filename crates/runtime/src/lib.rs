@@ -58,7 +58,8 @@ pub mod tcp;
 pub mod transport;
 
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -91,10 +92,19 @@ pub struct RuntimeDelivery {
 /// long-running cluster does not grow the log without bound). Waiters block
 /// on a condition variable signalled by every push — no busy-polling, no
 /// per-iteration clone of the log.
+///
+/// The log never panics on a poisoned mutex: a node thread that panics while
+/// holding the lock (every mutation is append-only, so the state stays
+/// consistent) must not cascade the panic into every other thread — node or
+/// embedder — that later touches the log. Instead the poisoning is recorded
+/// and exposed through [`is_poisoned`](Self::is_poisoned); the TCP runtime's
+/// control-path accessors ([`TcpNode::deliveries`] and friends) turn it into
+/// a typed [`WbamError::NotReady`] for the embedder.
 #[derive(Default)]
 pub struct DeliveryLog {
     state: Mutex<LogState>,
     newly_delivered: Condvar,
+    poisoned: AtomicBool,
 }
 
 #[derive(Default)]
@@ -109,9 +119,32 @@ impl DeliveryLog {
         DeliveryLog::default()
     }
 
+    /// Locks the state, recovering from (and recording) poisoning instead of
+    /// propagating the panic to the caller's thread.
+    fn state(&self) -> MutexGuard<'_, LogState> {
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.poisoned.store(true, Ordering::Relaxed);
+                poisoned.into_inner()
+            }
+        }
+    }
+
+    /// Whether a thread has panicked while holding the log's lock. The data
+    /// itself stays consistent (every mutation is append-only), but the
+    /// panicking node thread is gone, so counts may never advance again —
+    /// control-path APIs use this to report [`WbamError::NotReady`] instead
+    /// of hanging or panicking.
+    pub fn is_poisoned(&self) -> bool {
+        // A past poisoning may not have been observed by `state()` yet; check
+        // the mutex directly as well so the very first accessor sees it.
+        self.poisoned.load(Ordering::Relaxed) || self.state.is_poisoned()
+    }
+
     /// Appends a delivery and wakes all waiters.
     pub fn push(&self, delivery: RuntimeDelivery) {
-        let mut state = self.state.lock().expect("delivery log poisoned");
+        let mut state = self.state();
         state.buffered.push(delivery);
         state.total += 1;
         self.newly_delivered.notify_all();
@@ -125,7 +158,7 @@ impl DeliveryLog {
         if deliveries.is_empty() {
             return;
         }
-        let mut state = self.state.lock().expect("delivery log poisoned");
+        let mut state = self.state();
         state.total += deliveries.len() as u64;
         state.buffered.extend(deliveries);
         self.newly_delivered.notify_all();
@@ -133,29 +166,25 @@ impl DeliveryLog {
 
     /// A clone of the deliveries currently buffered (those not yet drained).
     pub fn snapshot(&self) -> Vec<RuntimeDelivery> {
-        self.state
-            .lock()
-            .expect("delivery log poisoned")
-            .buffered
-            .clone()
+        self.state().buffered.clone()
     }
 
     /// Removes and returns all buffered deliveries. The cumulative
     /// [`total`](Self::total) is unaffected.
     pub fn drain(&self) -> Vec<RuntimeDelivery> {
-        std::mem::take(&mut self.state.lock().expect("delivery log poisoned").buffered)
+        std::mem::take(&mut self.state().buffered)
     }
 
     /// Total number of deliveries ever pushed, including drained ones.
     pub fn total(&self) -> u64 {
-        self.state.lock().expect("delivery log poisoned").total
+        self.state().total
     }
 
     /// Blocks until the cumulative delivery count reaches `count` or the
     /// timeout expires; returns whether the count was reached.
     pub fn wait_for_total(&self, count: u64, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
-        let mut state = self.state.lock().expect("delivery log poisoned");
+        let mut state = self.state();
         loop {
             if state.total >= count {
                 return true;
@@ -163,10 +192,13 @@ impl DeliveryLog {
             let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
                 return false;
             };
-            let (next, timed_out) = self
-                .newly_delivered
-                .wait_timeout(state, remaining)
-                .expect("delivery log poisoned");
+            let (next, timed_out) = match self.newly_delivered.wait_timeout(state, remaining) {
+                Ok(woken) => woken,
+                Err(poisoned) => {
+                    self.poisoned.store(true, Ordering::Relaxed);
+                    poisoned.into_inner()
+                }
+            };
             state = next;
             if timed_out.timed_out() && state.total < count {
                 return false;
@@ -437,6 +469,50 @@ mod tests {
         // Only the new deliveries are buffered.
         assert!(buffered.iter().all(|d| d.delivery.msg.id.seq == 1));
         handle.shutdown();
+    }
+
+    /// Regression for the poison cascade: a thread that panics while holding
+    /// the delivery-log lock must not turn every later accessor into a panic.
+    /// The log recovers (its mutations are append-only, so the state is still
+    /// consistent) and reports the poisoning through `is_poisoned()` so the
+    /// TCP runtime's control-path APIs can surface `WbamError::NotReady`.
+    #[test]
+    fn poisoned_delivery_log_recovers_instead_of_cascading() {
+        let log = Arc::new(DeliveryLog::new());
+        assert!(!log.is_poisoned());
+        let delivery = |seq: u64| RuntimeDelivery {
+            process: ProcessId(0),
+            delivery: DeliveredMessage {
+                msg: AppMessage::new(
+                    MsgId::new(ProcessId(0), seq),
+                    Destination::single(GroupId(0)),
+                    Payload::from("x"),
+                ),
+                global_ts: None,
+            },
+            elapsed: Duration::ZERO,
+        };
+        log.push(delivery(0));
+
+        // Panic while holding the lock, as a node thread dying mid-push would.
+        let poisoner = Arc::clone(&log);
+        let result = std::thread::spawn(move || {
+            let _guard = poisoner.state.lock().unwrap();
+            panic!("node thread dies while publishing");
+        })
+        .join();
+        assert!(result.is_err(), "the spawned thread must have panicked");
+
+        // Every accessor keeps working on the recovered, consistent state...
+        assert!(log.is_poisoned());
+        assert_eq!(log.total(), 1);
+        assert_eq!(log.snapshot().len(), 1);
+        log.push(delivery(1));
+        assert_eq!(log.total(), 2);
+        assert!(log.wait_for_total(2, Duration::from_millis(100)));
+        assert_eq!(log.drain().len(), 2);
+        // ...and the poisoning stays observable for control-path mapping.
+        assert!(log.is_poisoned());
     }
 
     /// The condvar wait wakes promptly (well under the timeout) once the

@@ -9,7 +9,7 @@
 
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use crossbeam_channel::Receiver;
 use wbam_types::{Action, AppMessage, Event, TimerId};
@@ -146,15 +146,23 @@ pub(crate) fn run_node<M, T>(
             );
             execute(actions, &mut timers, &mut generations);
         }
-        // Wait for the next message or the next timer deadline.
-        let wait = timers
-            .peek()
-            .map(|t| t.deadline.saturating_duration_since(Instant::now()))
-            .unwrap_or(Duration::from_millis(50));
-        let envelope = match rx.recv_timeout(wait) {
-            Ok(e) => e,
-            Err(crossbeam_channel::RecvTimeoutError::Timeout) => continue,
-            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => break,
+        // Wait for the next message or the next timer deadline. With no
+        // timer pending there is nothing to wake for except an envelope, so
+        // block indefinitely — shutdown arrives as an envelope too, and an
+        // idle node must not tick a wake-up timer just to re-check state.
+        let envelope = match timers.peek() {
+            Some(t) => {
+                let wait = t.deadline.saturating_duration_since(Instant::now());
+                match rx.recv_timeout(wait) {
+                    Ok(e) => e,
+                    Err(crossbeam_channel::RecvTimeoutError::Timeout) => continue,
+                    Err(crossbeam_channel::RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            None => match rx.recv() {
+                Ok(e) => e,
+                Err(_) => break,
+            },
         };
         // Coalesce a burst: everything already queued behind the first
         // envelope is processed in the same pass, so one busy stretch costs

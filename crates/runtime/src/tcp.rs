@@ -13,13 +13,18 @@
 //! drains readable sockets, dials peers with exponential backoff, and flushes
 //! per-peer output buffers with coalesced writes — a whole burst of frames
 //! queued by the node thread goes out in one `write` call, so protocol
-//! batches stay batched on the socket. The node thread hands frames to the
-//! poller through a single command channel; the poller parks in a short
-//! `recv_timeout` on that channel when idle (sends wake it instantly, the
-//! wait adaptively backs off when the process is quiet), so nothing ever
-//! busy-spins. This replaces the earlier two-OS-threads-per-peer design: a
-//! six-replica deployment now runs two threads per process (node + poller)
-//! instead of ten or more.
+//! batches stay batched on the socket. The poller is **wake-on-ready**: on
+//! Unix it multiplexes every socket plus a self-pipe wake fd through
+//! `poll(2)` (the in-tree `netpoll` shim), so inbound bytes wake it the
+//! instant the kernel marks a socket readable and the node thread wakes it
+//! explicitly — one byte down the pipe per [`Transport::send_many`] burst —
+//! when it queues outbound frames. The only timeout `poll` ever carries is
+//! the next dial-backoff deadline; an idle process sleeps indefinitely and a
+//! busy one never waits out a park. (Non-Unix targets keep the previous
+//! portable fallback: a `recv_timeout` park on the command channel with an
+//! adaptive 50 µs–50 ms idle, which woke instantly on *sends* but taxed
+//! *inbound* bytes with the park latency — the regression the wake-on-ready
+//! poller removes.)
 //!
 //! Framing is `wbam_types::wire`: each connection opens with the 4-byte
 //! preamble (`"WB"` magic, wire version, codec byte) and a `Hello` frame
@@ -35,6 +40,9 @@
 //! a peer is down are capped and flushed after the reconnect (with backoff),
 //! and the protocols' retry timers recover whatever was lost — so a restarted
 //! peer process rejoins exactly like the simulator's `Event::Restart` path.
+//! Frames dropped at the outbuf cap are *counted*, never silent: the per-peer
+//! totals are published through [`TcpNode::dropped_frames`] and surface in
+//! the `wbamd` stats line.
 //!
 //! # Example
 //!
@@ -78,8 +86,8 @@
 //! ))
 //! .unwrap();
 //! // One replica delivery + one client completion.
-//! assert!(r.wait_for_total(1, Duration::from_secs(10)));
-//! assert!(c.wait_for_total(1, Duration::from_secs(10)));
+//! assert!(r.wait_for_total(1, Duration::from_secs(10)).unwrap());
+//! assert!(c.wait_for_total(1, Duration::from_secs(10)).unwrap());
 //! r.shutdown();
 //! c.shutdown();
 //! ```
@@ -87,7 +95,7 @@
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -113,19 +121,10 @@ const BACKOFF_MAX: Duration = Duration::from_millis(500);
 /// Loopback dials resolve instantly (connect or refuse); this only matters on
 /// a real LAN with an unreachable peer.
 const DIAL_TIMEOUT: Duration = Duration::from_millis(250);
-/// Shortest idle wait of the poller between iterations. The wait runs on the
-/// command channel, so outbound sends cut it short instantly; it exists to
-/// yield the core to the node thread instead of spinning.
-const IDLE_MIN: Duration = Duration::from_micros(50);
-/// Longest idle wait once the process has been quiet for a while; also
-/// bounds how stale the shutdown flag can get.
-const IDLE_MAX: Duration = Duration::from_millis(50);
-/// How long after the last socket/channel activity the poller keeps its
-/// wait at [`IDLE_MIN`] before backing off exponentially toward [`IDLE_MAX`].
-const HOT_WINDOW: Duration = Duration::from_millis(5);
 /// Cap on a peer's output buffer. When it is full, new frames are dropped
 /// (fair-lossy: the protocols' retry timers recover) — this bounds memory
-/// while a peer is down without ever cutting a queued frame in half.
+/// while a peer is down without ever cutting a queued frame in half. Every
+/// drop is counted in [`TransportStats`].
 const OUTBUF_CAP: usize = 8 * 1024 * 1024;
 /// Read granularity of the poller.
 const READ_CHUNK: usize = 64 * 1024;
@@ -153,6 +152,88 @@ pub(crate) enum PollerCmd {
     Shutdown,
 }
 
+/// Wakes the poller thread out of its readiness wait. On Unix this is the
+/// write end of the poller's self-pipe ([`netpoll::WakePipe`]): one byte per
+/// call, coalesced by the kernel, drained once per poller iteration. On
+/// other targets it is a no-op — the fallback poller parks in `recv_timeout`
+/// on the command channel, which its senders wake directly.
+#[derive(Clone)]
+pub(crate) struct PollerWaker {
+    #[cfg(unix)]
+    pipe: Arc<netpoll::WakePipe>,
+}
+
+impl PollerWaker {
+    fn new() -> Result<Self, WbamError> {
+        #[cfg(unix)]
+        {
+            let pipe = netpoll::WakePipe::new().map_err(WbamError::from)?;
+            Ok(PollerWaker {
+                pipe: Arc::new(pipe),
+            })
+        }
+        #[cfg(not(unix))]
+        Ok(PollerWaker {})
+    }
+
+    fn wake(&self) {
+        #[cfg(unix)]
+        self.pipe.wake();
+    }
+}
+
+/// Transport liveness counters the poller publishes, shared with the
+/// [`TcpNode`] handle so embedders (and the `wbamd` stats line) can observe
+/// frame loss that the fair-lossy model would otherwise hide completely.
+#[derive(Debug, Default)]
+pub struct TransportStats {
+    /// Frames dropped at [`OUTBUF_CAP`], per destination peer. The peer set
+    /// is fixed at spawn, so the map itself is never mutated — only the
+    /// counters — and reads need no lock.
+    dropped: BTreeMap<ProcessId, AtomicU64>,
+}
+
+impl TransportStats {
+    fn for_peers(peers: impl IntoIterator<Item = ProcessId>) -> Self {
+        TransportStats {
+            dropped: peers.into_iter().map(|p| (p, AtomicU64::new(0))).collect(),
+        }
+    }
+
+    fn record_drop(&self, peer: ProcessId) {
+        if let Some(counter) = self.dropped.get(&peer) {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Total frames dropped at the output-buffer cap, across all peers.
+    /// Zero in any run where no peer stayed down long enough to fill 8 MiB.
+    pub fn dropped_frames(&self) -> u64 {
+        self.dropped
+            .values()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Frames dropped at the output-buffer cap, by destination peer (peers
+    /// with zero drops are omitted).
+    pub fn dropped_frames_by_peer(&self) -> BTreeMap<ProcessId, u64> {
+        self.dropped
+            .iter()
+            .map(|(&p, c)| (p, c.load(Ordering::Relaxed)))
+            .filter(|&(_, n)| n > 0)
+            .collect()
+    }
+}
+
+/// Everything the spawning side needs to control a running poller thread.
+pub(crate) struct PollerHandle {
+    pub(crate) cmd_tx: Sender<PollerCmd>,
+    pub(crate) waker: PollerWaker,
+    pub(crate) stats: Arc<TransportStats>,
+    pub(crate) thread: JoinHandle<()>,
+}
+
 /// TCP transport: encodes messages into wire frames on the node thread and
 /// hands them — a whole protocol step per handoff — to the process's poller
 /// thread, which owns every socket. Messages a node sends to *itself* (a
@@ -164,14 +245,19 @@ pub struct TcpTransport<M> {
     codec: WireCodec,
     loopback: Sender<Envelope<M>>,
     cmd_tx: Sender<PollerCmd>,
+    waker: PollerWaker,
     peers: HashSet<ProcessId>,
 }
 
 impl<M: Serialize + DeserializeOwned + Send + 'static> TcpTransport<M> {
     /// Creates the transport used by `local` to reach every other process in
     /// `addrs` and spawns the poller thread that owns `listener` and all
-    /// peer connections. Returns the transport, a command handle for
-    /// shutdown, and the poller's join handle.
+    /// peer connections. Returns the transport and the poller's control
+    /// handle (command channel, waker, stats, join handle).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WbamError::Io`] when the wake pipe cannot be created.
     pub(crate) fn new(
         local: ProcessId,
         codec: WireCodec,
@@ -179,8 +265,9 @@ impl<M: Serialize + DeserializeOwned + Send + 'static> TcpTransport<M> {
         loopback: Sender<Envelope<M>>,
         addrs: &BTreeMap<ProcessId, SocketAddr>,
         shutdown: Arc<AtomicBool>,
-    ) -> (Self, Sender<PollerCmd>, JoinHandle<()>) {
+    ) -> Result<(Self, PollerHandle), WbamError> {
         let (cmd_tx, cmd_rx) = unbounded();
+        let waker = PollerWaker::new()?;
         // Preamble + Hello, sent as the first bytes of every outbound
         // connection. Encoded once here (where `M: Serialize` is in scope);
         // the poller itself only needs to decode.
@@ -194,22 +281,35 @@ impl<M: Serialize + DeserializeOwned + Send + 'static> TcpTransport<M> {
             .filter(|(&p, _)| p != local)
             .map(|(&p, &a)| (p, a))
             .collect();
-        let peers = peer_addrs.iter().map(|&(p, _)| p).collect();
+        let peers: HashSet<ProcessId> = peer_addrs.iter().map(|&(p, _)| p).collect();
+        let stats = Arc::new(TransportStats::for_peers(peers.iter().copied()));
         let env_tx = loopback.clone();
-        let handle = std::thread::spawn(move || {
-            poller_loop::<M>(codec, listener, peer_addrs, hello, cmd_rx, env_tx, shutdown);
-        });
-        (
+        let thread = {
+            let waker = waker.clone();
+            let stats = Arc::clone(&stats);
+            std::thread::spawn(move || {
+                poller_loop::<M>(
+                    codec, listener, peer_addrs, hello, cmd_rx, env_tx, shutdown, waker, stats,
+                );
+            })
+        };
+        let handle = PollerHandle {
+            cmd_tx: cmd_tx.clone(),
+            waker: waker.clone(),
+            stats,
+            thread,
+        };
+        Ok((
             TcpTransport {
                 local,
                 codec,
                 loopback,
-                cmd_tx: cmd_tx.clone(),
+                cmd_tx,
+                waker,
                 peers,
             },
-            cmd_tx,
             handle,
-        )
+        ))
     }
 
     fn encode(&self, msg: M) -> Option<Bytes> {
@@ -240,6 +340,9 @@ impl<M: Serialize + DeserializeOwned + Send + 'static> Transport<M> for TcpTrans
         }
         if !frames.is_empty() {
             let _ = self.cmd_tx.send(PollerCmd::Frames(frames));
+            // One wake per burst: the poller drains the whole channel (and
+            // every other pending wake) in a single iteration.
+            self.waker.wake();
         }
     }
 }
@@ -275,12 +378,15 @@ impl PeerOut {
 
     /// Appends one frame, dropping it when the buffer is full (fair-lossy —
     /// dropping the *new* frame, never truncating the buffer, keeps the byte
-    /// stream cut at frame boundaries even mid-flush).
-    fn queue(&mut self, frame: &[u8]) {
+    /// stream cut at frame boundaries even mid-flush). Returns whether the
+    /// frame was queued; the caller counts drops in [`TransportStats`].
+    #[must_use]
+    fn queue(&mut self, frame: &[u8]) -> bool {
         if self.queued() + frame.len() > OUTBUF_CAP {
-            return;
+            return false;
         }
         self.outbuf.extend_from_slice(frame);
+        true
     }
 
     /// Drops the connection and everything queued behind it: a partial frame
@@ -293,6 +399,30 @@ impl PeerOut {
         self.next_dial = now + BACKOFF_INITIAL;
         self.backoff = (BACKOFF_INITIAL * 2).min(BACKOFF_MAX);
     }
+
+    /// Records a failed dial attempt: the next attempt waits out the current
+    /// backoff, which then doubles toward [`BACKOFF_MAX`].
+    fn note_dial_failure(&mut self, now: Instant) {
+        self.next_dial = now + self.backoff;
+        self.backoff = (self.backoff * 2).min(BACKOFF_MAX);
+    }
+
+    /// Adopts a freshly dialled connection, prepending `hello` (preamble +
+    /// Hello frame) to whatever queued up while the peer was down, and —
+    /// crucially — resets the dial backoff to [`BACKOFF_INITIAL`] so the
+    /// *next* outage starts from a fast re-dial instead of inheriting this
+    /// outage's climbed-up delay.
+    fn adopt_connection(&mut self, stream: TcpStream, hello: &[u8]) {
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_nonblocking(true);
+        let mut buf = Vec::with_capacity(hello.len() + self.queued());
+        buf.extend_from_slice(hello);
+        buf.extend_from_slice(&self.outbuf[self.offset..]);
+        self.outbuf = buf;
+        self.offset = 0;
+        self.conn = Some(stream);
+        self.backoff = BACKOFF_INITIAL;
+    }
 }
 
 /// Inbound state for one accepted connection.
@@ -303,11 +433,33 @@ struct InConn {
     buf: Vec<u8>,
     preamble_ok: bool,
     from: Option<ProcessId>,
+    /// Whether the last readiness wait marked this connection readable (set
+    /// optimistically on accept, so a connection whose preamble is already
+    /// in flight is serviced without waiting for another poll round).
+    ready: bool,
+}
+
+/// Appends a command batch's frames to the peers' output buffers, counting
+/// frames dropped at the cap.
+fn queue_frames(
+    frames: Vec<(ProcessId, Bytes)>,
+    peers: &mut HashMap<ProcessId, PeerOut>,
+    stats: &TransportStats,
+) {
+    for (to, frame) in frames {
+        if let Some(peer) = peers.get_mut(&to) {
+            if !peer.queue(&frame) {
+                stats.record_drop(to);
+            }
+        }
+    }
 }
 
 /// The single IO thread of a [`TcpNode`] process: accepts, reads, dials and
-/// writes every socket, nonblocking throughout. See the module docs for the
-/// scheduling discipline.
+/// writes every socket, nonblocking throughout. Dispatches to the
+/// wake-on-ready implementation on Unix and the portable parked fallback
+/// elsewhere; see the module docs for the scheduling discipline.
+#[allow(clippy::too_many_arguments)]
 fn poller_loop<M: DeserializeOwned + Send + 'static>(
     codec: WireCodec,
     listener: TcpListener,
@@ -316,7 +468,201 @@ fn poller_loop<M: DeserializeOwned + Send + 'static>(
     cmd_rx: Receiver<PollerCmd>,
     env_tx: Sender<Envelope<M>>,
     shutdown: Arc<AtomicBool>,
+    waker: PollerWaker,
+    stats: Arc<TransportStats>,
 ) {
+    #[cfg(unix)]
+    ready_poller_loop::<M>(
+        codec, listener, peer_addrs, hello, cmd_rx, env_tx, shutdown, waker, stats,
+    );
+    #[cfg(not(unix))]
+    {
+        let _ = waker;
+        parked_poller_loop::<M>(
+            codec, listener, peer_addrs, hello, cmd_rx, env_tx, shutdown, stats,
+        );
+    }
+}
+
+/// The wake-on-ready poller (Unix): every socket plus the wake pipe is
+/// multiplexed through `poll(2)`, so the loop runs only when the kernel has
+/// something for it — readable bytes, a writable once-full socket, a dead
+/// connection — or the node thread queued frames (self-pipe wake). The only
+/// timeout ever passed to `poll` is the nearest dial-backoff deadline of a
+/// down peer with queued bytes; an idle process sleeps indefinitely.
+#[cfg(unix)]
+#[allow(clippy::too_many_arguments)]
+fn ready_poller_loop<M: DeserializeOwned + Send + 'static>(
+    codec: WireCodec,
+    listener: TcpListener,
+    peer_addrs: Vec<(ProcessId, SocketAddr)>,
+    hello: Vec<u8>,
+    cmd_rx: Receiver<PollerCmd>,
+    env_tx: Sender<Envelope<M>>,
+    shutdown: Arc<AtomicBool>,
+    waker: PollerWaker,
+    stats: Arc<TransportStats>,
+) {
+    use std::os::unix::io::AsRawFd;
+
+    use netpoll::{poll, PollFd, POLLIN, POLLOUT};
+
+    let start = Instant::now();
+    let mut peers: HashMap<ProcessId, PeerOut> = peer_addrs
+        .into_iter()
+        .map(|(p, a)| (p, PeerOut::new(a, start)))
+        .collect();
+    // Stable iteration order for aligning peers with poll-set entries.
+    let peer_ids: Vec<ProcessId> = peers.keys().copied().collect();
+    let mut inbound: Vec<InConn> = Vec::new();
+    let mut chunk = vec![0u8; READ_CHUNK];
+    let mut listener_ready = true; // service everything on the first pass
+    let mut fds: Vec<PollFd> = Vec::new();
+
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+
+        // 1. Consume pending wakes, *then* drain the channel: a wake racing
+        // in after the drain leaves the pipe readable, so the next poll
+        // returns immediately and no queued command is ever stranded.
+        waker.pipe.drain();
+        loop {
+            match cmd_rx.try_recv() {
+                Ok(PollerCmd::Frames(frames)) => queue_frames(frames, &mut peers, &stats),
+                Ok(PollerCmd::Shutdown) | Err(TryRecvError::Disconnected) => return,
+                Err(TryRecvError::Empty) => break,
+            }
+        }
+
+        // 2. Accept new inbound connections when the listener polled ready.
+        if listener_ready {
+            loop {
+                match listener.accept() {
+                    Ok((stream, addr)) => {
+                        let _ = stream.set_nonblocking(true);
+                        let _ = stream.set_nodelay(true);
+                        inbound.push(InConn {
+                            stream,
+                            desc: addr.to_string(),
+                            buf: Vec::new(),
+                            preamble_ok: false,
+                            from: None,
+                            ready: true,
+                        });
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(_) => break, // transient accept error; retry next poll
+                }
+            }
+        }
+
+        // 3. Read and decode from every inbound connection the kernel marked
+        // readable (level-triggered: unread bytes re-report next poll).
+        inbound.retain_mut(|conn| {
+            !std::mem::take(&mut conn.ready) || service_inbound(conn, codec, &env_tx, &mut chunk)
+        });
+
+        // 4. Dial due peers and flush queued output. Writes are attempted
+        // whenever bytes are queued — at worst one spurious `WouldBlock` per
+        // wake — so a frame queued in step 1 reaches the kernel in the same
+        // iteration, without waiting for a POLLOUT round-trip.
+        let now = Instant::now();
+        for peer in peers.values_mut() {
+            service_peer(peer, &hello, now);
+        }
+
+        // 5. Build the poll set: wake pipe, listener, inbound sockets
+        // (readable), connected peers (writable only while bytes are
+        // queued; error/hangup conditions report regardless, so a dead
+        // outbound connection is noticed without writing to it).
+        fds.clear();
+        fds.push(PollFd::new(waker.pipe.read_fd(), POLLIN));
+        fds.push(PollFd::new(listener.as_raw_fd(), POLLIN));
+        for conn in &inbound {
+            fds.push(PollFd::new(conn.stream.as_raw_fd(), POLLIN));
+        }
+        let peer_base = fds.len();
+        let mut polled_peers: Vec<ProcessId> = Vec::with_capacity(peer_ids.len());
+        for &id in &peer_ids {
+            let peer = &peers[&id];
+            if let Some(conn) = &peer.conn {
+                let events = if peer.queued() > 0 { POLLOUT } else { 0 };
+                fds.push(PollFd::new(conn.as_raw_fd(), events));
+                polled_peers.push(id);
+            }
+        }
+
+        // 6. The sole timeout: the nearest re-dial deadline among down peers
+        // that have bytes to deliver. With none, block until readiness or an
+        // explicit wake — there is nothing else the poller could usefully do.
+        let timeout = peers
+            .values()
+            .filter(|p| p.conn.is_none() && p.queued() > 0)
+            .map(|p| p.next_dial.saturating_duration_since(now))
+            .min();
+        match poll(&mut fds, timeout) {
+            Ok(_) => {}
+            Err(e) => {
+                // A failing poll (EINVAL/ENOMEM — none expected at this fd
+                // count) must not hot-loop; degrade to a short sleep and
+                // retry rather than killing the process's networking.
+                eprintln!("wbam-runtime: poll failed: {e}");
+                std::thread::sleep(Duration::from_millis(5));
+                listener_ready = true;
+                for conn in &mut inbound {
+                    conn.ready = true;
+                }
+                continue;
+            }
+        }
+
+        // 7. Record readiness for the next iteration's servicing passes.
+        listener_ready = fds[1].readable();
+        for (conn, fd) in inbound.iter_mut().zip(&fds[2..peer_base]) {
+            conn.ready = fd.readable();
+        }
+        let now = Instant::now();
+        for (&id, fd) in polled_peers.iter().zip(&fds[peer_base..]) {
+            if fd.has_error() {
+                // RST/FIN on a write-only connection: drop it now instead of
+                // discovering the corpse on the next write.
+                peers
+                    .get_mut(&id)
+                    .expect("polled peer exists")
+                    .disconnect(now);
+            }
+        }
+    }
+}
+
+/// The portable fallback poller (non-Unix): parks in a short `recv_timeout`
+/// on the command channel, so outbound sends wake it instantly but inbound
+/// socket bytes wait out the park — an adaptive 50 µs–50 ms idle that backs
+/// off while the process is quiet. Kept only where `poll(2)` is unavailable.
+#[cfg(not(unix))]
+#[allow(clippy::too_many_arguments)]
+fn parked_poller_loop<M: DeserializeOwned + Send + 'static>(
+    codec: WireCodec,
+    listener: TcpListener,
+    peer_addrs: Vec<(ProcessId, SocketAddr)>,
+    hello: Vec<u8>,
+    cmd_rx: Receiver<PollerCmd>,
+    env_tx: Sender<Envelope<M>>,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<TransportStats>,
+) {
+    /// Shortest idle wait between iterations; yields the core to the node
+    /// thread instead of spinning.
+    const IDLE_MIN: Duration = Duration::from_micros(50);
+    /// Longest idle wait once the process has been quiet for a while; also
+    /// bounds how stale the shutdown flag can get on this fallback path.
+    const IDLE_MAX: Duration = Duration::from_millis(50);
+    /// How long after the last activity the wait stays at `IDLE_MIN` before
+    /// backing off exponentially toward `IDLE_MAX`.
+    const HOT_WINDOW: Duration = Duration::from_millis(5);
+
     let start = Instant::now();
     let mut peers: HashMap<ProcessId, PeerOut> = peer_addrs
         .into_iter()
@@ -333,23 +679,17 @@ fn poller_loop<M: DeserializeOwned + Send + 'static>(
         }
         let mut progress = false;
 
-        // 1. Drain queued commands from the node thread.
         loop {
             match cmd_rx.try_recv() {
                 Ok(PollerCmd::Frames(frames)) => {
                     progress = true;
-                    for (to, frame) in frames {
-                        if let Some(peer) = peers.get_mut(&to) {
-                            peer.queue(&frame);
-                        }
-                    }
+                    queue_frames(frames, &mut peers, &stats);
                 }
                 Ok(PollerCmd::Shutdown) | Err(TryRecvError::Disconnected) => return,
                 Err(TryRecvError::Empty) => break,
             }
         }
 
-        // 2. Accept new inbound connections.
         loop {
             match listener.accept() {
                 Ok((stream, addr)) => {
@@ -361,28 +701,27 @@ fn poller_loop<M: DeserializeOwned + Send + 'static>(
                         buf: Vec::new(),
                         preamble_ok: false,
                         from: None,
+                        ready: true,
                     });
                     progress = true;
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-                Err(_) => break, // transient accept error; retry next iteration
+                Err(_) => break,
             }
         }
 
-        // 3. Read and decode from every inbound connection.
-        inbound.retain_mut(|conn| service_inbound(conn, codec, &env_tx, &mut chunk, &mut progress));
+        inbound.retain_mut(|conn| {
+            let had = conn.buf.len();
+            let keep = service_inbound(conn, codec, &env_tx, &mut chunk);
+            progress |= conn.buf.len() != had || !keep;
+            keep
+        });
 
-        // 4. Dial due peers and flush their output buffers.
         let now = Instant::now();
         for peer in peers.values_mut() {
-            service_peer(peer, &hello, now, &mut progress);
+            progress |= service_peer(peer, &hello, now);
         }
 
-        // 5. Park on the command channel: a send from the node thread wakes
-        // the poller instantly; otherwise the wait stays minimal while there
-        // has been recent activity and backs off exponentially when the
-        // process is quiet. Never a busy spin — on a single-core box the
-        // node thread needs the CPU more than the poller needs another lap.
         if progress {
             last_progress = Instant::now();
             idle = IDLE_MIN;
@@ -393,11 +732,7 @@ fn poller_loop<M: DeserializeOwned + Send + 'static>(
             Ok(PollerCmd::Frames(frames)) => {
                 last_progress = Instant::now();
                 idle = IDLE_MIN;
-                for (to, frame) in frames {
-                    if let Some(peer) = peers.get_mut(&to) {
-                        peer.queue(&frame);
-                    }
-                }
+                queue_frames(frames, &mut peers, &stats);
             }
             Ok(PollerCmd::Shutdown) => return,
             Err(crossbeam_channel::RecvTimeoutError::Timeout) => {}
@@ -416,15 +751,11 @@ fn service_inbound<M: DeserializeOwned>(
     codec: WireCodec,
     env_tx: &Sender<Envelope<M>>,
     chunk: &mut [u8],
-    progress: &mut bool,
 ) -> bool {
     loop {
         match conn.stream.read(chunk) {
             Ok(0) => return false,
-            Ok(n) => {
-                conn.buf.extend_from_slice(&chunk[..n]);
-                *progress = true;
-            }
+            Ok(n) => conn.buf.extend_from_slice(&chunk[..n]),
             Err(e) if e.kind() == ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == ErrorKind::Interrupted => continue,
             Err(_) => return false,
@@ -478,32 +809,25 @@ fn service_inbound<M: DeserializeOwned>(
 
 /// Dials a peer if due and flushes its output buffer with coalesced writes:
 /// everything queued goes to the kernel in as few `write` calls as the
-/// socket buffer allows.
-fn service_peer(peer: &mut PeerOut, hello: &[u8], now: Instant, progress: &mut bool) {
+/// socket buffer allows. Returns whether any progress (dial or bytes
+/// written) was made.
+fn service_peer(peer: &mut PeerOut, hello: &[u8], now: Instant) -> bool {
+    let mut progress = false;
     if peer.conn.is_none() {
         // Dial lazily: only a peer we have bytes for is worth a connection.
         if peer.queued() == 0 || now < peer.next_dial {
-            return;
+            return false;
         }
         match TcpStream::connect_timeout(&peer.addr, DIAL_TIMEOUT) {
             Ok(stream) => {
-                let _ = stream.set_nodelay(true);
-                let _ = stream.set_nonblocking(true);
                 // The fresh connection starts with preamble + Hello, then
                 // whatever queued up while the peer was down.
-                let mut buf = Vec::with_capacity(hello.len() + peer.queued());
-                buf.extend_from_slice(hello);
-                buf.extend_from_slice(&peer.outbuf[peer.offset..]);
-                peer.outbuf = buf;
-                peer.offset = 0;
-                peer.conn = Some(stream);
-                peer.backoff = BACKOFF_INITIAL;
-                *progress = true;
+                peer.adopt_connection(stream, hello);
+                progress = true;
             }
             Err(_) => {
-                peer.next_dial = now + peer.backoff;
-                peer.backoff = (peer.backoff * 2).min(BACKOFF_MAX);
-                return;
+                peer.note_dial_failure(now);
+                return false;
             }
         }
     }
@@ -512,17 +836,17 @@ fn service_peer(peer: &mut PeerOut, hello: &[u8], now: Instant, progress: &mut b
         match stream.write(&peer.outbuf[peer.offset..]) {
             Ok(0) => {
                 peer.disconnect(now);
-                return;
+                return true;
             }
             Ok(n) => {
                 peer.offset += n;
-                *progress = true;
+                progress = true;
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => break, // socket buffer full
             Err(e) if e.kind() == ErrorKind::Interrupted => continue,
             Err(_) => {
                 peer.disconnect(now);
-                return;
+                return true;
             }
         }
     }
@@ -533,6 +857,7 @@ fn service_peer(peer: &mut PeerOut, hello: &[u8], now: Instant, progress: &mut b
         peer.outbuf.drain(..peer.offset);
         peer.offset = 0;
     }
+    progress
 }
 
 /// One protocol node running over real TCP: the per-process runtime behind
@@ -541,10 +866,17 @@ fn service_peer(peer: &mut PeerOut, hello: &[u8], now: Instant, progress: &mut b
 /// The node runs the same event loop as [`InProcessCluster`](crate::InProcessCluster)
 /// — only the transport differs — so a protocol that is correct under the
 /// simulator and the in-process runtime behaves identically here.
+///
+/// The delivery accessors return [`WbamError::NotReady`] when the node
+/// thread has panicked while publishing deliveries (a poisoned delivery
+/// log): one dead node thread must surface as an error to the embedder, not
+/// as a panic cascade through every thread that touches the log.
 pub struct TcpNode<M> {
     id: ProcessId,
     env_tx: Sender<Envelope<M>>,
     cmd_tx: Sender<PollerCmd>,
+    waker: PollerWaker,
+    stats: Arc<TransportStats>,
     deliveries: Arc<DeliveryLog>,
     shutdown: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
@@ -580,7 +912,8 @@ impl<M: Serialize + DeserializeOwned + Send + 'static> TcpNode<M> {
     /// # Errors
     ///
     /// Returns [`WbamError::UnknownProcess`] when `addrs` has no entry for
-    /// the node, or [`WbamError::Io`] when binding its listen address fails.
+    /// the node, or [`WbamError::Io`] when binding its listen address (or
+    /// creating the poller's wake pipe) fails.
     pub fn spawn_with_codec(
         node: BoxedNode<M>,
         addrs: &BTreeMap<ProcessId, SocketAddr>,
@@ -605,15 +938,21 @@ impl<M: Serialize + DeserializeOwned + Send + 'static> TcpNode<M> {
             // only read once the poller starts accepting).
             let _ = env_tx.send(Envelope::Restart);
         }
-        let (transport, cmd_tx, poller) = TcpTransport::new(
+        let (transport, poller) = TcpTransport::new(
             id,
             codec,
             listener,
             env_tx.clone(),
             addrs,
             Arc::clone(&shutdown),
-        );
-        threads.push(poller);
+        )?;
+        let PollerHandle {
+            cmd_tx,
+            waker,
+            stats,
+            thread,
+        } = poller;
+        threads.push(thread);
         {
             let deliveries = Arc::clone(&deliveries);
             threads.push(std::thread::spawn(move || {
@@ -624,6 +963,8 @@ impl<M: Serialize + DeserializeOwned + Send + 'static> TcpNode<M> {
             id,
             env_tx,
             cmd_tx,
+            waker,
+            stats,
             deliveries,
             shutdown,
             threads,
@@ -662,26 +1003,77 @@ impl<M: Serialize + DeserializeOwned + Send + 'static> TcpNode<M> {
         })
     }
 
+    /// Errors out when the node thread has panicked while holding the
+    /// delivery log, so embedders get a typed error instead of a cascade.
+    fn check_log(&self) -> Result<(), WbamError> {
+        if self.deliveries.is_poisoned() {
+            return Err(WbamError::NotReady {
+                process: self.id,
+                reason: "node thread panicked while publishing deliveries; \
+                         the delivery log may be incomplete"
+                    .to_string(),
+            });
+        }
+        Ok(())
+    }
+
     /// A snapshot of the deliveries currently buffered.
-    pub fn deliveries(&self) -> Vec<RuntimeDelivery> {
-        self.deliveries.snapshot()
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WbamError::NotReady`] when the node thread has panicked
+    /// while publishing deliveries.
+    pub fn deliveries(&self) -> Result<Vec<RuntimeDelivery>, WbamError> {
+        self.check_log()?;
+        Ok(self.deliveries.snapshot())
     }
 
     /// Removes and returns all buffered deliveries (see
     /// [`InProcessCluster::drain_deliveries`](crate::InProcessCluster::drain_deliveries)).
-    pub fn drain_deliveries(&self) -> Vec<RuntimeDelivery> {
-        self.deliveries.drain()
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::deliveries`].
+    pub fn drain_deliveries(&self) -> Result<Vec<RuntimeDelivery>, WbamError> {
+        self.check_log()?;
+        Ok(self.deliveries.drain())
     }
 
     /// Total number of deliveries observed since spawn, including drained ones.
-    pub fn total_deliveries(&self) -> u64 {
-        self.deliveries.total()
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::deliveries`].
+    pub fn total_deliveries(&self) -> Result<u64, WbamError> {
+        self.check_log()?;
+        Ok(self.deliveries.total())
     }
 
     /// Blocks until the cumulative delivery count reaches `count` or the
     /// timeout expires; returns whether the count was reached.
-    pub fn wait_for_total(&self, count: u64, timeout: Duration) -> bool {
-        self.deliveries.wait_for_total(count, timeout)
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::deliveries`] — a node thread that panicked
+    /// before or during the wait surfaces as the error, not a stuck `false`.
+    pub fn wait_for_total(&self, count: u64, timeout: Duration) -> Result<bool, WbamError> {
+        let reached = self.deliveries.wait_for_total(count, timeout);
+        self.check_log()?;
+        Ok(reached)
+    }
+
+    /// Total frames this node's transport dropped at the per-peer output
+    /// buffer cap since spawn. Zero in any fault-free run; non-zero means a
+    /// peer stayed unreachable long enough to fill its 8 MiB buffer and the
+    /// protocols' retry timers carried the loss.
+    pub fn dropped_frames(&self) -> u64 {
+        self.stats.dropped_frames()
+    }
+
+    /// Frames dropped at the output-buffer cap, by destination peer (peers
+    /// with zero drops are omitted).
+    pub fn dropped_frames_by_peer(&self) -> BTreeMap<ProcessId, u64> {
+        self.stats.dropped_frames_by_peer()
     }
 
     /// Time since the node was spawned.
@@ -689,11 +1081,14 @@ impl<M: Serialize + DeserializeOwned + Send + 'static> TcpNode<M> {
         self.started.elapsed()
     }
 
-    /// Stops the node and its poller thread and waits for them to exit.
+    /// Stops the node and its poller thread and waits for them to exit. The
+    /// explicit wake means the poller observes the shutdown immediately,
+    /// even when it is parked with no timeout.
     pub fn shutdown(mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
         let _ = self.env_tx.send(Envelope::Shutdown);
         let _ = self.cmd_tx.send(PollerCmd::Shutdown);
+        self.waker.wake();
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
@@ -733,6 +1128,7 @@ mod tests {
 
     fn order_of(node: &TcpNode<WhiteBoxMsg>) -> Vec<MsgId> {
         node.deliveries()
+            .expect("delivery log healthy")
             .iter()
             .map(|d| d.delivery.msg.id)
             .collect()
@@ -740,7 +1136,8 @@ mod tests {
 
     /// A 2-group × 3-replica cluster over real loopback sockets delivers
     /// cross-group multicasts in identical per-replica order (binary codec,
-    /// the deployed default).
+    /// the deployed default), and a fault-free run drops zero frames at the
+    /// output-buffer cap.
     #[test]
     fn tcp_cluster_delivers_cross_group_multicasts_in_order() {
         let cluster = ClusterConfig::builder().groups(2, 3).clients(1).build();
@@ -771,13 +1168,13 @@ mod tests {
                 ))
                 .unwrap();
         }
-        assert!(client.wait_for_total(5, Duration::from_secs(30)));
+        assert!(client.wait_for_total(5, Duration::from_secs(30)).unwrap());
         for r in &replicas {
             assert!(
-                r.wait_for_total(5, Duration::from_secs(30)),
+                r.wait_for_total(5, Duration::from_secs(30)).unwrap(),
                 "replica {} delivered only {}",
                 r.id(),
-                r.total_deliveries()
+                r.total_deliveries().unwrap()
             );
         }
         let reference = order_of(&replicas[0]);
@@ -785,6 +1182,11 @@ mod tests {
         for r in &replicas[1..] {
             assert_eq!(order_of(r), reference, "replica {} order differs", r.id());
         }
+        for r in &replicas {
+            assert_eq!(r.dropped_frames(), 0, "replica {} dropped frames", r.id());
+            assert!(r.dropped_frames_by_peer().is_empty());
+        }
+        assert_eq!(client.dropped_frames(), 0);
         for r in replicas {
             r.shutdown();
         }
@@ -823,9 +1225,9 @@ mod tests {
                 ))
                 .unwrap();
         }
-        assert!(client.wait_for_total(3, Duration::from_secs(30)));
+        assert!(client.wait_for_total(3, Duration::from_secs(30)).unwrap());
         for r in &replicas {
-            assert!(r.wait_for_total(3, Duration::from_secs(30)));
+            assert!(r.wait_for_total(3, Duration::from_secs(30)).unwrap());
         }
         let reference = order_of(&replicas[0]);
         for r in &replicas[1..] {
@@ -922,7 +1324,7 @@ mod tests {
         for seq in 0..3 {
             submit(seq);
         }
-        assert!(client.wait_for_total(3, Duration::from_secs(30)));
+        assert!(client.wait_for_total(3, Duration::from_secs(30)).unwrap());
 
         // Kill the follower p1 (its listener and sockets die with it).
         let victim = members[1];
@@ -932,7 +1334,7 @@ mod tests {
         for seq in 3..5 {
             submit(seq);
         }
-        assert!(client.wait_for_total(5, Duration::from_secs(30)));
+        assert!(client.wait_for_total(5, Duration::from_secs(30)).unwrap());
 
         // A fresh process takes over the victim's address and rejoins.
         let rejoined = spawn_replica(&cluster, &addrs, victim, true, WireCodec::Binary);
@@ -940,13 +1342,13 @@ mod tests {
         // keeps up with new traffic.
         submit(5);
         assert!(
-            rejoined.wait_for_total(6, Duration::from_secs(30)),
+            rejoined.wait_for_total(6, Duration::from_secs(30)).unwrap(),
             "rejoined replica delivered only {}",
-            rejoined.total_deliveries()
+            rejoined.total_deliveries().unwrap()
         );
-        assert!(client.wait_for_total(6, Duration::from_secs(30)));
+        assert!(client.wait_for_total(6, Duration::from_secs(30)).unwrap());
         let survivor = &replicas[&members[0]];
-        assert!(survivor.wait_for_total(6, Duration::from_secs(30)));
+        assert!(survivor.wait_for_total(6, Duration::from_secs(30)).unwrap());
         assert_eq!(
             order_of(&rejoined),
             order_of(survivor),
@@ -958,5 +1360,84 @@ mod tests {
             r.shutdown();
         }
         client.shutdown();
+    }
+
+    /// Regression for the dial-backoff state machine, exercised directly on
+    /// [`PeerOut`] (the poller runs these exact transitions): repeated dial
+    /// failures climb the backoff exponentially to its cap, and a successful
+    /// (re)connect resets it to [`BACKOFF_INITIAL`] — a later outage must
+    /// start from the fast 10 ms re-dial, not inherit a stale half-second
+    /// delay from an earlier one.
+    #[test]
+    fn dial_backoff_resets_after_successful_reconnect() {
+        // A port that was bound and released: dials are refused immediately.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").expect("bind port 0");
+            l.local_addr().expect("local addr")
+        };
+        let start = Instant::now();
+        let mut peer = PeerOut::new(addr, start);
+        assert!(peer.queue(b"frame"), "empty buffer accepts a frame");
+
+        // Fail enough dials to saturate the backoff at its cap. Each attempt
+        // is made exactly when due, as the poller's timeout handling does.
+        let mut expected = BACKOFF_INITIAL;
+        for _ in 0..10 {
+            let now = peer.next_dial;
+            assert!(!service_peer(&mut peer, b"hello", now), "dial must fail");
+            assert!(peer.conn.is_none());
+            assert_eq!(peer.next_dial, now + expected, "wrong re-dial deadline");
+            expected = (expected * 2).min(BACKOFF_MAX);
+        }
+        assert_eq!(peer.backoff, BACKOFF_MAX, "backoff saturates at the cap");
+
+        // The peer comes back: the next due dial succeeds and must reset the
+        // backoff so the *next* outage re-dials fast.
+        let listener = TcpListener::bind(addr).expect("rebind victim port");
+        let due = peer.next_dial;
+        assert!(service_peer(&mut peer, b"hello", due));
+        assert!(peer.conn.is_some(), "reconnected");
+        assert_eq!(
+            peer.backoff, BACKOFF_INITIAL,
+            "stale backoff survived the reconnect"
+        );
+        // And losing the fresh connection re-dials after BACKOFF_INITIAL,
+        // not after the previous outage's saturated 500 ms.
+        let now = Instant::now();
+        peer.disconnect(now);
+        assert_eq!(peer.next_dial, now + BACKOFF_INITIAL);
+        drop(listener);
+    }
+
+    /// Frames beyond [`OUTBUF_CAP`] are dropped (never truncated) and the
+    /// drop is counted per peer through [`TransportStats`].
+    #[test]
+    fn outbuf_overflow_drops_whole_frames_and_counts_them() {
+        let addr = "127.0.0.1:9".parse().unwrap(); // never dialled here
+        let start = Instant::now();
+        let mut peers = HashMap::new();
+        peers.insert(ProcessId(7), PeerOut::new(addr, start));
+        let stats = TransportStats::for_peers([ProcessId(7)]);
+
+        let big = Bytes::from(vec![0u8; OUTBUF_CAP - 10]);
+        let small = Bytes::from(vec![1u8; 64]);
+        queue_frames(vec![(ProcessId(7), big)], &mut peers, &stats);
+        assert_eq!(stats.dropped_frames(), 0);
+        // The next frame would cross the cap: dropped whole, counted.
+        queue_frames(
+            vec![(ProcessId(7), small.clone()), (ProcessId(7), small)],
+            &mut peers,
+            &stats,
+        );
+        assert_eq!(stats.dropped_frames(), 2);
+        assert_eq!(stats.dropped_frames_by_peer()[&ProcessId(7)], 2);
+        // Unknown destinations are ignored, not counted against anyone.
+        queue_frames(
+            vec![(ProcessId(99), Bytes::from(vec![2u8; 8]))],
+            &mut peers,
+            &stats,
+        );
+        assert_eq!(stats.dropped_frames(), 2);
+        assert_eq!(peers[&ProcessId(7)].queued(), OUTBUF_CAP - 10);
     }
 }

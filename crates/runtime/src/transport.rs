@@ -9,9 +9,12 @@
 //! * [`ChannelTransport`] — in-process crossbeam channels, one per node
 //!   (used by [`InProcessCluster`](crate::InProcessCluster)); and
 //! * [`TcpTransport`](crate::tcp::TcpTransport) — real TCP sockets with
-//!   `wbam_types::wire` framing, driven by a single nonblocking poller
-//!   thread, used by the per-process [`TcpNode`](crate::tcp::TcpNode)
-//!   runtime and the `wbamd` deployment binary.
+//!   `wbam_types::wire` framing, driven by a single nonblocking
+//!   wake-on-ready poller thread (every socket plus a self-pipe wake fd
+//!   multiplexed through `poll(2)`; a `send_many` burst wakes the poller
+//!   with one byte down the pipe), used by the per-process
+//!   [`TcpNode`](crate::tcp::TcpNode) runtime and the `wbamd` deployment
+//!   binary.
 
 use std::collections::HashMap;
 use std::sync::Arc;
