@@ -1,13 +1,22 @@
 //! Minimal readiness-notification shim over `poll(2)` plus a self-pipe wake
-//! fd, declared directly against the C library — no `libc`/`mio` crates, in
-//! keeping with the workspace's hermetic `compat/` policy (see README.md).
+//! fd and POSIX signal helpers, declared directly against the C library — no
+//! `libc`/`mio`/`signal-hook` crates, in keeping with the workspace's
+//! hermetic `compat/` policy (see README.md).
 //!
-//! This exists for exactly one consumer: the single poller thread of the TCP
-//! transport in `wbam-runtime`. The poller multiplexes its listener, every
-//! peer socket and a [`WakePipe`] through [`poll`], so inbound bytes wake it
-//! the instant the kernel marks a socket readable and the node thread wakes
-//! it explicitly (one byte down the pipe) when it queues outbound frames —
-//! no timed parking on either path.
+//! The poll half exists for exactly one consumer: the single poller thread of
+//! the TCP transport in `wbam-runtime`. The poller multiplexes its listener,
+//! every peer socket and a [`WakePipe`] through [`poll`], so inbound bytes
+//! wake it the instant the kernel marks a socket readable and the node thread
+//! wakes it explicitly (one byte down the pipe) when it queues outbound
+//! frames — no timed parking on either path.
+//!
+//! The signal half ([`send_signal`], [`Signal`], [`termination_flag`]) exists
+//! for the deployed fault-injection harness in `wbam-harness`: the `net_chaos`
+//! driver pauses and resumes live `wbamd` processes with SIGSTOP/SIGCONT, and
+//! `wbamd` itself installs a SIGTERM flag so an orchestrator's terminate
+//! request drains the delivery log instead of killing the process mid-write.
+//! Both consumers keep their `#![forbid(unsafe_code)]` because the raw
+//! `kill(2)`/`signal(2)` calls live here.
 //!
 //! Everything here is `cfg(unix)`: `poll(2)`, `pipe(2)` and `fcntl(2)` are
 //! POSIX, and the handful of constants baked in below are identical across
@@ -84,6 +93,8 @@ mod unix {
             pub fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
             pub fn write(fd: i32, buf: *const u8, count: usize) -> isize;
             pub fn close(fd: i32) -> i32;
+            pub fn kill(pid: i32, sig: i32) -> i32;
+            pub fn signal(signum: i32, handler: usize) -> usize;
         }
     }
 
@@ -258,10 +269,102 @@ mod unix {
             }
         }
     }
+
+    /// The signals the fault-injection harness sends to live processes.
+    ///
+    /// Numbers are the POSIX/Linux values; `Stop`/`Cont` differ between
+    /// Linux and the BSDs/Darwin, handled per-target below.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Signal {
+        /// Graceful termination request (`SIGTERM`) — catchable; `wbamd`
+        /// drains its delivery log on it.
+        Term,
+        /// Immediate kill (`SIGKILL`) — uncatchable crash injection.
+        Kill,
+        /// Suspend the process (`SIGSTOP`) — uncatchable pause injection.
+        Stop,
+        /// Resume a stopped process (`SIGCONT`).
+        Cont,
+    }
+
+    impl Signal {
+        fn number(self) -> i32 {
+            match self {
+                Signal::Term => 15,
+                Signal::Kill => 9,
+                #[cfg(target_os = "linux")]
+                Signal::Stop => 19,
+                #[cfg(not(target_os = "linux"))]
+                Signal::Stop => 17,
+                #[cfg(target_os = "linux")]
+                Signal::Cont => 18,
+                #[cfg(not(target_os = "linux"))]
+                Signal::Cont => 19,
+            }
+        }
+    }
+
+    /// Sends `sig` to the process with id `pid` via `kill(2)`.
+    ///
+    /// Takes the `u32` process id that `std::process::Child::id` returns and
+    /// rejects ids that do not name a single positive process (0 and
+    /// anything that would go negative as a C `pid_t` address process
+    /// *groups*, which the harness must never signal by accident).
+    ///
+    /// # Errors
+    ///
+    /// `kill(2)` failures — most usefully `ESRCH` ([`io::ErrorKind::NotFound`]
+    /// on Linux maps to "No such process") when the target already exited —
+    /// or [`io::ErrorKind::InvalidInput`] for a group-addressing pid.
+    pub fn send_signal(pid: u32, sig: Signal) -> io::Result<()> {
+        let pid = i32::try_from(pid)
+            .ok()
+            .filter(|p| *p > 0)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "pid must be positive"))?;
+        // SAFETY: plain syscall on validated scalar arguments.
+        if unsafe { c::kill(pid, sig.number()) } == 0 {
+            Ok(())
+        } else {
+            Err(io::Error::last_os_error())
+        }
+    }
+
+    /// Set to `true` by the handler [`termination_flag`] installs.
+    static TERM_FLAG: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+    /// The `SIGTERM` handler: only an atomic store, which is async-signal-safe.
+    extern "C" fn term_handler(_signum: i32) {
+        TERM_FLAG.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Installs a `SIGTERM` handler that records the signal in an atomic
+    /// flag, and returns the flag. Idempotent — repeat calls reinstall the
+    /// same handler and return the same flag. The caller polls the flag from
+    /// its main loop and shuts down cleanly; nothing else happens at signal
+    /// time.
+    ///
+    /// # Errors
+    ///
+    /// `signal(2)` failure (`SIG_ERR`), as [`io::Error`].
+    pub fn termination_flag() -> io::Result<&'static std::sync::atomic::AtomicBool> {
+        const SIG_ERR: usize = usize::MAX;
+        // SAFETY: installing a handler that performs only an atomic store;
+        // `signal(2)` itself has no memory-safety preconditions.
+        let handler = term_handler as extern "C" fn(i32) as *const () as usize;
+        let prev = unsafe { c::signal(Signal::Term.number(), handler) };
+        if prev == SIG_ERR {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(&TERM_FLAG)
+        }
+    }
 }
 
 #[cfg(unix)]
-pub use unix::{poll, PollFd, WakePipe, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
+pub use unix::{
+    poll, send_signal, termination_flag, PollFd, Signal, WakePipe, POLLERR, POLLHUP, POLLIN,
+    POLLNVAL, POLLOUT,
+};
 
 #[cfg(all(test, unix))]
 mod tests {
@@ -351,5 +454,54 @@ mod tests {
         let mut fds = [PollFd::new(served.as_raw_fd(), POLLIN)];
         assert_eq!(poll(&mut fds, Some(Duration::from_secs(5))).unwrap(), 1);
         assert!(fds[0].readable());
+    }
+
+    #[test]
+    fn send_signal_rejects_group_addressing_pids() {
+        assert_eq!(
+            send_signal(0, Signal::Kill).unwrap_err().kind(),
+            std::io::ErrorKind::InvalidInput
+        );
+        assert_eq!(
+            send_signal(u32::MAX, Signal::Kill).unwrap_err().kind(),
+            std::io::ErrorKind::InvalidInput
+        );
+    }
+
+    #[test]
+    fn stop_cont_kill_drive_a_real_child_process() {
+        // `sleep 30` as a guinea pig: STOP must not terminate it, CONT must
+        // leave it running, KILL must end it with the SIGKILL status.
+        let mut child = std::process::Command::new("sleep")
+            .arg("30")
+            .spawn()
+            .unwrap();
+        let pid = child.id();
+        send_signal(pid, Signal::Stop).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(child.try_wait().unwrap().is_none(), "STOP must not reap");
+        send_signal(pid, Signal::Cont).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(
+            child.try_wait().unwrap().is_none(),
+            "CONT resumes, not exits"
+        );
+        send_signal(pid, Signal::Kill).unwrap();
+        let status = child.wait().unwrap();
+        assert!(!status.success());
+        use std::os::unix::process::ExitStatusExt;
+        assert_eq!(status.signal(), Some(9));
+    }
+
+    #[test]
+    fn termination_flag_is_set_by_a_real_sigterm() {
+        let flag = termination_flag().unwrap();
+        assert!(!flag.load(std::sync::atomic::Ordering::Relaxed));
+        send_signal(std::process::id(), Signal::Term).unwrap();
+        let begin = Instant::now();
+        while !flag.load(std::sync::atomic::Ordering::Relaxed) {
+            assert!(begin.elapsed() < Duration::from_secs(5), "flag never set");
+            std::thread::sleep(Duration::from_millis(1));
+        }
     }
 }

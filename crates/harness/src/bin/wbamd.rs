@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! wbamd --spec cluster.json --id N [--restart] [--wire binary|json]
-//!       [--deliveries FILE]
+//!       [--deliveries FILE] [--stdin-stop]
 //!       [--multicast N [--outstanding K] [--dest g0,g1] [--payload BYTES]
 //!        [--warmup W] [--first-seq S] [--summary FILE]]
 //! ```
@@ -11,11 +11,18 @@
 //! [`DeploySpec`] JSON file and its own `--id`. `--wire` overrides the
 //! spec's wire codec (compact binary by default, `json` for debuggable
 //! frames); all processes must agree or the connection preamble rejects the
-//! mismatch with a clear error.
-//! Replica processes run until killed, appending one
+//! mismatch with a clear error. When the spec carries a `routes` matrix the
+//! process dials its peers through those (proxied) addresses while still
+//! listening on its own `addrs` entry — how the `net_chaos` harness
+//! interposes its fault-injecting proxy on every link.
+//! Replica processes run until stopped, appending one
 //! [`DeliveryLine`] JSON line per delivery to
 //! `--deliveries` (flushed per line, so an orchestrator can tail it and a
-//! `SIGKILL` loses at most the in-flight line). Re-deploying a killed replica
+//! `SIGKILL` loses at most the in-flight line). `SIGTERM` — and stdin
+//! reaching EOF, when the orchestrator opts in with `--stdin-stop` — stops a
+//! replica *gracefully*: it drains the delivery log, writes a final
+//! `graceful stop` stats line to stderr and exits 0, so a chaos run can tell
+//! a clean stop from a crash. Re-deploying a killed replica
 //! with `--restart` makes the fresh process rejoin its group through the
 //! protocol's `Event::Restart` path: a fresh ballot via the `NEW_LEADER`
 //! handshake, state re-synchronised from a quorum.
@@ -32,6 +39,8 @@
 use std::fs::OpenOptions;
 use std::io::Write as _;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use serde::de::DeserializeOwned;
@@ -45,12 +54,47 @@ use wbam_types::{AppMessage, Destination, GroupId, MsgId, Payload, ProcessId, Wb
 /// long, the client exits non-zero instead of hanging forever.
 const CLIENT_STALL_TIMEOUT: Duration = Duration::from_secs(60);
 
+/// How long startup retries a failing listener bind before giving up.
+const BIND_RETRY_WINDOW: Duration = Duration::from_secs(3);
+
+/// Spawns the node's TCP runtime, retrying transient listener-bind failures.
+///
+/// Orchestrators reserve "free" ports by bind-then-release, and between that
+/// release and our bind, an *outgoing* connection of the same deployment (a
+/// proxy dial, a client retry) can be assigned the very same port as its
+/// ephemeral source port — making our bind fail with `EADDRINUSE` even
+/// though nothing listens there. Such collisions clear as soon as that
+/// connection closes, so a dying-on-first-error daemon turns a microscopic
+/// timing race into a dead replica (seen live in a net-chaos sweep as a
+/// replica exiting 1 at startup with an empty delivery log). `spawn` only
+/// performs socket I/O while setting up the listener, so every `Io` error
+/// here is a bind-path failure and worth the brief retry.
+fn spawn_with_bind_retry<M: Serialize + DeserializeOwned + Send + 'static>(
+    make_node: impl Fn() -> Result<BoxedNode<M>, WbamError>,
+    addrs: &std::collections::BTreeMap<ProcessId, std::net::SocketAddr>,
+    restart: bool,
+    codec: wbam_types::wire::WireCodec,
+) -> Result<TcpNode<M>, WbamError> {
+    let begin = Instant::now();
+    loop {
+        match TcpNode::spawn_with_codec(make_node()?, addrs, restart, codec) {
+            Ok(node) => return Ok(node),
+            Err(WbamError::Io(e)) if begin.elapsed() < BIND_RETRY_WINDOW => {
+                eprintln!("wbamd: listener bind failed ({e}); retrying");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 struct Args {
     spec: String,
     id: u32,
     restart: bool,
     wire: Option<String>,
     deliveries: Option<String>,
+    stdin_stop: bool,
     multicast: Option<u64>,
     outstanding: u64,
     dest: Option<Vec<GroupId>>,
@@ -69,6 +113,7 @@ fn parse_args() -> Result<Args, String> {
         restart: false,
         wire: None,
         deliveries: None,
+        stdin_stop: false,
         multicast: None,
         outstanding: 1,
         dest: None,
@@ -101,6 +146,7 @@ fn parse_args() -> Result<Args, String> {
                 args.wire = Some(name);
             }
             "--deliveries" => args.deliveries = Some(value("--deliveries")?),
+            "--stdin-stop" => args.stdin_stop = true,
             "--multicast" => {
                 let count: u64 = value("--multicast")?
                     .parse()
@@ -145,7 +191,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: wbamd --spec FILE --id N [--restart] [--wire binary|json] \
-                     [--deliveries FILE] \
+                     [--deliveries FILE] [--stdin-stop] \
                      [--multicast N [--outstanding K] [--dest g0,g1] [--payload BYTES] \
                      [--warmup W] [--first-seq S] [--summary FILE]]"
                         .to_string(),
@@ -189,19 +235,81 @@ impl JsonlSink {
     }
 }
 
-/// Runs a replica process: drain deliveries forever (until killed), blocking
-/// on the delivery log's condvar between batches. Transport frame drops (a
-/// peer down long enough to fill its output buffer) are surfaced on stderr
-/// as they grow — a deployed replica must never lose frames silently.
-fn run_replica<M>(node: TcpNode<M>, mut sink: JsonlSink) -> Result<(), WbamError>
+/// The ways a replica process is asked to stop gracefully: `SIGTERM`
+/// (always handled, via the `netpoll` flag) and stdin reaching EOF (only
+/// when the orchestrator passes `--stdin-stop` — many test runners hand
+/// children an already-closed stdin, so EOF alone must not mean "exit").
+struct StopSignal {
+    term: Option<&'static AtomicBool>,
+    stdin_eof: Arc<AtomicBool>,
+}
+
+impl StopSignal {
+    fn install(stdin_stop: bool) -> StopSignal {
+        #[cfg(unix)]
+        let term = match netpoll::termination_flag() {
+            Ok(flag) => Some(flag),
+            Err(e) => {
+                eprintln!("wbamd: cannot install SIGTERM handler: {e}");
+                None
+            }
+        };
+        #[cfg(not(unix))]
+        let term = None;
+
+        let stdin_eof = Arc::new(AtomicBool::new(false));
+        if stdin_stop {
+            let flag = Arc::clone(&stdin_eof);
+            // Reads (and discards) stdin until EOF; the thread is detached
+            // and dies with the process.
+            std::thread::spawn(move || {
+                let mut stdin = std::io::stdin().lock();
+                let mut buf = [0u8; 256];
+                loop {
+                    match std::io::Read::read(&mut stdin, &mut buf) {
+                        Ok(0) => break,
+                        Ok(_) => continue,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(_) => break,
+                    }
+                }
+                flag.store(true, Ordering::Relaxed);
+            });
+        }
+        StopSignal { term, stdin_eof }
+    }
+
+    fn stopped(&self) -> Option<&'static str> {
+        if self.term.is_some_and(|f| f.load(Ordering::Relaxed)) {
+            Some("SIGTERM")
+        } else if self.stdin_eof.load(Ordering::Relaxed) {
+            Some("stdin EOF")
+        } else {
+            None
+        }
+    }
+}
+
+/// Runs a replica process: drain deliveries until asked to stop, blocking on
+/// the delivery log's condvar between batches (the short timeout only bounds
+/// how often the stop flags are checked). Transport frame drops (a peer down
+/// long enough to fill its output buffer) are surfaced on stderr as they
+/// grow — a deployed replica must never lose frames silently. A graceful
+/// stop performs one final drain, writes a `graceful stop` stats line and
+/// returns `Ok`, so orchestrators can tell it from a crash by the exit
+/// status alone.
+fn run_replica<M>(node: TcpNode<M>, mut sink: JsonlSink, stop: &StopSignal) -> Result<(), WbamError>
 where
     M: Serialize + DeserializeOwned + Send + 'static,
 {
     let id = node.id();
     let mut seen = 0u64;
     let mut reported_drops = 0u64;
-    loop {
-        node.wait_for_total(seen + 1, Duration::from_secs(3600))?;
+    let reason = loop {
+        if let Some(reason) = stop.stopped() {
+            break reason;
+        }
+        node.wait_for_total(seen + 1, Duration::from_millis(250))?;
         for d in node.drain_deliveries()? {
             seen += 1;
             sink.write(&DeliveryLine::new(
@@ -220,7 +328,26 @@ where
             );
             reported_drops = dropped;
         }
+    };
+    // Final drain: deliveries the protocol completed between the last wait
+    // and the stop request still reach the log before the process exits.
+    for d in node.drain_deliveries()? {
+        seen += 1;
+        sink.write(&DeliveryLine::new(
+            id,
+            d.delivery.msg.id,
+            d.delivery.global_ts,
+            d.elapsed,
+        ))?;
     }
+    let dropped = node.dropped_frames();
+    eprintln!(
+        "wbamd: p{} graceful stop ({reason}): delivered={seen} dropped_frames={dropped} by_peer={:?}",
+        id.0,
+        node.dropped_frames_by_peer()
+    );
+    node.shutdown();
+    Ok(())
 }
 
 /// Runs a client process closed-loop and returns its summary.
@@ -361,7 +488,9 @@ fn run() -> Result<(), WbamError> {
     let spec = DeploySpec::from_json(&spec_json)?;
     let id = ProcessId(args.id);
     let role = spec.role_of(id)?;
-    let addrs = spec.addr_map()?;
+    // Listen on the own `addrs` entry, dial peers through `routes` when the
+    // spec interposes a proxy on the links.
+    let addrs = spec.dial_map(id)?;
     let codec = match &args.wire {
         Some(name) => {
             wbam_types::wire::WireCodec::from_name(name).expect("validated by parse_args")
@@ -383,42 +512,55 @@ fn run() -> Result<(), WbamError> {
             process: id,
             reason: "client processes need --multicast".to_string(),
         }),
-        (DeployRole::Replica(_), None) => match spec.protocol()? {
-            wbam_harness::Protocol::WhiteBox => {
-                let node: BoxedNode<_> = Box::new(spec.whitebox_replica(id)?);
-                run_replica(
-                    TcpNode::spawn_with_codec(node, &addrs, args.restart, codec)?,
+        (DeployRole::Replica(_), None) => {
+            let stop = StopSignal::install(args.stdin_stop);
+            match spec.protocol()? {
+                wbam_harness::Protocol::WhiteBox => run_replica(
+                    spawn_with_bind_retry(
+                        || Ok(Box::new(spec.whitebox_replica(id)?) as BoxedNode<_>),
+                        &addrs,
+                        args.restart,
+                        codec,
+                    )?,
                     sink,
-                )
-            }
-            _ => {
-                let node: BoxedNode<_> = Box::new(spec.baseline_replica(id)?);
-                run_replica(
-                    TcpNode::spawn_with_codec(node, &addrs, args.restart, codec)?,
+                    &stop,
+                ),
+                _ => run_replica(
+                    spawn_with_bind_retry(
+                        || Ok(Box::new(spec.baseline_replica(id)?) as BoxedNode<_>),
+                        &addrs,
+                        args.restart,
+                        codec,
+                    )?,
                     sink,
-                )
+                    &stop,
+                ),
             }
-        },
+        }
         (DeployRole::Client, Some(_)) => {
             let summary = match spec.protocol()? {
-                wbam_harness::Protocol::WhiteBox => {
-                    let node: BoxedNode<_> = Box::new(spec.whitebox_client(id)?);
-                    run_client(
-                        TcpNode::spawn_with_codec(node, &addrs, args.restart, codec)?,
-                        &args,
-                        dest,
-                        sink,
-                    )?
-                }
-                _ => {
-                    let node: BoxedNode<_> = Box::new(spec.baseline_client(id)?);
-                    run_client(
-                        TcpNode::spawn_with_codec(node, &addrs, args.restart, codec)?,
-                        &args,
-                        dest,
-                        sink,
-                    )?
-                }
+                wbam_harness::Protocol::WhiteBox => run_client(
+                    spawn_with_bind_retry(
+                        || Ok(Box::new(spec.whitebox_client(id)?) as BoxedNode<_>),
+                        &addrs,
+                        args.restart,
+                        codec,
+                    )?,
+                    &args,
+                    dest,
+                    sink,
+                )?,
+                _ => run_client(
+                    spawn_with_bind_retry(
+                        || Ok(Box::new(spec.baseline_client(id)?) as BoxedNode<_>),
+                        &addrs,
+                        args.restart,
+                        codec,
+                    )?,
+                    &args,
+                    dest,
+                    sink,
+                )?,
             };
             if let Some(path) = &args.summary {
                 std::fs::write(path, to_json(&summary)?).map_err(WbamError::from)?;

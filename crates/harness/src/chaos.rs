@@ -1,0 +1,1012 @@
+//! The deployed chaos driver: seeded fault plans against a *live* `wbamd`
+//! cluster.
+//!
+//! This is the deployment-side counterpart of the [`explorer`](crate::explorer):
+//! one 64-bit seed derives a complete experiment — a [`NemesisPlan`] of link
+//! drops/duplicates/delays and a partition window, process-level faults
+//! (SIGKILL with `--restart` redeploy, SIGSTOP/SIGCONT pauses) and a
+//! key-value workload — which [`run_net_token`] then executes against six
+//! real `wbamd` OS processes whose every TCP link runs through a
+//! [`NemesisProxy`]. When the dust settles the driver
+//! stops the cluster gracefully (SIGTERM — exercising the daemons' drain
+//! path), parses the drained delivery logs, and checks:
+//!
+//! * global-timestamp **agreement** per message and the Figure 6 **total
+//!   order** over every observer's delivery log
+//!   (`wbam_core::invariants::check_total_order`),
+//! * the key-value store **linearizability oracle**
+//!   ([`KvHistory::check_excusing`]) over replayed per-replica applies and
+//!   the client's invocations/completions, with the PR 3/4 excusals: crash
+//!   victims are `faulty`, drop-bearing plans are `lossy`, and a restarted
+//!   incarnation gets a state-transfer watermark excusal at its first logged
+//!   timestamp, and
+//! * **termination** — the white-box protocol's retry machinery must
+//!   complete every submitted operation despite the chaos.
+//!
+//! # Replayability
+//!
+//! The *plan* is replayable byte for byte: the same token always derives the
+//! same nemesis knobs, partition window, crash/pause schedule and workload
+//! ([`NetChaosPlan::digest`] is equal), and the proxy's per-link fate
+//! streams are the same function of the seed. What a live cluster *does*
+//! under that plan — thread scheduling, packet timing, which retry wins — is
+//! real-world nondeterminism; that is the point of running deployed. A
+//! failing seed therefore reproduces the same attack, not necessarily the
+//! same interleaving, which is the standard Jepsen trade-off.
+//!
+//! # Incarnations
+//!
+//! A SIGKILLed replica is redeployed with `--restart` and a *fresh* delivery
+//! log (`pN-restarted.jsonl`). For the checkers the two incarnations are
+//! separate observers (the restarted one gets a synthetic observer id
+//! [`RESTART_OBSERVER_BASE`]` + N`): the original's log is an honest prefix
+//! that simply stops, and the restarted one's log begins wherever checkpoint
+//! state transfer put it — which is exactly what the watermark excusal
+//! expresses.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+use wbam_core::invariants::check_total_order;
+use wbam_core::WhiteBoxMsg;
+use wbam_kvstore::{KvCommand, KvHistory, KvStore, Partitioner};
+use wbam_runtime::{BoxedNode, TcpNode};
+use wbam_types::wire::{from_json, WireCodec};
+use wbam_types::{
+    AppMessage, CrashSpec, GroupId, LinkFaults, MsgId, NemesisPlan, PartitionSpec, Payload,
+    ProcessId, Timestamp, WbamError,
+};
+
+use crate::cluster::Protocol;
+use crate::deploy::{ChildGuard, DeliveryLine, DeploySpec};
+use crate::explorer::splitmix64;
+use crate::proxy::{NemesisProxy, ProxyStats};
+
+/// Groups in the chaos topology.
+const NUM_GROUPS: usize = 2;
+/// Replicas per group (`2f + 1` with `f = 1`).
+const GROUP_SIZE: usize = 3;
+/// Replica process count; the driver's in-process client is the next id.
+const REPLICAS: u32 = (NUM_GROUPS * GROUP_SIZE) as u32;
+/// Keys the workload touches (small space maximises conflicts).
+const KEY_SPACE: u32 = 6;
+/// End of the probabilistic-fault window; scheduled faults all land inside.
+const CHAOS_END: Duration = Duration::from_secs(4);
+/// Gap between successive workload submissions.
+const SUBMIT_PACE: Duration = Duration::from_millis(40);
+/// Wall-clock ceiling for one run; hitting it is a termination violation.
+const RUN_DEADLINE: Duration = Duration::from_secs(60);
+/// Ceiling on the post-workload wait for the delivery logs to quiesce.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(20);
+/// Grace for a SIGTERMed `wbamd` to drain and exit 0.
+const STOP_DEADLINE: Duration = Duration::from_secs(5);
+/// Synthetic observer-id offset for restarted incarnations in the checkers.
+pub const RESTART_OBSERVER_BASE: u32 = 1000;
+
+/// Salt for the plan/workload RNG, keeping it independent of the proxy's
+/// per-link streams (which hash the raw seed).
+const NET_PLAN_SALT: u64 = 0x0DD5_EED5_0FCA_A051;
+
+fn ms(v: u64) -> Duration {
+    Duration::from_millis(v)
+}
+
+/// A replayable deployed-chaos identifier, printed as
+/// `WBAM_NET_SEED=n1:<protocol>:<seed-hex>`. The `n` version namespace is
+/// deliberately distinct from the simulator's `v` tokens: the derivations
+/// share nothing, so neither corpus can be replayed under the wrong engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetSeedToken {
+    /// The protocol under test (currently always the white-box protocol —
+    /// the baselines assume reliable channels and simply stall under loss).
+    pub protocol: Protocol,
+    /// The seed every part of the plan and workload derives from.
+    pub seed: u64,
+}
+
+impl fmt::Display for NetSeedToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "WBAM_NET_SEED=n1:{}:{:016x}",
+            self.protocol.label(),
+            self.seed
+        )
+    }
+}
+
+impl NetSeedToken {
+    /// Parses a token previously printed by [`fmt::Display`] (the
+    /// `WBAM_NET_SEED=` prefix is optional on input).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem for malformed tokens.
+    pub fn parse(s: &str) -> Result<NetSeedToken, String> {
+        let body = s.trim().strip_prefix("WBAM_NET_SEED=").unwrap_or(s.trim());
+        let parts: Vec<&str> = body.split(':').collect();
+        let [version, label, seed_hex] = parts[..] else {
+            return Err(format!("expected n1:<protocol>:<seed>, got `{body}`"));
+        };
+        if version != "n1" {
+            return Err(format!("net token version `{version}` not supported (n1)"));
+        }
+        let protocol = match label {
+            "WbCast" => Protocol::WhiteBox,
+            other => {
+                return Err(format!(
+                    "protocol `{other}` is not net-chaos capable (WbCast only: the \
+                     baselines assume reliable channels)"
+                ))
+            }
+        };
+        let seed =
+            u64::from_str_radix(seed_hex, 16).map_err(|e| format!("bad seed `{seed_hex}`: {e}"))?;
+        Ok(NetSeedToken { protocol, seed })
+    }
+}
+
+/// The token of plan `index` in a sweep starting at `base_seed` — the same
+/// golden-ratio splitmix derivation the simulator explorer uses.
+pub fn net_schedule_token(base_seed: u64, index: usize) -> NetSeedToken {
+    NetSeedToken {
+        protocol: Protocol::WhiteBox,
+        seed: splitmix64(base_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    }
+}
+
+/// A scheduled SIGSTOP/SIGCONT pause of one replica process — the deployed
+/// fault the simulator cannot express (a *frozen* process keeps its sockets
+/// open, so peers see silence rather than resets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PauseSpec {
+    /// When the process is stopped.
+    pub at: Duration,
+    /// The paused replica.
+    pub process: ProcessId,
+    /// When it is resumed.
+    pub resume: Duration,
+}
+
+/// Everything one net-chaos run does, derived purely from a token: the wire
+/// faults (executed by the proxy), the process faults, and the workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetChaosPlan {
+    /// Link faults, the partition window and the SIGKILL/redeploy schedule,
+    /// in the same [`NemesisPlan`] type the simulator executes.
+    pub nemesis: NemesisPlan,
+    /// SIGSTOP/SIGCONT pauses (deployed-only; no simulator equivalent).
+    pub pauses: Vec<PauseSpec>,
+    /// The key-value commands the driver's client submits, paced 40 ms
+    /// apart in index order.
+    pub ops: Vec<KvCommand>,
+}
+
+impl NetChaosPlan {
+    /// FNV-1a digest over every derived decision; equal digests mean the
+    /// token derived byte-for-byte identical plans (the replayability
+    /// contract — see the module docs for what live runs add on top).
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut write = |bytes: &[u8]| {
+            for b in bytes {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        let link = self.nemesis.link;
+        write(&u64::from(link.drop_per_mille).to_le_bytes());
+        write(&u64::from(link.duplicate_per_mille).to_le_bytes());
+        write(&u64::from(link.reorder_per_mille).to_le_bytes());
+        write(&(link.reorder_extra.as_nanos() as u64).to_le_bytes());
+        for p in &self.nemesis.partitions {
+            write(&(p.start.as_nanos() as u64).to_le_bytes());
+            write(&(p.heal.as_nanos() as u64).to_le_bytes());
+            write(&[u8::from(p.symmetric)]);
+            for side in [&p.side_a, &p.side_b] {
+                for proc in side {
+                    write(&proc.0.to_le_bytes());
+                }
+            }
+        }
+        for c in &self.nemesis.crashes {
+            write(&(c.at.as_nanos() as u64).to_le_bytes());
+            write(&c.process.0.to_le_bytes());
+            let r = c.restart_at.map(|r| r.as_nanos() as u64 + 1).unwrap_or(0);
+            write(&r.to_le_bytes());
+        }
+        for p in &self.pauses {
+            write(&(p.at.as_nanos() as u64).to_le_bytes());
+            write(&p.process.0.to_le_bytes());
+            write(&(p.resume.as_nanos() as u64).to_le_bytes());
+        }
+        for op in &self.ops {
+            let enc = serde_json::to_vec(op).expect("commands encode");
+            write(&enc);
+        }
+        h
+    }
+}
+
+/// Derives the complete chaos plan of a token. Pure: the same token (and
+/// `messages` override) always produces the same plan. Every plan carries
+/// the acceptance trifecta — link drops, one partition with heal, one
+/// SIGKILL with `--restart` redeploy — plus optional duplicates, delays and
+/// a SIGSTOP pause.
+pub fn generate_net_plan(token: &NetSeedToken, messages: Option<usize>) -> NetChaosPlan {
+    let mut rng = StdRng::seed_from_u64(token.seed ^ NET_PLAN_SALT);
+    let mut nemesis = NemesisPlan {
+        chaos_end: Some(CHAOS_END),
+        ..NemesisPlan::quiet()
+    };
+    nemesis.link = LinkFaults {
+        drop_per_mille: rng.gen_range(10..=80u16),
+        duplicate_per_mille: if rng.gen_bool(0.6) {
+            rng.gen_range(10..=60u16)
+        } else {
+            0
+        },
+        ..LinkFaults::default()
+    };
+    if rng.gen_bool(0.6) {
+        nemesis.link.reorder_per_mille = rng.gen_range(20..=120u16);
+        nemesis.link.reorder_extra = ms(rng.gen_range(5..=40));
+    }
+
+    // One partition isolating one replica from everyone (client included),
+    // healed well inside the chaos window.
+    let isolated = ProcessId(rng.gen_range(0..REPLICAS));
+    let start = ms(rng.gen_range(500..=1200));
+    let heal = start + ms(rng.gen_range(400..=1000));
+    let side_b: Vec<ProcessId> = (0..=REPLICAS)
+        .map(ProcessId)
+        .filter(|p| *p != isolated)
+        .collect();
+    nemesis.partitions.push(PartitionSpec {
+        start,
+        heal,
+        side_a: vec![isolated],
+        side_b,
+        symmetric: rng.gen_bool(0.7),
+    });
+
+    // One SIGKILL, always redeployed with --restart: permanent crashes bound
+    // what the oracle can assert, and the restart path (state transfer into
+    // a live chaotic cluster) is the interesting one.
+    let victim = ProcessId(rng.gen_range(0..REPLICAS));
+    let at = ms(rng.gen_range(700..=1800));
+    nemesis.crashes.push(CrashSpec {
+        at,
+        process: victim,
+        restart_at: Some(at + ms(rng.gen_range(600..=1500))),
+    });
+
+    // Sometimes freeze a replica with SIGSTOP/SIGCONT. The pause is kept
+    // under the election timeout often enough to exercise both "nobody
+    // noticed" and "group re-elected around a zombie that then wakes up".
+    let mut pauses = Vec::new();
+    if rng.gen_bool(0.5) {
+        let frozen = ProcessId(rng.gen_range(0..REPLICAS));
+        let at = ms(rng.gen_range(400..=2500));
+        pauses.push(PauseSpec {
+            at,
+            process: frozen,
+            resume: at + ms(rng.gen_range(300..=800)),
+        });
+    }
+
+    // Workload: same command mix and key space as the simulator explorer.
+    let count = {
+        let derived = rng.gen_range(24..=40usize);
+        messages.unwrap_or(derived) // the draw happens either way: the op
+                                    // stream must not shift with the override
+    };
+    let key = |rng: &mut StdRng| format!("k{}", rng.gen_range(0..KEY_SPACE));
+    let mut ops = Vec::with_capacity(count);
+    for _ in 0..count {
+        let cmd = match rng.gen_range(0..100u32) {
+            0..=29 => KvCommand::put(&key(&mut rng), rng.gen_range(0..1000i64)),
+            30..=54 => KvCommand::add(&key(&mut rng), rng.gen_range(-50..50i64)),
+            55..=74 => {
+                let from = key(&mut rng);
+                let mut to = key(&mut rng);
+                while to == from {
+                    to = key(&mut rng);
+                }
+                KvCommand::transfer(&from, &to, rng.gen_range(1..100i64))
+            }
+            _ => KvCommand::get(&key(&mut rng)),
+        };
+        ops.push(cmd);
+    }
+
+    NetChaosPlan {
+        nemesis,
+        pauses,
+        ops,
+    }
+}
+
+/// Knobs of one [`run_net_token`] invocation.
+#[derive(Debug, Clone, Default)]
+pub struct NetChaosConfig {
+    /// Override the derived workload size (smaller for CI smokes). The same
+    /// token + the same override is the replay unit.
+    pub messages: Option<usize>,
+    /// Wire codec for the whole cluster (`None` → the deployed default,
+    /// binary).
+    pub wire: Option<WireCodec>,
+    /// Where to put the spec and delivery logs. `None` uses a fresh temp
+    /// directory that is removed again when the run passes and kept (and
+    /// named in the report) when it fails.
+    pub log_dir: Option<PathBuf>,
+    /// Path to the `wbamd` binary. `None` looks next to the current
+    /// executable (and in its parent, covering test binaries under
+    /// `target/*/deps/`), then at the `WBAMD_BIN` environment variable.
+    pub wbamd: Option<PathBuf>,
+}
+
+/// The outcome of one deployed chaos run.
+#[derive(Debug, Clone)]
+pub struct NetChaosReport {
+    /// The replay token.
+    pub token: NetSeedToken,
+    /// Digest of the derived plan+workload ([`NetChaosPlan::digest`]).
+    pub plan_digest: u64,
+    /// Operations submitted.
+    pub ops: usize,
+    /// Operations the client saw complete.
+    pub completed: usize,
+    /// Delivery-log lines drained across all incarnations.
+    pub delivery_lines: usize,
+    /// Reads the linearizability oracle actually checked (0 until the
+    /// oracle runs).
+    pub checked_reads: usize,
+    /// What the proxy did to the wire.
+    pub proxy: ProxyStats,
+    /// The first violation found, if any (prefixed with its category:
+    /// `invariant:`, `linearizability:`, `termination:`, `graceful-stop:`,
+    /// `log:` or `run:`).
+    pub violation: Option<String>,
+    /// Where the spec and delivery logs live (kept on violation).
+    pub log_dir: PathBuf,
+}
+
+/// Process-fault timeline entries, executed by the driver loop.
+#[derive(Debug, Clone, Copy)]
+enum NetEvent {
+    Kill(u32),
+    Restart(u32),
+    Stop(u32),
+    Cont(u32),
+}
+
+/// Signals the driver sends; a thin portability wrapper so non-Unix builds
+/// degrade to SIGKILL-only semantics instead of failing to compile.
+#[derive(Debug, Clone, Copy)]
+enum Sig {
+    Term,
+    Stop,
+    Cont,
+}
+
+/// Sends `sig` to `pid`; returns whether the signal was actually delivered
+/// (always `false` off-Unix, where callers fall back to hard kills).
+fn send(pid: u32, sig: Sig) -> bool {
+    #[cfg(unix)]
+    {
+        let sig = match sig {
+            Sig::Term => netpoll::Signal::Term,
+            Sig::Stop => netpoll::Signal::Stop,
+            Sig::Cont => netpoll::Signal::Cont,
+        };
+        netpoll::send_signal(pid, sig).is_ok()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = (pid, sig);
+        false
+    }
+}
+
+fn build_events(plan: &NetChaosPlan) -> Vec<(Duration, NetEvent)> {
+    let mut events = Vec::new();
+    for c in &plan.nemesis.crashes {
+        events.push((c.at, NetEvent::Kill(c.process.0)));
+        if let Some(at) = c.restart_at {
+            events.push((at, NetEvent::Restart(c.process.0)));
+        }
+    }
+    for p in &plan.pauses {
+        events.push((p.at, NetEvent::Stop(p.process.0)));
+        events.push((p.resume, NetEvent::Cont(p.process.0)));
+    }
+    events.sort_by_key(|(at, _)| *at);
+    events
+}
+
+fn resolve_wbamd(config: &NetChaosConfig) -> Result<PathBuf, WbamError> {
+    if let Some(p) = &config.wbamd {
+        return Ok(p.clone());
+    }
+    if let Ok(p) = std::env::var("WBAMD_BIN") {
+        return Ok(PathBuf::from(p));
+    }
+    let exe = std::env::current_exe().map_err(WbamError::from)?;
+    for dir in exe.ancestors().skip(1).take(3) {
+        let candidate = dir.join("wbamd");
+        if candidate.is_file() {
+            return Ok(candidate);
+        }
+    }
+    Err(WbamError::NotReady {
+        process: ProcessId(0),
+        reason: "cannot locate the wbamd binary; build it with `cargo build --release \
+                 -p wbam-harness --bin wbamd` or point WBAMD_BIN at it"
+            .to_string(),
+    })
+}
+
+fn log_name(id: u32, restarted: bool) -> String {
+    if restarted {
+        format!("p{id}-restarted.jsonl")
+    } else {
+        format!("p{id}.jsonl")
+    }
+}
+
+fn spawn_replica(
+    wbamd: &Path,
+    spec_path: &Path,
+    log_dir: &Path,
+    id: u32,
+    restarted: bool,
+) -> Result<ChildGuard, WbamError> {
+    let child = std::process::Command::new(wbamd)
+        .arg("--spec")
+        .arg(spec_path)
+        .arg("--id")
+        .arg(id.to_string())
+        .arg("--deliveries")
+        .arg(log_dir.join(log_name(id, restarted)))
+        .args(restarted.then_some("--restart"))
+        .stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .map_err(WbamError::from)?;
+    Ok(ChildGuard(child))
+}
+
+/// Parses one delivery log. A SIGKILL can tear the final line mid-write, so
+/// killed incarnations pass `tolerate_torn_tail`; anywhere else a malformed
+/// line is a real bug in the daemon's log discipline.
+fn parse_log(path: &Path, tolerate_torn_tail: bool) -> Result<Vec<DeliveryLine>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("log: {}: {e}", path.display())),
+    };
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    let mut out = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        match from_json::<DeliveryLine>(line) {
+            Ok(parsed) => out.push(parsed),
+            Err(e) if tolerate_torn_tail && i + 1 == lines.len() => {
+                let _ = e; // torn tail of a killed process: at most one line
+            }
+            Err(e) => return Err(format!("log: {} line {}: {e}", path.display(), i + 1)),
+        }
+    }
+    Ok(out)
+}
+
+fn count_log_lines(path: &Path) -> usize {
+    std::fs::read_to_string(path)
+        .map(|t| t.lines().filter(|l| !l.trim().is_empty()).count())
+        .unwrap_or(0)
+}
+
+fn group_of(id: u32) -> GroupId {
+    GroupId(id / GROUP_SIZE as u32)
+}
+
+/// Runs the complete chaos schedule of a token against a live cluster. See
+/// the module docs for the pipeline; this returns `Err` only for *setup*
+/// failures (spawn, bind, I/O) — protocol misbehaviour lands in
+/// [`NetChaosReport::violation`] so a sweep can keep going and report every
+/// failing seed.
+///
+/// # Errors
+///
+/// Returns [`WbamError`] when the cluster cannot be brought up at all.
+pub fn run_net_token(
+    token: &NetSeedToken,
+    config: &NetChaosConfig,
+) -> Result<NetChaosReport, WbamError> {
+    let plan = generate_net_plan(token, config.messages);
+    let wire = config.wire.unwrap_or_default();
+    let (log_dir, ephemeral) = match &config.log_dir {
+        Some(d) => (d.clone(), false),
+        None => {
+            // One directory per *run*, not per seed: `wbamd` appends to its
+            // delivery log, so two runs of the same seed (one per wire
+            // codec, say) sharing a directory interleave their logs — a
+            // sweep once mis-reported exactly that as a duplicate delivery.
+            static RUN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+            let run = RUN.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            (
+                std::env::temp_dir().join(format!(
+                    "wbam-net-chaos-{}-{:016x}-{}-r{run}",
+                    std::process::id(),
+                    token.seed,
+                    wire.name()
+                )),
+                true,
+            )
+        }
+    };
+    if ephemeral {
+        // A kept directory from a crashed earlier process could collide
+        // after pid reuse; never append into stale logs.
+        let _ = std::fs::remove_dir_all(&log_dir);
+    }
+    std::fs::create_dir_all(&log_dir).map_err(WbamError::from)?;
+    let mut report = NetChaosReport {
+        token: *token,
+        plan_digest: plan.digest(),
+        ops: plan.ops.len(),
+        completed: 0,
+        delivery_lines: 0,
+        checked_reads: 0,
+        proxy: ProxyStats {
+            forwarded: 0,
+            dropped: 0,
+            duplicated: 0,
+            delayed: 0,
+            severed: 0,
+        },
+        violation: None,
+        log_dir: log_dir.clone(),
+    };
+
+    // --- Bring the cluster up, every link proxied -----------------------
+    let mut spec = DeploySpec::loopback_free_ports(Protocol::WhiteBox, NUM_GROUPS, GROUP_SIZE, 1)?;
+    spec.wire = Some(wire.name().to_string());
+    spec.heartbeat_ms = 100;
+    spec.election_timeout_ms = 1500;
+    let epoch = Instant::now();
+    let proxy = NemesisProxy::start(&spec, &plan.nemesis, token.seed, epoch)?;
+    let routed = proxy.routed_spec().clone();
+    let spec_path = log_dir.join("cluster.json");
+    std::fs::write(&spec_path, routed.to_json()?).map_err(WbamError::from)?;
+
+    let wbamd = resolve_wbamd(config)?;
+    let mut children: BTreeMap<u32, ChildGuard> = BTreeMap::new();
+    for id in 0..REPLICAS {
+        children.insert(id, spawn_replica(&wbamd, &spec_path, &log_dir, id, false)?);
+    }
+    let client_id = ProcessId(REPLICAS);
+    let node: BoxedNode<WhiteBoxMsg> = Box::new(spec.whitebox_client(client_id)?);
+    let client = TcpNode::spawn_with_codec(node, &routed.dial_map(client_id)?, false, wire)?;
+
+    // --- Drive workload + process faults on one timeline ----------------
+    let partitioner = Partitioner::new(NUM_GROUPS as u32);
+    let mut history = KvHistory {
+        partitions: NUM_GROUPS as u32,
+        ..KvHistory::default()
+    };
+    let events = build_events(&plan);
+    let mut next_event = 0usize;
+    let mut restarted: BTreeSet<u32> = BTreeSet::new();
+    let mut submitted = 0usize;
+    let mut completed: BTreeSet<MsgId> = BTreeSet::new();
+    let mut seen = 0u64;
+    loop {
+        let now = epoch.elapsed();
+        while next_event < events.len() && events[next_event].0 <= now {
+            match events[next_event].1 {
+                NetEvent::Kill(id) => {
+                    // ChildGuard::drop is kill(SIGKILL) + reap.
+                    children.remove(&id);
+                }
+                NetEvent::Restart(id) => {
+                    children.insert(id, spawn_replica(&wbamd, &spec_path, &log_dir, id, true)?);
+                    restarted.insert(id);
+                }
+                NetEvent::Stop(id) => {
+                    if let Some(child) = children.get(&id) {
+                        send(child.0.id(), Sig::Stop);
+                    }
+                }
+                NetEvent::Cont(id) => {
+                    if let Some(child) = children.get(&id) {
+                        send(child.0.id(), Sig::Cont);
+                    }
+                }
+            }
+            next_event += 1;
+        }
+        // Supervise: scheduled kills remove their child from the map first,
+        // so any child observed exited here died *outside* the fault plan —
+        // a real bug (a startup failure, a crash), reported as such instead
+        // of surfacing later as a confusing graceful-stop failure.
+        let mut died: Option<(u32, std::process::ExitStatus)> = None;
+        for (id, child) in children.iter_mut() {
+            if let Ok(Some(status)) = child.0.try_wait() {
+                died = Some((*id, status));
+                break;
+            }
+        }
+        if let Some((id, status)) = died {
+            children.remove(&id);
+            report.violation = Some(format!("run: p{id} exited unexpectedly ({status}) mid-run"));
+            break;
+        }
+        while submitted < plan.ops.len() && now >= SUBMIT_PACE * submitted as u32 {
+            let cmd = &plan.ops[submitted];
+            let id = MsgId::new(client_id, submitted as u64);
+            let dest = partitioner.destination_of(cmd.keys())?;
+            history.invoke(id, cmd.clone(), now);
+            client.submit(AppMessage::new(
+                id,
+                dest,
+                Payload::from(
+                    serde_json::to_vec(cmd).map_err(|e| WbamError::Codec(e.to_string()))?,
+                ),
+            ))?;
+            submitted += 1;
+        }
+        client.wait_for_total(seen + 1, Duration::from_millis(25))?;
+        let at = epoch.elapsed();
+        for d in client.drain_deliveries()? {
+            seen += 1;
+            if completed.insert(d.delivery.msg.id) {
+                history.complete(d.delivery.msg.id, at);
+            }
+        }
+        if submitted == plan.ops.len()
+            && completed.len() == plan.ops.len()
+            && next_event == events.len()
+        {
+            break;
+        }
+        if epoch.elapsed() > RUN_DEADLINE {
+            report.violation = Some(format!(
+                "termination: {} of {} operations never completed within {RUN_DEADLINE:?}",
+                plan.ops.len() - completed.len(),
+                plan.ops.len()
+            ));
+            break;
+        }
+    }
+    report.completed = completed.len();
+
+    // --- Let the replica logs quiesce, then stop the cluster gracefully --
+    //
+    // There is no exact line count to wait for: the protocol assumes
+    // quasi-reliable channels, so under deliberate frame loss a follower
+    // that misses a CHOSEN stays behind until a leader change or restart
+    // state transfer repairs it — a gap, not a bug, and exactly what the
+    // oracle's loss excusals are for. Client completions already proved
+    // protocol-level termination; this wait just lets in-flight deliveries
+    // land before the SIGTERM drain.
+    if report.violation.is_none() {
+        let drain_start = Instant::now();
+        let mut last: BTreeMap<(u32, bool), usize> = BTreeMap::new();
+        let mut stable_since = Instant::now();
+        while drain_start.elapsed() < DRAIN_DEADLINE {
+            let mut counts: BTreeMap<(u32, bool), usize> = BTreeMap::new();
+            for id in 0..REPLICAS {
+                counts.insert(
+                    (id, false),
+                    count_log_lines(&log_dir.join(log_name(id, false))),
+                );
+                if restarted.contains(&id) {
+                    counts.insert(
+                        (id, true),
+                        count_log_lines(&log_dir.join(log_name(id, true))),
+                    );
+                }
+            }
+            if counts != last {
+                last = counts;
+                stable_since = Instant::now();
+            } else if stable_since.elapsed() > Duration::from_millis(750) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+    // SIGTERM every live replica and require a clean drain + exit 0: the
+    // graceful-stop path is part of every chaos run's contract.
+    let mut stop_violation: Option<String> = None;
+    for child in children.values() {
+        send(child.0.id(), Sig::Term);
+    }
+    for (id, child) in children.iter_mut() {
+        let begin = Instant::now();
+        loop {
+            match child.0.try_wait() {
+                Ok(Some(status)) => {
+                    if !status.success() && stop_violation.is_none() {
+                        stop_violation =
+                            Some(format!("graceful-stop: p{id} exited {status} on SIGTERM"));
+                    }
+                    break;
+                }
+                Ok(None) if begin.elapsed() < STOP_DEADLINE => {
+                    std::thread::sleep(Duration::from_millis(20))
+                }
+                Ok(None) => {
+                    if stop_violation.is_none() {
+                        stop_violation = Some(format!(
+                            "graceful-stop: p{id} still running {STOP_DEADLINE:?} after SIGTERM"
+                        ));
+                    }
+                    break;
+                }
+                Err(e) => {
+                    if stop_violation.is_none() {
+                        stop_violation = Some(format!("graceful-stop: p{id}: {e}"));
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    children.clear(); // reaps anything the graceful stop left behind
+    report.proxy = proxy.stats();
+    client.shutdown();
+    proxy.shutdown();
+    if report.violation.is_none() {
+        report.violation = stop_violation;
+    }
+
+    // --- Drained-log checks ---------------------------------------------
+    if report.violation.is_none() {
+        report.violation = check_drained_logs(
+            &plan,
+            &log_dir,
+            &restarted,
+            &completed,
+            &mut history,
+            &mut report,
+        );
+    }
+
+    if report.violation.is_none() && ephemeral {
+        let _ = std::fs::remove_dir_all(&log_dir);
+    }
+    Ok(report)
+}
+
+/// Parses every incarnation's delivery log and runs the Figure 6 agreement
+/// checks plus the linearizability oracle. Returns the first violation.
+fn check_drained_logs(
+    plan: &NetChaosPlan,
+    log_dir: &Path,
+    restarted: &BTreeSet<u32>,
+    completed: &BTreeSet<MsgId>,
+    history: &mut KvHistory,
+    report: &mut NetChaosReport,
+) -> Option<String> {
+    let client_id = ProcessId(REPLICAS);
+    let faulty_ids: BTreeSet<u32> = plan.nemesis.crashes.iter().map(|c| c.process.0).collect();
+
+    // Observers: every original incarnation, plus a synthetic observer per
+    // restarted incarnation.
+    let mut observers: Vec<(ProcessId, GroupId, Vec<DeliveryLine>)> = Vec::new();
+    for id in 0..REPLICAS {
+        let torn_ok = faulty_ids.contains(&id); // SIGKILL may tear the tail
+        match parse_log(&log_dir.join(log_name(id, false)), torn_ok) {
+            Ok(lines) => observers.push((ProcessId(id), group_of(id), lines)),
+            Err(e) => return Some(e),
+        }
+        if restarted.contains(&id) {
+            match parse_log(&log_dir.join(log_name(id, true)), false) {
+                Ok(lines) => {
+                    observers.push((ProcessId(RESTART_OBSERVER_BASE + id), group_of(id), lines))
+                }
+                Err(e) => return Some(e),
+            }
+        }
+    }
+    report.delivery_lines = observers.iter().map(|(_, _, l)| l.len()).sum();
+
+    // Figure 6 agreement: every delivery carries a global timestamp, all
+    // observers agree on each message's timestamp, and the per-observer
+    // delivery orders embed into one total order.
+    let mut gts_of: BTreeMap<MsgId, Timestamp> = BTreeMap::new();
+    let mut per_observer: BTreeMap<ProcessId, Vec<(MsgId, Timestamp)>> = BTreeMap::new();
+    for (observer, _, lines) in &observers {
+        for line in lines {
+            let msg_id = line.msg_id();
+            if msg_id.sender != client_id || (msg_id.seq as usize) >= plan.ops.len() {
+                return Some(format!(
+                    "invariant: {observer} delivered {msg_id} which was never submitted"
+                ));
+            }
+            if line.gts_group == u32::MAX {
+                return Some(format!(
+                    "invariant: {observer} delivered {msg_id} without a global timestamp"
+                ));
+            }
+            let gts = Timestamp::new(line.gts_time, GroupId(line.gts_group));
+            if let Some(prev) = gts_of.insert(msg_id, gts) {
+                if prev != gts {
+                    return Some(format!(
+                        "invariant: observers disagree on the global timestamp of {msg_id} \
+                         ({prev} vs {gts})"
+                    ));
+                }
+            }
+            per_observer
+                .entry(*observer)
+                .or_default()
+                .push((msg_id, gts));
+        }
+    }
+    if let Err(v) = check_total_order(&per_observer) {
+        return Some(format!("invariant: {v}"));
+    }
+
+    // Individual replicas may carry loss-excused gaps, but an operation the
+    // client saw *complete* was by definition delivered somewhere: a
+    // completed op absent from every drained log means a delivery was lost
+    // outright, which no excusal covers.
+    for id in completed {
+        if !gts_of.contains_key(id) {
+            return Some(format!(
+                "invariant: op {id} completed at the client but appears in no delivery log"
+            ));
+        }
+    }
+
+    // Linearizability oracle: replay every observer's log against a fresh
+    // partitioned store, in log (= apply) order.
+    let partitioner = Partitioner::new(NUM_GROUPS as u32);
+    for (observer, group, lines) in &observers {
+        let mut store = KvStore::with_partitioner(*group, partitioner);
+        for line in lines {
+            let msg_id = line.msg_id();
+            let cmd = &plan.ops[msg_id.seq as usize];
+            let gts = Timestamp::new(line.gts_time, GroupId(line.gts_group));
+            let read = store.apply_read(cmd);
+            history.applied(msg_id, *observer, *group, gts, read);
+        }
+    }
+    let faulty: BTreeSet<ProcessId> = faulty_ids.iter().map(|id| ProcessId(*id)).collect();
+    // A restarted incarnation's history begins wherever checkpoint state
+    // transfer put it: excuse everything below its first logged timestamp.
+    let mut excusals: BTreeMap<ProcessId, Timestamp> = BTreeMap::new();
+    for (observer, _, lines) in &observers {
+        if observer.0 >= RESTART_OBSERVER_BASE {
+            if let Some(first) = lines.first() {
+                excusals.insert(
+                    *observer,
+                    Timestamp::new(first.gts_time, GroupId(first.gts_group)),
+                );
+            }
+        }
+    }
+    match history.check_excusing(&faulty, plan.nemesis.lossy(), &excusals, &BTreeMap::new()) {
+        Ok(oracle) => report.checked_reads = oracle.checked_reads,
+        Err(v) => return Some(format!("linearizability: {v}")),
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_tokens_round_trip_and_reject_foreign_formats() {
+        let token = NetSeedToken {
+            protocol: Protocol::WhiteBox,
+            seed: 0xfeed_f00d_dead_beef,
+        };
+        let s = token.to_string();
+        assert!(s.starts_with("WBAM_NET_SEED=n1:WbCast:"));
+        assert_eq!(NetSeedToken::parse(&s).unwrap(), token);
+        let bare = s.strip_prefix("WBAM_NET_SEED=").unwrap();
+        assert_eq!(NetSeedToken::parse(bare).unwrap(), token);
+        // Simulator tokens and baseline protocols are refused outright.
+        assert!(NetSeedToken::parse("v2:WbCast:1").is_err());
+        assert!(NetSeedToken::parse("n1:FastCast:1").is_err());
+        assert!(NetSeedToken::parse("n1:WbCast:zz").is_err());
+    }
+
+    /// The replayability contract: the same token always derives the same
+    /// plan (digest-equal), the message override changes only the op count,
+    /// and different seeds diverge.
+    #[test]
+    fn plans_are_deterministic_and_seed_sensitive() {
+        let token = net_schedule_token(42, 3);
+        let a = generate_net_plan(&token, None);
+        let b = generate_net_plan(&token, None);
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+        let small = generate_net_plan(&token, Some(5));
+        assert_eq!(small.ops.len(), 5);
+        assert_eq!(small.nemesis, a.nemesis, "override must not shift faults");
+        assert_eq!(
+            small.ops[..],
+            a.ops[..5],
+            "override must not shift the op stream"
+        );
+        let other = generate_net_plan(&net_schedule_token(42, 4), None);
+        assert_ne!(a.digest(), other.digest());
+    }
+
+    /// Every derived plan carries the acceptance trifecta: link drops, one
+    /// healed partition inside the chaos window, one SIGKILL with restart.
+    #[test]
+    fn every_plan_has_drops_partition_heal_and_restarting_crash() {
+        for index in 0..32 {
+            let plan = generate_net_plan(&net_schedule_token(7, index), None);
+            assert!(plan.nemesis.link.drop_per_mille > 0);
+            assert!(plan.nemesis.lossy());
+            assert_eq!(plan.nemesis.partitions.len(), 1);
+            let p = &plan.nemesis.partitions[0];
+            assert!(p.start < p.heal && p.heal <= CHAOS_END);
+            assert_eq!(p.side_a.len(), 1);
+            assert!(p.side_a[0].0 < REPLICAS, "only replicas are isolated");
+            assert_eq!(plan.nemesis.crashes.len(), 1);
+            let c = &plan.nemesis.crashes[0];
+            assert!(c.restart_at.is_some(), "chaos crashes always redeploy");
+            assert!(c.restart_at.unwrap() <= CHAOS_END);
+            for pause in &plan.pauses {
+                assert!(pause.at < pause.resume);
+                assert!(pause.process.0 < REPLICAS);
+            }
+            assert!(!plan.ops.is_empty());
+        }
+    }
+
+    /// The fault timeline is sorted and pairs every kill with its restart.
+    #[test]
+    fn event_timelines_are_ordered() {
+        let plan = generate_net_plan(&net_schedule_token(11, 0), None);
+        let events = build_events(&plan);
+        assert!(events.windows(2).all(|w| w[0].0 <= w[1].0));
+        let kills = events
+            .iter()
+            .filter(|(_, e)| matches!(e, NetEvent::Kill(_)))
+            .count();
+        let restarts = events
+            .iter()
+            .filter(|(_, e)| matches!(e, NetEvent::Restart(_)))
+            .count();
+        assert_eq!(kills, restarts);
+    }
+
+    /// Torn-tail tolerance applies to exactly the final line of a killed
+    /// incarnation's log.
+    #[test]
+    fn parse_log_tolerates_only_a_torn_tail() {
+        let dir = std::env::temp_dir().join(format!("wbam-chaos-parse-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.jsonl");
+        let line = serde_json::to_string(&DeliveryLine {
+            process: 0,
+            sender: 6,
+            seq: 0,
+            gts_time: 3,
+            gts_group: 1,
+            elapsed_ms: 1.0,
+        })
+        .unwrap();
+        std::fs::write(&path, format!("{line}\n{{\"process\":0,\"sen")).unwrap();
+        assert_eq!(parse_log(&path, true).unwrap().len(), 1);
+        assert!(parse_log(&path, false).is_err());
+        // A torn line in the *middle* is never excusable.
+        std::fs::write(&path, format!("{{\"process\":0,\"sen\n{line}")).unwrap();
+        assert!(parse_log(&path, true).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

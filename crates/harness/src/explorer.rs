@@ -251,8 +251,9 @@ impl Default for ExplorerConfig {
     }
 }
 
-/// SplitMix64, used to derive per-schedule seeds from the base seed.
-fn splitmix64(mut x: u64) -> u64 {
+/// SplitMix64, used to derive per-schedule seeds from the base seed (and by
+/// the deployed chaos harness to derive per-link and per-plan seeds).
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = x;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

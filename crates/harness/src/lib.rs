@@ -21,17 +21,28 @@
 //! * [`deploy`] — topology specs for *deployed* clusters (one OS process per
 //!   replica or client over the TCP transport of `wbam-runtime`), consumed
 //!   by the `wbamd` binary, plus the JSONL log formats it emits.
+//! * [`proxy`] — [`NemesisProxy`], a fault-injecting TCP man-in-the-middle
+//!   that executes seeded [`NemesisPlan`](wbam_types::nemesis::NemesisPlan)s
+//!   (drops, duplicates, delays, asymmetric partitions with heal) on every
+//!   link of a deployed cluster.
+//! * [`chaos`] — the deployed chaos driver behind the `net_chaos` binary:
+//!   seeded plan + workload generation, live-cluster orchestration with
+//!   process faults (SIGKILL/redeploy, SIGSTOP/SIGCONT), delivery-log
+//!   draining, and the Figure 6 / linearizability checks over the result.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod cluster;
 pub mod deploy;
 pub mod explorer;
 pub mod probe;
+pub mod proxy;
 pub mod sweep;
 pub mod workload;
 
+pub use chaos::{run_net_token, NetChaosConfig, NetChaosReport, NetSeedToken};
 pub use cluster::{ClusterSpec, Protocol, ProtocolSim};
 pub use deploy::{ChildGuard, ClientSummary, DeliveryLine, DeployRole, DeploySpec, LatencyStats};
 pub use explorer::{
@@ -39,5 +50,6 @@ pub use explorer::{
     ScheduleReport, SeedToken, TokenVersion,
 };
 pub use probe::{convoy_probe, latency_probe, LatencyProbeResult};
+pub use proxy::{FrameFate, LinkScheduler, NemesisProxy, ProxyStats};
 pub use sweep::{sweep, BenchRecord, SweepPoint, SweepResult, SweepSpec};
 pub use workload::{run_closed_loop, ClosedLoopWorkload, WorkloadResult};

@@ -1,0 +1,224 @@
+//! Deployed lifecycle regressions for `wbamd`: graceful stop and startup
+//! robustness.
+//!
+//! A chaos orchestrator needs to tell a *clean* stop from a crash: `SIGTERM`
+//! (and stdin-EOF with `--stdin-stop`) must drain the delivery log, write a
+//! `graceful stop` stats line and exit 0, while a replica whose listener
+//! bind races an ephemeral-port squatter must retry instead of dying with an
+//! empty log (both were found by the seeded net-chaos sweep).
+
+#![cfg(unix)]
+
+use std::io::Read as _;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use wbam_harness::{ChildGuard, ClientSummary, DeliveryLine, DeploySpec, Protocol};
+use wbam_types::wire::from_json;
+
+fn wbamd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_wbamd"))
+}
+
+/// A 1-group × 1-replica spec (plus one client id) in a fresh temp dir.
+struct Rig {
+    dir: PathBuf,
+    spec: DeploySpec,
+    spec_path: PathBuf,
+}
+
+impl Rig {
+    fn new(tag: &str) -> Rig {
+        let dir = std::env::temp_dir().join(format!("wbam-stop-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let spec =
+            DeploySpec::loopback_free_ports(Protocol::WhiteBox, 1, 1, 1).expect("reserve ports");
+        let spec_path = dir.join("cluster.json");
+        std::fs::write(&spec_path, spec.to_json().expect("serialise spec")).expect("write spec");
+        Rig {
+            dir,
+            spec,
+            spec_path,
+        }
+    }
+
+    fn spawn_replica(&self, extra: &[&str]) -> ChildGuard {
+        let mut cmd = wbamd();
+        cmd.arg("--spec")
+            .arg(&self.spec_path)
+            .arg("--id")
+            .arg("0")
+            .arg("--deliveries")
+            .arg(self.dir.join("p0.jsonl"))
+            .args(extra)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped());
+        ChildGuard(cmd.spawn().expect("spawn wbamd replica"))
+    }
+
+    fn run_client(&self, count: u64) -> ClientSummary {
+        let summary_path = self.dir.join("summary.json");
+        let status = wbamd()
+            .arg("--spec")
+            .arg(&self.spec_path)
+            .arg("--id")
+            .arg("1")
+            .arg("--multicast")
+            .arg(count.to_string())
+            .arg("--dest")
+            .arg("0")
+            .arg("--summary")
+            .arg(&summary_path)
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .status()
+            .expect("run wbamd client");
+        assert!(status.success(), "client exited with {status}");
+        let json = std::fs::read_to_string(&summary_path).expect("client summary");
+        from_json(&json).expect("parse client summary")
+    }
+
+    fn log_lines(&self) -> Vec<DeliveryLine> {
+        std::fs::read_to_string(self.dir.join("p0.jsonl"))
+            .unwrap_or_default()
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| from_json(l).expect("parse delivery line"))
+            .collect()
+    }
+
+    fn wait_for_lines(&self, count: usize, timeout: Duration) {
+        let deadline = Instant::now() + timeout;
+        while self.log_lines().len() < count && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+}
+
+impl Drop for Rig {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Waits for the child to exit on its own (no kill) and returns its status
+/// plus everything it wrote to stderr.
+fn wait_exit(child: &mut Child, timeout: Duration) -> (std::process::ExitStatus, String) {
+    let deadline = Instant::now() + timeout;
+    let status = loop {
+        match child.try_wait().expect("try_wait") {
+            Some(status) => break status,
+            None if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(20)),
+            None => panic!("wbamd still running {timeout:?} after the stop request"),
+        }
+    };
+    let mut stderr = String::new();
+    if let Some(mut pipe) = child.stderr.take() {
+        let _ = pipe.read_to_string(&mut stderr);
+    }
+    (status, stderr)
+}
+
+/// Regression: SIGTERM must stop a replica *gracefully* — drain the delivery
+/// log, write the `graceful stop` stats line and exit 0 — so orchestrators
+/// can tell a clean stop from a SIGKILL.
+#[test]
+fn sigterm_drains_the_delivery_log_and_exits_zero() {
+    let rig = Rig::new("sigterm");
+    let mut guard = rig.spawn_replica(&[]);
+
+    let summary = rig.run_client(5);
+    assert_eq!(summary.completed, 5);
+    rig.wait_for_lines(5, Duration::from_secs(30));
+
+    netpoll::send_signal(guard.0.id(), netpoll::Signal::Term).expect("send SIGTERM");
+    let (status, stderr) = wait_exit(&mut guard.0, Duration::from_secs(10));
+    assert!(status.success(), "SIGTERM stop exited with {status}");
+    assert!(
+        stderr.contains("graceful stop (SIGTERM)"),
+        "missing graceful-stop line in stderr: {stderr:?}"
+    );
+    assert!(
+        stderr.contains("delivered=5"),
+        "stats line does not report the drained count: {stderr:?}"
+    );
+    assert_eq!(rig.log_lines().len(), 5, "delivery log not fully drained");
+}
+
+/// Regression: with `--stdin-stop`, stdin reaching EOF stops the replica as
+/// gracefully as SIGTERM does (the no-signals orchestration path).
+#[test]
+fn stdin_eof_stops_a_replica_gracefully() {
+    let rig = Rig::new("stdin-eof");
+    let mut cmd = wbamd();
+    cmd.arg("--spec")
+        .arg(&rig.spec_path)
+        .arg("--id")
+        .arg("0")
+        .arg("--deliveries")
+        .arg(rig.dir.join("p0.jsonl"))
+        .arg("--stdin-stop")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped());
+    let mut guard = ChildGuard(cmd.spawn().expect("spawn wbamd replica"));
+
+    let summary = rig.run_client(3);
+    assert_eq!(summary.completed, 3);
+    rig.wait_for_lines(3, Duration::from_secs(30));
+
+    drop(guard.0.stdin.take()); // EOF
+    let (status, stderr) = wait_exit(&mut guard.0, Duration::from_secs(10));
+    assert!(status.success(), "stdin-EOF stop exited with {status}");
+    assert!(
+        stderr.contains("graceful stop (stdin EOF)"),
+        "missing graceful-stop line in stderr: {stderr:?}"
+    );
+    assert_eq!(rig.log_lines().len(), 3, "delivery log not fully drained");
+}
+
+/// Regression for the startup bind race the net-chaos sweep caught (seed
+/// `n1:WbCast:405da438a39e8064`, json wire): a connection elsewhere in the
+/// deployment can squat a replica's reserved listen port as its *ephemeral
+/// source port*, and `wbamd` used to die on the resulting `EADDRINUSE` with
+/// an empty delivery log. Startup must retry the bind until the squatter
+/// clears, then serve normally.
+#[test]
+fn startup_bind_retry_survives_a_squatted_port() {
+    let rig = Rig::new("bind-retry");
+    // Squat the replica's listen address before the daemon starts.
+    let squatter = TcpListener::bind(listen_addr(&rig.spec)).expect("squat listen port");
+
+    let mut guard = rig.spawn_replica(&[]);
+    std::thread::sleep(Duration::from_millis(500));
+    assert!(
+        guard.0.try_wait().expect("try_wait").is_none(),
+        "wbamd gave up on the squatted port instead of retrying the bind"
+    );
+    drop(squatter);
+
+    // With the port free the daemon finishes starting and serves traffic.
+    let summary = rig.run_client(3);
+    assert_eq!(summary.completed, 3);
+    rig.wait_for_lines(3, Duration::from_secs(30));
+
+    netpoll::send_signal(guard.0.id(), netpoll::Signal::Term).expect("send SIGTERM");
+    let (status, stderr) = wait_exit(&mut guard.0, Duration::from_secs(10));
+    assert!(status.success(), "post-retry stop exited with {status}");
+    assert!(
+        stderr.contains("listener bind failed"),
+        "the bind-retry path never engaged: {stderr:?}"
+    );
+    assert!(
+        stderr.contains("graceful stop (SIGTERM)"),
+        "missing graceful-stop line in stderr: {stderr:?}"
+    );
+    assert_eq!(rig.log_lines().len(), 3, "delivery log not fully drained");
+}
+
+fn listen_addr(spec: &DeploySpec) -> &str {
+    spec.addrs[0].as_str()
+}

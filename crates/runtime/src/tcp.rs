@@ -1440,4 +1440,91 @@ mod tests {
         assert_eq!(stats.dropped_frames(), 2);
         assert_eq!(peers[&ProcessId(7)].queued(), OUTBUF_CAP - 10);
     }
+
+    /// Regression for split reads on the accept path: the 4-byte preamble,
+    /// the `Hello` frame and a protocol frame arriving **one byte per
+    /// `write`** (what a fault-injecting proxy forwarding byte-at-a-time
+    /// makes real) must be reassembled across short nonblocking reads — the
+    /// handshake is a byte stream, not a datagram. The trickled MULTICAST
+    /// must come out the far end as a normal delivery.
+    #[test]
+    fn handshake_split_across_byte_sized_reads_is_reassembled() {
+        let cluster = ClusterConfig::builder().groups(1, 1).clients(1).build();
+        let addrs = reserve_addrs(&cluster);
+        let replica = cluster.groups()[0].members()[0];
+        let client_id = cluster.clients()[0];
+        let node = spawn_replica(&cluster, &addrs, replica, false, WireCodec::Binary);
+
+        let mut bytes = encode_preamble(WireCodec::Binary).to_vec();
+        bytes.extend_from_slice(
+            &encode_frame_with(
+                WireCodec::Binary,
+                &WireFrame::<WhiteBoxMsg>::Hello { from: client_id },
+            )
+            .expect("encode Hello"),
+        );
+        bytes.extend_from_slice(
+            &encode_frame_with(
+                WireCodec::Binary,
+                &WireFrame::Protocol(WhiteBoxMsg::Multicast {
+                    msg: AppMessage::new(
+                        MsgId::new(client_id, 0),
+                        Destination::single(GroupId(0)),
+                        Payload::from("trickled"),
+                    ),
+                }),
+            )
+            .expect("encode Multicast"),
+        );
+
+        let mut stream = TcpStream::connect(addrs[&replica]).expect("dial node");
+        stream.set_nodelay(true).unwrap();
+        for byte in &bytes {
+            stream.write_all(std::slice::from_ref(byte)).expect("write");
+            stream.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        assert!(
+            node.wait_for_total(1, Duration::from_secs(30)).unwrap(),
+            "trickled multicast was never delivered: the accept path mishandles \
+             short reads inside the handshake"
+        );
+        assert_eq!(order_of(&node), vec![MsgId::new(client_id, 0)]);
+        node.shutdown();
+    }
+
+    /// Regression for shutdown racing an in-flight reconnect: a node whose
+    /// peers are unreachable sits in the dial-backoff cycle (queued bytes,
+    /// climbing `next_dial`), and `shutdown()` landing in that state must
+    /// join the poller promptly — no panic from the backoff machinery, no
+    /// poller thread left dialling dead addresses after the join returns.
+    #[test]
+    fn shutdown_during_dial_backoff_joins_promptly() {
+        let cluster = ClusterConfig::builder().groups(1, 3).clients(0).build();
+        // Reserved-then-released ports: every dial is refused instantly, so
+        // the two dead peers drive their backoff toward BACKOFF_MAX.
+        let addrs = reserve_addrs(&cluster);
+        let node = spawn_replica(
+            &cluster,
+            &addrs,
+            cluster.groups()[0].members()[0],
+            false,
+            WireCodec::Binary,
+        );
+        // Leader recovery queues NEW_STATE traffic for both (dead) group
+        // members, arming the dial/backoff cycle with real queued bytes.
+        node.become_leader().unwrap();
+        // Let the backoff climb so the shutdown lands mid-cycle, with the
+        // poller parked on a re-dial deadline rather than idle.
+        std::thread::sleep(Duration::from_millis(600));
+
+        let begin = Instant::now();
+        node.shutdown();
+        let took = begin.elapsed();
+        assert!(
+            took < Duration::from_secs(2),
+            "shutdown under dial backoff took {took:?}: poller missed the wake"
+        );
+    }
 }
