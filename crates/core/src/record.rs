@@ -106,14 +106,30 @@ impl MessageRecord {
     /// quorum size; `must_include` is a process that must be among the
     /// acknowledgers of its own group (the leader itself, per Figure 4
     /// line 17 "including myself").
+    ///
+    /// The accept-match is checked *per candidate vector*, not on the winner:
+    /// acks gathered under a since-superseded ballot (a destination group
+    /// changed leaders mid-round) can form a complete quorum of their own,
+    /// and if a stale vector could be returned it would permanently shadow
+    /// the consistent one — the caller would reject it against the current
+    /// accepts and conclude "no quorum" forever, live-locking the message
+    /// (found by the deterministic-runtime explorer; see
+    /// `tests/regressions/rt_corpus.tokens`).
     pub fn quorum_acked(
         &self,
         quorum_size: &BTreeMap<GroupId, usize>,
         must_include: Option<(GroupId, ProcessId)>,
     ) -> Option<BallotVector> {
         'vectors: for (vector, per_group) in &self.acks {
-            // The vector must cover exactly the destination groups.
+            // The vector must cover exactly the destination groups, and must
+            // agree with the ACCEPT currently recorded for each of them
+            // (Figure 4 line 17: the acks and the accepts name the same
+            // ballots).
             for g in self.msg.dest.iter() {
+                match (self.accepts.get(&g), vector.get(&g)) {
+                    (Some((accepted, _)), Some(acked)) if accepted == acked => {}
+                    _ => continue 'vectors,
+                }
                 let Some(q) = quorum_size.get(&g) else {
                     continue 'vectors;
                 };
@@ -121,9 +137,6 @@ impl MessageRecord {
                     continue 'vectors;
                 };
                 if ackers.len() < *q {
-                    continue 'vectors;
-                }
-                if !vector.contains_key(&g) {
                     continue 'vectors;
                 }
             }
@@ -264,6 +277,16 @@ mod tests {
         let mut vector = BallotVector::new();
         vector.insert(GroupId(0), Ballot::new(1, ProcessId(0)));
         vector.insert(GroupId(1), Ballot::new(1, ProcessId(3)));
+        r.record_accept(
+            GroupId(0),
+            Ballot::new(1, ProcessId(0)),
+            Timestamp::new(3, GroupId(0)),
+        );
+        r.record_accept(
+            GroupId(1),
+            Ballot::new(1, ProcessId(3)),
+            Timestamp::new(5, GroupId(1)),
+        );
 
         r.record_ack(vector.clone(), GroupId(0), ProcessId(0));
         r.record_ack(vector.clone(), GroupId(0), ProcessId(1));
@@ -288,6 +311,16 @@ mod tests {
     #[test]
     fn acks_with_different_vectors_do_not_mix() {
         let mut r = MessageRecord::new(app_msg());
+        r.record_accept(
+            GroupId(0),
+            Ballot::new(1, ProcessId(0)),
+            Timestamp::new(3, GroupId(0)),
+        );
+        r.record_accept(
+            GroupId(1),
+            Ballot::new(1, ProcessId(3)),
+            Timestamp::new(5, GroupId(1)),
+        );
         let mut v1 = BallotVector::new();
         v1.insert(GroupId(0), Ballot::new(1, ProcessId(0)));
         v1.insert(GroupId(1), Ballot::new(1, ProcessId(3)));
@@ -300,6 +333,47 @@ mod tests {
         r.record_ack(v2.clone(), GroupId(1), ProcessId(4));
         // Neither vector alone has quorums in both groups.
         assert_eq!(r.quorum_acked(&quorums(), None), None);
+    }
+
+    #[test]
+    fn stale_ack_quorum_does_not_shadow_the_live_one() {
+        // A destination group changed leaders mid-round: a full quorum of
+        // acks exists under the old vector (sorts first in the ack map) and
+        // another under the current one. The old vector no longer matches
+        // the recorded ACCEPTs, so the current vector must win — returning
+        // the stale one would make the caller conclude "no quorum" forever.
+        let mut r = MessageRecord::new(app_msg());
+        let mut stale = BallotVector::new();
+        stale.insert(GroupId(0), Ballot::new(1, ProcessId(0)));
+        stale.insert(GroupId(1), Ballot::new(1, ProcessId(3)));
+        let mut live = BallotVector::new();
+        live.insert(GroupId(0), Ballot::new(1, ProcessId(1)));
+        live.insert(GroupId(1), Ballot::new(1, ProcessId(3)));
+        assert!(stale < live, "the stale vector must sort first to shadow");
+
+        // Accepts reflect the new group-0 leader.
+        r.record_accept(
+            GroupId(0),
+            Ballot::new(1, ProcessId(1)),
+            Timestamp::new(5, GroupId(0)),
+        );
+        r.record_accept(
+            GroupId(1),
+            Ballot::new(1, ProcessId(3)),
+            Timestamp::new(8, GroupId(1)),
+        );
+
+        // Complete quorums under both vectors.
+        r.record_ack(stale.clone(), GroupId(0), ProcessId(0));
+        r.record_ack(stale.clone(), GroupId(0), ProcessId(2));
+        r.record_ack(stale.clone(), GroupId(1), ProcessId(3));
+        r.record_ack(stale.clone(), GroupId(1), ProcessId(4));
+        r.record_ack(live.clone(), GroupId(0), ProcessId(0));
+        r.record_ack(live.clone(), GroupId(0), ProcessId(1));
+        r.record_ack(live.clone(), GroupId(1), ProcessId(3));
+        r.record_ack(live.clone(), GroupId(1), ProcessId(4));
+
+        assert_eq!(r.quorum_acked(&quorums(), None), Some(live));
     }
 
     #[test]

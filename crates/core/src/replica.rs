@@ -851,20 +851,14 @@ impl WhiteBoxReplica {
             return false;
         }
         record.record_ack(ballots, group, from);
-        let Some(vector) = record.quorum_acked(&quorum_sizes, Some((own_group, own_id))) else {
-            return false;
-        };
-        // Line 17 also requires the matching ACCEPTs to have been received.
-        let matches_accepts =
-            record
-                .msg
-                .dest
-                .iter()
-                .all(|g| match (record.accepts.get(&g), vector.get(&g)) {
-                    (Some((b, _)), Some(vb)) => b == vb,
-                    _ => false,
-                });
-        if !matches_accepts {
+        // Line 17: a quorum in every destination group, acknowledging exactly
+        // the ballots of the ACCEPTs we hold (`quorum_acked` checks the match
+        // per candidate vector, so stale pre-leader-change ack quorums cannot
+        // shadow the live one).
+        if record
+            .quorum_acked(&quorum_sizes, Some((own_group, own_id)))
+            .is_none()
+        {
             return false;
         }
         // Lines 19–20: commit.

@@ -29,6 +29,11 @@
 //!   seeded plan + workload generation, live-cluster orchestration with
 //!   process faults (SIGKILL/redeploy, SIGSTOP/SIGCONT), delivery-log
 //!   draining, and the Figure 6 / linearizability checks over the result.
+//! * [`rt`] — the deterministic-runtime explorer behind the `rt_explorer`
+//!   binary: seeded interleavings of the *deployed* node loop
+//!   ([`DeterministicRuntime`](wbam_runtime::DeterministicRuntime) under a
+//!   virtual clock), with replayable `rt1` tokens, the same Figure 6 /
+//!   linearizability checks, and greedy crash-schedule minimization.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -39,6 +44,7 @@ pub mod deploy;
 pub mod explorer;
 pub mod probe;
 pub mod proxy;
+pub mod rt;
 pub mod sweep;
 pub mod workload;
 
@@ -51,5 +57,9 @@ pub use explorer::{
 };
 pub use probe::{convoy_probe, latency_probe, LatencyProbeResult};
 pub use proxy::{FrameFate, LinkScheduler, NemesisProxy, ProxyStats};
+pub use rt::{
+    explore_rt, generate_rt_plan, minimize_rt, run_rt_token, RtExplorationReport, RtExplorerConfig,
+    RtFinding, RtPlan, RtReport, RtSeedToken,
+};
 pub use sweep::{sweep, BenchRecord, SweepPoint, SweepResult, SweepSpec};
 pub use workload::{run_closed_loop, ClosedLoopWorkload, WorkloadResult};

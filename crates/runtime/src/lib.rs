@@ -18,6 +18,17 @@
 //!   coalesced writes and reconnect-with-backoff ([`tcp::TcpTransport`]).
 //!   This is what the `wbamd` deployment binary (in `wbam-harness`) runs; see
 //!   `crates/harness` for the cluster topology spec.
+//! * [`DeterministicRuntime`] — the same node loop and a channel transport,
+//!   but driven single-threaded by a seeded scheduler over a
+//!   [`VirtualClock`]: every interleaving of mailbox delivery, timer firing
+//!   and crash/restart is chosen by a seed and byte-for-byte replayable.
+//!   This is the runtime analogue of the `wbam-simnet` schedule explorer,
+//!   exercising the *deployed* code path (burst coalescing, timer
+//!   generations, `DeliveryLog`) instead of the simulator's.
+//!
+//! All three consume time exclusively through the [`Clock`] trait —
+//! [`WallClock`] (zero-cost `Instant`/`recv_timeout` wrappers) in the two
+//! production shapes, [`VirtualClock`] under the deterministic scheduler.
 //!
 //! # Example
 //!
@@ -53,6 +64,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod clock;
+mod deterministic;
 mod node_loop;
 pub mod tcp;
 pub mod transport;
@@ -68,6 +81,8 @@ use wbam_types::{AppMessage, DeliveredMessage, ProcessId, WbamError};
 
 use node_loop::{run_node, Envelope};
 
+pub use clock::{Clock, VirtualClock, WaitError, WallClock};
+pub use deterministic::{DeterministicRuntime, RuntimeScript, ScriptEvent, SentRecord, TraceEvent};
 pub use tcp::TcpNode;
 pub use transport::{ChannelTransport, Transport};
 
@@ -222,13 +237,13 @@ pub struct InProcessCluster<M> {
     senders: Arc<HashMap<ProcessId, Sender<Envelope<M>>>>,
     deliveries: Arc<DeliveryLog>,
     threads: Vec<JoinHandle<()>>,
-    started: Instant,
+    clock: WallClock,
 }
 
 impl<M: Send + 'static> InProcessCluster<M> {
     /// Spawns one thread per node and wires them together with channels.
     pub fn spawn(nodes: Vec<BoxedNode<M>>) -> Self {
-        let started = Instant::now();
+        let clock = WallClock::new();
         let deliveries = Arc::new(DeliveryLog::new());
         let mut senders: HashMap<ProcessId, Sender<Envelope<M>>> = HashMap::new();
         let mut receivers = Vec::new();
@@ -243,14 +258,14 @@ impl<M: Send + 'static> InProcessCluster<M> {
             let transport = ChannelTransport::new(node.id(), Arc::clone(&senders));
             let deliveries = Arc::clone(&deliveries);
             threads.push(std::thread::spawn(move || {
-                run_node(node, rx, transport, deliveries, started);
+                run_node(node, rx, transport, deliveries, clock);
             }));
         }
         InProcessCluster {
             senders,
             deliveries,
             threads,
-            started,
+            clock,
         }
     }
 
@@ -326,7 +341,7 @@ impl<M: Send + 'static> InProcessCluster<M> {
 
     /// Time since the cluster was spawned.
     pub fn uptime(&self) -> Duration {
-        self.started.elapsed()
+        self.clock.now()
     }
 
     /// Stops all node threads and waits for them to exit.

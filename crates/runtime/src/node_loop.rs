@@ -1,19 +1,29 @@
 //! The transport-independent node event loop.
 //!
-//! One sans-IO [`Node`] runs on one OS thread: the loop fires due timers from
-//! the node's own timer heap, waits for the next envelope (peer message or
-//! control event) and executes the actions the node returns — sends through
-//! the [`Transport`], deliveries into the shared [`DeliveryLog`]. Both the
-//! in-process cluster and the per-process TCP runtime run this exact loop, so
-//! a protocol behaves identically under either deployment.
+//! One sans-IO [`Node`](wbam_types::Node) runs in one event loop: the loop
+//! fires due timers from the node's own timer heap, waits for the next
+//! envelope (peer message or control event) and executes the actions the node
+//! returns — sends through the [`Transport`], deliveries into the shared
+//! [`DeliveryLog`]. The in-process cluster and the per-process TCP runtime
+//! run this exact loop on a dedicated OS thread with a [`WallClock`]; the
+//! [`DeterministicRuntime`](crate::DeterministicRuntime) runs the same loop
+//! *stepped* — one scheduler decision at a time — under a
+//! [`VirtualClock`](crate::VirtualClock), so a protocol behaves identically
+//! under either deployment and every deployed-code interleaving is
+//! replayable.
+//!
+//! All time flows through the [`Clock`] abstraction: the loop never reads
+//! `Instant::now()` and never calls `recv_timeout` directly, which is what
+//! makes the virtual-clock execution a pure function of scheduler decisions.
 
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::Duration;
 
 use crossbeam_channel::Receiver;
-use wbam_types::{Action, AppMessage, Event, TimerId};
+use wbam_types::{Action, AppMessage, Event, Node, ProcessId, TimerId};
 
+use crate::clock::{Clock, WaitError};
 use crate::transport::Transport;
 use crate::{BoxedNode, DeliveryLog, RuntimeDelivery};
 
@@ -23,7 +33,7 @@ pub(crate) enum Envelope<M> {
     /// A protocol message from another process.
     FromPeer {
         /// The sending process.
-        from: wbam_types::ProcessId,
+        from: ProcessId,
         /// The message.
         msg: M,
     },
@@ -41,20 +51,25 @@ pub(crate) enum Envelope<M> {
 /// Upper bound on envelopes coalesced into one pass of the node loop: large
 /// enough to amortize the transport handoff across a busy burst, small enough
 /// that due timers (checked between passes) never wait long.
-const MAX_ENVELOPE_BATCH: usize = 256;
+pub(crate) const MAX_ENVELOPE_BATCH: usize = 256;
 
+/// A queued timer deadline. Ordered by the full `(deadline, id, generation)`
+/// key so that equal-deadline timers pop in a deterministic order — `Ord`
+/// used to compare only the deadline, which let `BinaryHeap` break ties by
+/// internal layout and made replay runs diverge.
+#[derive(PartialEq, Eq)]
 struct PendingTimer {
-    deadline: Instant,
+    deadline: Duration,
     id: TimerId,
     generation: u64,
 }
 
-impl PartialEq for PendingTimer {
-    fn eq(&self, other: &Self) -> bool {
-        self.deadline == other.deadline
+impl PendingTimer {
+    fn key(&self) -> (Duration, TimerId, u64) {
+        (self.deadline, self.id, self.generation)
     }
 }
-impl Eq for PendingTimer {}
+
 impl PartialOrd for PendingTimer {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
@@ -62,146 +77,506 @@ impl PartialOrd for PendingTimer {
 }
 impl Ord for PendingTimer {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        other.deadline.cmp(&self.deadline) // min-heap
+        other.key().cmp(&self.key()) // min-heap
     }
 }
 
-/// Runs `node` until a [`Envelope::Shutdown`] arrives or every envelope
-/// sender disconnects.
-pub(crate) fn run_node<M, T>(
-    mut node: BoxedNode<M>,
+/// Liveness bookkeeping for one [`TimerId`]: the current generation (bumped
+/// by every re-arm and cancel, so stale heap entries are recognized) and how
+/// many heap entries still reference this id. The entry is removed as soon as
+/// the last heap entry retires, so the map is bounded by the number of
+/// *pending* timers — it no longer grows by one entry per timer id a
+/// long-lived node ever used.
+struct TimerGen {
+    gen: u64,
+    queued: u32,
+}
+
+/// The event loop of one node, factored as an explicit state machine so it
+/// can be driven two ways: [`run`](Self::run) owns a thread and blocks
+/// through its [`Clock`] (the production shape), while the deterministic
+/// runtime calls the stepping methods ([`fire_due_timers`](Self::fire_due_timers),
+/// [`step_deliver`](Self::step_deliver), …) one scheduler decision at a time.
+pub(crate) struct NodeLoop<M, T, C> {
+    node: BoxedNode<M>,
+    my_id: ProcessId,
     rx: Receiver<Envelope<M>>,
     transport: T,
     deliveries: Arc<DeliveryLog>,
-    started: Instant,
-) where
+    clock: C,
+    timers: BinaryHeap<PendingTimer>,
+    generations: HashMap<TimerId, TimerGen>,
+    stopped: bool,
+}
+
+impl<M, T, C> NodeLoop<M, T, C>
+where
     M: Send + 'static,
     T: Transport<M>,
+    C: Clock,
 {
-    let my_id = node.id();
-    let mut timers: BinaryHeap<PendingTimer> = BinaryHeap::new();
-    let mut generations: HashMap<TimerId, u64> = HashMap::new();
+    pub(crate) fn new(
+        node: BoxedNode<M>,
+        rx: Receiver<Envelope<M>>,
+        transport: T,
+        deliveries: Arc<DeliveryLog>,
+        clock: C,
+    ) -> Self {
+        let my_id = node.id();
+        NodeLoop {
+            node,
+            my_id,
+            rx,
+            transport,
+            deliveries,
+            clock,
+            timers: BinaryHeap::new(),
+            generations: HashMap::new(),
+            stopped: false,
+        }
+    }
 
-    // The hot path is one queue handoff per event: sends are batched into a
-    // single `Transport::send_many` call (for the TCP transport, one command
-    // into the poller thread's channel) and deliveries into a single
-    // `DeliveryLog::push_many` (one mutex acquisition), instead of paying the
-    // handoff per message.
-    let execute = |actions: Vec<Action<M>>,
-                   timers: &mut BinaryHeap<PendingTimer>,
-                   generations: &mut HashMap<TimerId, u64>| {
-        let mut sends: Vec<(wbam_types::ProcessId, M)> = Vec::new();
+    /// Delivers [`Event::Init`] to the node. Must be called exactly once,
+    /// before any other stepping.
+    pub(crate) fn init(&mut self) {
+        let now = self.clock.now();
+        let actions = self.node.on_event(now, Event::Init);
+        self.execute(actions);
+    }
+
+    /// Executes one batch of node actions: sends are batched into a single
+    /// `Transport::send_many` call (for the TCP transport, one command into
+    /// the poller thread's channel) and deliveries into a single
+    /// `DeliveryLog::push_many` (one mutex acquisition), so the hot path is
+    /// one queue handoff per event instead of one per message.
+    fn execute(&mut self, actions: Vec<Action<M>>) {
+        let mut sends: Vec<(ProcessId, M)> = Vec::new();
         let mut delivered: Vec<RuntimeDelivery> = Vec::new();
         for action in actions {
             match action {
                 Action::Send { to, msg } => sends.push((to, msg)),
                 Action::Deliver(delivery) => {
                     delivered.push(RuntimeDelivery {
-                        process: my_id,
+                        process: self.my_id,
                         delivery,
-                        elapsed: started.elapsed(),
+                        elapsed: self.clock.now(),
                     });
                 }
                 Action::SetTimer { id, delay } => {
-                    let gen = generations.entry(id).and_modify(|g| *g += 1).or_insert(1);
-                    timers.push(PendingTimer {
-                        deadline: Instant::now() + delay,
+                    let entry = self
+                        .generations
+                        .entry(id)
+                        .or_insert(TimerGen { gen: 0, queued: 0 });
+                    entry.gen += 1;
+                    entry.queued += 1;
+                    let generation = entry.gen;
+                    self.timers.push(PendingTimer {
+                        deadline: self.clock.now() + delay,
                         id,
-                        generation: *gen,
+                        generation,
                     });
                 }
                 Action::CancelTimer(id) => {
-                    generations.entry(id).and_modify(|g| *g += 1).or_insert(1);
+                    // Only bump an id that still has heap entries: with no
+                    // entry queued there is nothing to invalidate, and
+                    // inserting one here is what used to leak map entries.
+                    if let Some(entry) = self.generations.get_mut(&id) {
+                        entry.gen += 1;
+                    }
                 }
             }
         }
         if !sends.is_empty() {
-            transport.send_many(sends);
+            self.transport.send_many(sends);
         }
-        deliveries.push_many(delivered);
-    };
+        self.deliveries.push_many(delivered);
+    }
 
-    // Initialise the node.
-    let init_actions = node.on_event(started.elapsed(), Event::Init);
-    execute(init_actions, &mut timers, &mut generations);
-
-    loop {
-        // Fire any due timers.
-        let now = Instant::now();
-        while let Some(t) = timers.peek() {
-            if t.deadline > now {
-                break;
+    /// Removes a popped heap entry's claim on its id's bookkeeping; returns
+    /// whether the entry is live (matches the current generation) and should
+    /// fire. Dropping the map entry once no heap entries reference the id is
+    /// what keeps `generations` bounded.
+    fn retire_timer_entry(&mut self, t: &PendingTimer) -> bool {
+        match self.generations.get_mut(&t.id) {
+            Some(entry) => {
+                entry.queued = entry.queued.saturating_sub(1);
+                let live = entry.gen == t.generation;
+                if entry.queued == 0 {
+                    self.generations.remove(&t.id);
+                }
+                live
             }
-            let t = timers.pop().expect("peeked");
-            if generations.get(&t.id).copied().unwrap_or(0) != t.generation {
+            None => false,
+        }
+    }
+
+    /// Fires every timer due at the clock's current time, executing the
+    /// actions each firing produces (which may arm further timers).
+    pub(crate) fn fire_due_timers(&mut self) {
+        loop {
+            let now = self.clock.now();
+            match self.timers.peek() {
+                Some(t) if t.deadline <= now => {}
+                _ => return,
+            }
+            let t = self.timers.pop().expect("peeked");
+            if !self.retire_timer_entry(&t) {
                 continue; // cancelled or re-armed
             }
-            let elapsed = started.elapsed();
-            let actions = node.on_event(
-                elapsed,
-                Event::Timer {
-                    id: t.id,
-                    now: elapsed,
-                },
-            );
-            execute(actions, &mut timers, &mut generations);
+            let actions = self.node.on_event(now, Event::Timer { id: t.id, now });
+            self.execute(actions);
         }
-        // Wait for the next message or the next timer deadline. With no
-        // timer pending there is nothing to wake for except an envelope, so
-        // block indefinitely — shutdown arrives as an envelope too, and an
-        // idle node must not tick a wake-up timer just to re-check state.
-        let envelope = match timers.peek() {
-            Some(t) => {
-                let wait = t.deadline.saturating_duration_since(Instant::now());
-                match rx.recv_timeout(wait) {
-                    Ok(e) => e,
-                    Err(crossbeam_channel::RecvTimeoutError::Timeout) => continue,
-                    Err(crossbeam_channel::RecvTimeoutError::Disconnected) => break,
-                }
+    }
+
+    /// The deadline of the earliest *live* pending timer, pruning stale heap
+    /// entries (cancelled or re-armed) off the top so an idle node never
+    /// wakes for a timer that would not fire.
+    pub(crate) fn next_deadline(&mut self) -> Option<Duration> {
+        loop {
+            let (deadline, id, generation) = match self.timers.peek() {
+                Some(t) => (t.deadline, t.id, t.generation),
+                None => return None,
+            };
+            if self.generations.get(&id).map(|e| e.gen) == Some(generation) {
+                return Some(deadline);
             }
-            None => match rx.recv() {
-                Ok(e) => e,
-                Err(_) => break,
-            },
-        };
-        // Coalesce a burst: everything already queued behind the first
-        // envelope is processed in the same pass, so one busy stretch costs
-        // one `send_many` handoff (one poller wakeup) and one `push_many`
-        // instead of paying both per message. Bounded so timers never starve.
+            let t = self.timers.pop().expect("peeked");
+            self.retire_timer_entry(&t);
+        }
+    }
+
+    /// Processes one already-received envelope plus everything queued behind
+    /// it, bounded by [`MAX_ENVELOPE_BATCH`]: one busy stretch costs one
+    /// `send_many` handoff (one poller wakeup) and one `push_many` instead of
+    /// paying both per message. Bounded so timers never starve.
+    fn process_burst(&mut self, first: Envelope<M>) {
         let mut batch = Vec::with_capacity(8);
-        batch.push(envelope);
+        batch.push(first);
         while batch.len() < MAX_ENVELOPE_BATCH {
-            match rx.try_recv() {
+            match self.rx.try_recv() {
                 Ok(e) => batch.push(e),
                 Err(_) => break,
             }
         }
-        let mut stop = false;
+        self.process_batch(batch);
+    }
+
+    fn process_batch(&mut self, batch: Vec<Envelope<M>>) {
         let mut actions = Vec::new();
         for envelope in batch {
-            let elapsed = started.elapsed();
+            let elapsed = self.clock.now();
             match envelope {
                 Envelope::Shutdown => {
-                    stop = true;
+                    self.stopped = true;
                     break;
                 }
                 Envelope::FromPeer { from, msg } => {
-                    actions.extend(node.on_event(elapsed, Event::Message { from, msg }));
+                    actions.extend(self.node.on_event(elapsed, Event::Message { from, msg }));
                 }
                 Envelope::Submit(msg) => {
-                    actions.extend(node.on_event(elapsed, Event::Multicast(msg)));
+                    actions.extend(self.node.on_event(elapsed, Event::Multicast(msg)));
                 }
                 Envelope::BecomeLeader => {
-                    actions.extend(node.on_event(elapsed, Event::BecomeLeader));
+                    actions.extend(self.node.on_event(elapsed, Event::BecomeLeader));
                 }
                 Envelope::Restart => {
-                    actions.extend(node.on_event(elapsed, Event::Restart));
+                    actions.extend(self.node.on_event(elapsed, Event::Restart));
                 }
             }
         }
-        execute(actions, &mut timers, &mut generations);
-        if stop {
-            break;
+        self.execute(actions);
+    }
+
+    /// Read access to the wrapped node, for state inspection through
+    /// [`wbam_types::Node::as_any`].
+    pub(crate) fn node(&self) -> &dyn Node<Msg = M> {
+        &*self.node
+    }
+
+    /// Consumes up to `limit` already-queued envelopes (never blocking) and
+    /// processes them as one batch; returns how many were consumed. This is
+    /// the deterministic runtime's "let this node run" step — the same batch
+    /// path [`run`](Self::run) uses, so burst coalescing behaves identically
+    /// under the scheduler and in production.
+    pub(crate) fn step_deliver(&mut self, limit: usize) -> usize {
+        let mut batch = Vec::new();
+        while batch.len() < limit.min(MAX_ENVELOPE_BATCH) {
+            match self.rx.try_recv() {
+                Ok(e) => batch.push(e),
+                Err(_) => break,
+            }
         }
+        let consumed = batch.len();
+        if consumed > 0 {
+            self.process_batch(batch);
+        }
+        consumed
+    }
+
+    /// Models a crash: every queued envelope is discarded (the process's
+    /// mailbox dies with it) and all pending timers are dropped. Returns how
+    /// many envelopes were discarded. The node's own state is left to
+    /// [`apply_restart`](Self::apply_restart), which mirrors what
+    /// [`Event::Restart`] means everywhere else in the workspace.
+    pub(crate) fn crash_discard(&mut self) -> usize {
+        let mut discarded = 0;
+        while self.rx.try_recv().is_ok() {
+            discarded += 1;
+        }
+        self.timers.clear();
+        self.generations.clear();
+        discarded
+    }
+
+    /// Delivers [`Event::Restart`] directly (without going through the
+    /// mailbox): volatile context is gone, timers re-arm, the node rejoins.
+    pub(crate) fn apply_restart(&mut self) {
+        let now = self.clock.now();
+        let actions = self.node.on_event(now, Event::Restart);
+        self.execute(actions);
+    }
+
+    /// Runs the loop until an [`Envelope::Shutdown`] arrives or every
+    /// envelope sender disconnects. This is the production driver: it blocks
+    /// in [`Clock::recv_deadline`] between events.
+    pub(crate) fn run(mut self) {
+        self.init();
+        while !self.stopped {
+            self.fire_due_timers();
+            // Wait for the next message or the next timer deadline. With no
+            // timer pending there is nothing to wake for except an envelope,
+            // so block indefinitely — shutdown arrives as an envelope too,
+            // and an idle node must not tick a wake-up timer just to re-check
+            // state.
+            let deadline = self.next_deadline();
+            match self.clock.recv_deadline(&self.rx, deadline) {
+                Ok(envelope) => self.process_burst(envelope),
+                Err(WaitError::Timeout) => continue,
+                Err(WaitError::Disconnected) => break,
+            }
+        }
+    }
+}
+
+/// Runs `node` until a [`Envelope::Shutdown`] arrives or every envelope
+/// sender disconnects.
+pub(crate) fn run_node<M, T, C>(
+    node: BoxedNode<M>,
+    rx: Receiver<Envelope<M>>,
+    transport: T,
+    deliveries: Arc<DeliveryLog>,
+    clock: C,
+) where
+    M: Send + 'static,
+    T: Transport<M>,
+    C: Clock,
+{
+    NodeLoop::new(node, rx, transport, deliveries, clock).run();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use crossbeam_channel::unbounded;
+
+    /// Discards every send; the tests below only observe deliveries/timers.
+    struct NullTransport;
+    impl<M: Send + 'static> Transport<M> for NullTransport {
+        fn send(&self, _to: ProcessId, _msg: M) {}
+    }
+
+    /// Records the order its timers fire in; re-arms nothing.
+    struct TimerProbe {
+        id: ProcessId,
+        arm: Vec<(TimerId, Duration)>,
+        fired: Arc<std::sync::Mutex<Vec<TimerId>>>,
+    }
+
+    impl wbam_types::Node for TimerProbe {
+        type Msg = ();
+
+        fn id(&self) -> ProcessId {
+            self.id
+        }
+
+        fn on_event(&mut self, _now: Duration, event: Event<()>) -> Vec<Action<()>> {
+            match event {
+                Event::Init => self
+                    .arm
+                    .iter()
+                    .map(|&(id, delay)| Action::SetTimer { id, delay })
+                    .collect(),
+                Event::Timer { id, .. } => {
+                    self.fired.lock().unwrap().push(id);
+                    Vec::new()
+                }
+                _ => Vec::new(),
+            }
+        }
+    }
+
+    struct ProbeLoop {
+        nl: NodeLoop<(), NullTransport, VirtualClock>,
+        fired: Arc<std::sync::Mutex<Vec<TimerId>>>,
+        clock: VirtualClock,
+        // Keeps the mailbox connected for the test body.
+        _tx: crossbeam_channel::Sender<Envelope<()>>,
+    }
+
+    impl ProbeLoop {
+        fn fired(&self) -> Vec<TimerId> {
+            self.fired.lock().unwrap().clone()
+        }
+    }
+
+    fn probe_loop(arm: Vec<(TimerId, Duration)>) -> ProbeLoop {
+        let fired = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let node = TimerProbe {
+            id: ProcessId(0),
+            arm,
+            fired: Arc::clone(&fired),
+        };
+        let (tx, rx) = unbounded();
+        let clock = VirtualClock::new();
+        let nl = NodeLoop::new(
+            Box::new(node),
+            rx,
+            NullTransport,
+            Arc::new(DeliveryLog::new()),
+            clock.clone(),
+        );
+        ProbeLoop {
+            nl,
+            fired,
+            clock,
+            _tx: tx,
+        }
+    }
+
+    /// Satellite fix pin: equal-deadline timers pop in `(deadline, id,
+    /// generation)` order, not in `BinaryHeap`'s arbitrary tie order — replay
+    /// depends on this being deterministic.
+    #[test]
+    fn equal_deadline_timers_fire_in_id_order() {
+        let delay = Duration::from_millis(10);
+        // Armed deliberately out of id order, all with the same deadline.
+        let mut p = probe_loop(vec![
+            (TimerId(7), delay),
+            (TimerId(1), delay),
+            (TimerId(4), delay),
+            (TimerId(2), delay),
+        ]);
+        p.nl.init();
+        p.clock.advance_to(delay);
+        p.nl.fire_due_timers();
+        assert_eq!(
+            p.fired(),
+            vec![TimerId(1), TimerId(2), TimerId(4), TimerId(7)]
+        );
+    }
+
+    /// Satellite fix pin: the generations map drops an id's entry once its
+    /// last heap entry retires (fired, cancelled or re-armed-and-fired), so a
+    /// long-lived node's map is bounded by its *pending* timers.
+    #[test]
+    fn generations_map_stays_bounded() {
+        let mut p = probe_loop(Vec::new());
+        p.nl.init();
+        // Arm 100 distinct ids over time and let each fire.
+        for i in 0..100u64 {
+            p.nl.execute(vec![Action::SetTimer {
+                id: TimerId(i),
+                delay: Duration::from_millis(1),
+            }]);
+            p.clock.advance_to(p.clock.now() + Duration::from_millis(1));
+            p.nl.fire_due_timers();
+        }
+        assert_eq!(p.fired().len(), 100);
+        assert!(
+            p.nl.generations.is_empty(),
+            "all fired timers must release their map entries, {} remain",
+            p.nl.generations.len()
+        );
+        assert!(p.nl.timers.is_empty());
+
+        // Cancel and re-arm churn on one id must not leak either, and a
+        // re-arm after the entry was dropped must not resurrect a stale
+        // heap entry (the generation restarts, old entries retire as dead).
+        p.nl.execute(vec![Action::SetTimer {
+            id: TimerId(0),
+            delay: Duration::from_millis(5),
+        }]);
+        p.nl.execute(vec![Action::CancelTimer(TimerId(0))]);
+        p.nl.execute(vec![Action::SetTimer {
+            id: TimerId(0),
+            delay: Duration::from_millis(1),
+        }]);
+        p.clock
+            .advance_to(p.clock.now() + Duration::from_millis(10));
+        p.nl.fire_due_timers();
+        assert_eq!(p.fired().len(), 101, "exactly one extra firing");
+        assert!(p.nl.generations.is_empty());
+        assert!(p.nl.timers.is_empty());
+
+        // Cancelling an id with nothing queued is a no-op, not an insert.
+        p.nl.execute(vec![Action::CancelTimer(TimerId(42))]);
+        assert!(p.nl.generations.is_empty());
+    }
+
+    /// A cancelled timer never fires even when a later timer on the same id
+    /// is re-armed with a fresh generation after the map entry was dropped.
+    #[test]
+    fn stale_entries_after_entry_drop_do_not_fire() {
+        let mut p = probe_loop(Vec::new());
+        p.nl.init();
+        // e1: gen 1, far deadline. e2: gen 2, near deadline.
+        p.nl.execute(vec![Action::SetTimer {
+            id: TimerId(9),
+            delay: Duration::from_millis(100),
+        }]);
+        p.nl.execute(vec![Action::SetTimer {
+            id: TimerId(9),
+            delay: Duration::from_millis(1),
+        }]);
+        p.clock.advance_to(Duration::from_millis(1));
+        p.nl.fire_due_timers();
+        assert_eq!(p.fired(), vec![TimerId(9)]);
+        // e2 fired at gen 2; e1 (gen 1) still queued keeps the entry alive.
+        assert_eq!(p.nl.generations.len(), 1);
+        // Re-arm: gen becomes 3; the stale e1 must not match it.
+        p.nl.execute(vec![Action::SetTimer {
+            id: TimerId(9),
+            delay: Duration::from_millis(1),
+        }]);
+        p.clock.advance_to(Duration::from_millis(200));
+        p.nl.fire_due_timers();
+        assert_eq!(
+            p.fired(),
+            vec![TimerId(9), TimerId(9)],
+            "the cancelled-by-re-arm entry must not produce a third firing"
+        );
+        assert!(p.nl.generations.is_empty());
+    }
+
+    /// `next_deadline` skips stale heads so an idle node does not wake for a
+    /// timer that would not fire.
+    #[test]
+    fn next_deadline_prunes_stale_heads() {
+        let mut p = probe_loop(Vec::new());
+        p.nl.init();
+        p.nl.execute(vec![Action::SetTimer {
+            id: TimerId(1),
+            delay: Duration::from_millis(5),
+        }]);
+        p.nl.execute(vec![Action::SetTimer {
+            id: TimerId(2),
+            delay: Duration::from_millis(50),
+        }]);
+        p.nl.execute(vec![Action::CancelTimer(TimerId(1))]);
+        assert_eq!(p.nl.next_deadline(), Some(Duration::from_millis(50)));
+        p.nl.execute(vec![Action::CancelTimer(TimerId(2))]);
+        assert_eq!(p.nl.next_deadline(), None);
+        assert!(p.nl.generations.is_empty(), "pruning releases map entries");
     }
 }

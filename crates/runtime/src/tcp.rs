@@ -98,7 +98,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use bytes::Bytes;
 use crossbeam_channel::{unbounded, Receiver, Sender, TryRecvError};
@@ -109,6 +109,7 @@ use wbam_types::wire::{
 };
 use wbam_types::{AppMessage, ProcessId, WbamError};
 
+use crate::clock::{Clock, WallClock};
 use crate::node_loop::{run_node, Envelope};
 use crate::transport::Transport;
 use crate::{BoxedNode, DeliveryLog, RuntimeDelivery};
@@ -265,6 +266,7 @@ impl<M: Serialize + DeserializeOwned + Send + 'static> TcpTransport<M> {
         loopback: Sender<Envelope<M>>,
         addrs: &BTreeMap<ProcessId, SocketAddr>,
         shutdown: Arc<AtomicBool>,
+        clock: WallClock,
     ) -> Result<(Self, PollerHandle), WbamError> {
         let (cmd_tx, cmd_rx) = unbounded();
         let waker = PollerWaker::new()?;
@@ -288,8 +290,9 @@ impl<M: Serialize + DeserializeOwned + Send + 'static> TcpTransport<M> {
             let waker = waker.clone();
             let stats = Arc::clone(&stats);
             std::thread::spawn(move || {
-                poller_loop::<M>(
+                poller_loop::<M, _>(
                     codec, listener, peer_addrs, hello, cmd_rx, env_tx, shutdown, waker, stats,
+                    clock,
                 );
             })
         };
@@ -356,18 +359,21 @@ struct PeerOut {
     /// frame boundaries when no connection is up.
     outbuf: Vec<u8>,
     offset: usize,
-    next_dial: Instant,
+    /// Earliest [`Clock`] time (elapsed since runtime start) the next dial
+    /// may be attempted — all backoff arithmetic is pure `Duration` math on
+    /// the poller's clock, never a direct `Instant` read.
+    next_dial: Duration,
     backoff: Duration,
 }
 
 impl PeerOut {
-    fn new(addr: SocketAddr, now: Instant) -> Self {
+    fn new(addr: SocketAddr) -> Self {
         PeerOut {
             addr,
             conn: None,
             outbuf: Vec::new(),
             offset: 0,
-            next_dial: now,
+            next_dial: Duration::ZERO,
             backoff: BACKOFF_INITIAL,
         }
     }
@@ -392,7 +398,7 @@ impl PeerOut {
     /// Drops the connection and everything queued behind it: a partial frame
     /// cannot be resumed on a fresh connection, and the fair-lossy model says
     /// the protocols re-drive whatever mattered.
-    fn disconnect(&mut self, now: Instant) {
+    fn disconnect(&mut self, now: Duration) {
         self.conn = None;
         self.outbuf.clear();
         self.offset = 0;
@@ -402,7 +408,7 @@ impl PeerOut {
 
     /// Records a failed dial attempt: the next attempt waits out the current
     /// backoff, which then doubles toward [`BACKOFF_MAX`].
-    fn note_dial_failure(&mut self, now: Instant) {
+    fn note_dial_failure(&mut self, now: Duration) {
         self.next_dial = now + self.backoff;
         self.backoff = (self.backoff * 2).min(BACKOFF_MAX);
     }
@@ -460,7 +466,7 @@ fn queue_frames(
 /// wake-on-ready implementation on Unix and the portable parked fallback
 /// elsewhere; see the module docs for the scheduling discipline.
 #[allow(clippy::too_many_arguments)]
-fn poller_loop<M: DeserializeOwned + Send + 'static>(
+fn poller_loop<M: DeserializeOwned + Send + 'static, C: Clock>(
     codec: WireCodec,
     listener: TcpListener,
     peer_addrs: Vec<(ProcessId, SocketAddr)>,
@@ -470,16 +476,17 @@ fn poller_loop<M: DeserializeOwned + Send + 'static>(
     shutdown: Arc<AtomicBool>,
     waker: PollerWaker,
     stats: Arc<TransportStats>,
+    clock: C,
 ) {
     #[cfg(unix)]
-    ready_poller_loop::<M>(
-        codec, listener, peer_addrs, hello, cmd_rx, env_tx, shutdown, waker, stats,
+    ready_poller_loop::<M, C>(
+        codec, listener, peer_addrs, hello, cmd_rx, env_tx, shutdown, waker, stats, clock,
     );
     #[cfg(not(unix))]
     {
         let _ = waker;
-        parked_poller_loop::<M>(
-            codec, listener, peer_addrs, hello, cmd_rx, env_tx, shutdown, stats,
+        parked_poller_loop::<M, C>(
+            codec, listener, peer_addrs, hello, cmd_rx, env_tx, shutdown, stats, clock,
         );
     }
 }
@@ -492,7 +499,7 @@ fn poller_loop<M: DeserializeOwned + Send + 'static>(
 /// down peer with queued bytes; an idle process sleeps indefinitely.
 #[cfg(unix)]
 #[allow(clippy::too_many_arguments)]
-fn ready_poller_loop<M: DeserializeOwned + Send + 'static>(
+fn ready_poller_loop<M: DeserializeOwned + Send + 'static, C: Clock>(
     codec: WireCodec,
     listener: TcpListener,
     peer_addrs: Vec<(ProcessId, SocketAddr)>,
@@ -502,15 +509,15 @@ fn ready_poller_loop<M: DeserializeOwned + Send + 'static>(
     shutdown: Arc<AtomicBool>,
     waker: PollerWaker,
     stats: Arc<TransportStats>,
+    clock: C,
 ) {
     use std::os::unix::io::AsRawFd;
 
     use netpoll::{poll, PollFd, POLLIN, POLLOUT};
 
-    let start = Instant::now();
     let mut peers: HashMap<ProcessId, PeerOut> = peer_addrs
         .into_iter()
-        .map(|(p, a)| (p, PeerOut::new(a, start)))
+        .map(|(p, a)| (p, PeerOut::new(a)))
         .collect();
     // Stable iteration order for aligning peers with poll-set entries.
     let peer_ids: Vec<ProcessId> = peers.keys().copied().collect();
@@ -568,7 +575,7 @@ fn ready_poller_loop<M: DeserializeOwned + Send + 'static>(
         // whenever bytes are queued — at worst one spurious `WouldBlock` per
         // wake — so a frame queued in step 1 reaches the kernel in the same
         // iteration, without waiting for a POLLOUT round-trip.
-        let now = Instant::now();
+        let now = clock.now();
         for peer in peers.values_mut() {
             service_peer(peer, &hello, now);
         }
@@ -600,7 +607,7 @@ fn ready_poller_loop<M: DeserializeOwned + Send + 'static>(
         let timeout = peers
             .values()
             .filter(|p| p.conn.is_none() && p.queued() > 0)
-            .map(|p| p.next_dial.saturating_duration_since(now))
+            .map(|p| p.next_dial.saturating_sub(now))
             .min();
         match poll(&mut fds, timeout) {
             Ok(_) => {}
@@ -623,7 +630,7 @@ fn ready_poller_loop<M: DeserializeOwned + Send + 'static>(
         for (conn, fd) in inbound.iter_mut().zip(&fds[2..peer_base]) {
             conn.ready = fd.readable();
         }
-        let now = Instant::now();
+        let now = clock.now();
         for (&id, fd) in polled_peers.iter().zip(&fds[peer_base..]) {
             if fd.has_error() {
                 // RST/FIN on a write-only connection: drop it now instead of
@@ -643,7 +650,7 @@ fn ready_poller_loop<M: DeserializeOwned + Send + 'static>(
 /// off while the process is quiet. Kept only where `poll(2)` is unavailable.
 #[cfg(not(unix))]
 #[allow(clippy::too_many_arguments)]
-fn parked_poller_loop<M: DeserializeOwned + Send + 'static>(
+fn parked_poller_loop<M: DeserializeOwned + Send + 'static, C: Clock>(
     codec: WireCodec,
     listener: TcpListener,
     peer_addrs: Vec<(ProcessId, SocketAddr)>,
@@ -652,6 +659,7 @@ fn parked_poller_loop<M: DeserializeOwned + Send + 'static>(
     env_tx: Sender<Envelope<M>>,
     shutdown: Arc<AtomicBool>,
     stats: Arc<TransportStats>,
+    clock: C,
 ) {
     /// Shortest idle wait between iterations; yields the core to the node
     /// thread instead of spinning.
@@ -663,15 +671,16 @@ fn parked_poller_loop<M: DeserializeOwned + Send + 'static>(
     /// backing off exponentially toward `IDLE_MAX`.
     const HOT_WINDOW: Duration = Duration::from_millis(5);
 
-    let start = Instant::now();
+    use crate::clock::WaitError;
+
     let mut peers: HashMap<ProcessId, PeerOut> = peer_addrs
         .into_iter()
-        .map(|(p, a)| (p, PeerOut::new(a, start)))
+        .map(|(p, a)| (p, PeerOut::new(a)))
         .collect();
     let mut inbound: Vec<InConn> = Vec::new();
     let mut chunk = vec![0u8; READ_CHUNK];
     let mut idle = IDLE_MIN;
-    let mut last_progress = Instant::now();
+    let mut last_progress = clock.now();
 
     loop {
         if shutdown.load(Ordering::Relaxed) {
@@ -717,26 +726,26 @@ fn parked_poller_loop<M: DeserializeOwned + Send + 'static>(
             keep
         });
 
-        let now = Instant::now();
+        let now = clock.now();
         for peer in peers.values_mut() {
             progress |= service_peer(peer, &hello, now);
         }
 
         if progress {
-            last_progress = Instant::now();
+            last_progress = clock.now();
             idle = IDLE_MIN;
-        } else if last_progress.elapsed() > HOT_WINDOW {
+        } else if clock.now().saturating_sub(last_progress) > HOT_WINDOW {
             idle = (idle * 2).min(IDLE_MAX);
         }
-        match cmd_rx.recv_timeout(idle) {
+        match clock.recv_deadline(&cmd_rx, Some(clock.now() + idle)) {
             Ok(PollerCmd::Frames(frames)) => {
-                last_progress = Instant::now();
+                last_progress = clock.now();
                 idle = IDLE_MIN;
                 queue_frames(frames, &mut peers, &stats);
             }
             Ok(PollerCmd::Shutdown) => return,
-            Err(crossbeam_channel::RecvTimeoutError::Timeout) => {}
-            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => return,
+            Err(WaitError::Timeout) => {}
+            Err(WaitError::Disconnected) => return,
         }
     }
 }
@@ -810,8 +819,9 @@ fn service_inbound<M: DeserializeOwned>(
 /// Dials a peer if due and flushes its output buffer with coalesced writes:
 /// everything queued goes to the kernel in as few `write` calls as the
 /// socket buffer allows. Returns whether any progress (dial or bytes
-/// written) was made.
-fn service_peer(peer: &mut PeerOut, hello: &[u8], now: Instant) -> bool {
+/// written) was made. `now` is the poller's clock reading (elapsed since
+/// runtime start).
+fn service_peer(peer: &mut PeerOut, hello: &[u8], now: Duration) -> bool {
     let mut progress = false;
     if peer.conn.is_none() {
         // Dial lazily: only a peer we have bytes for is worth a connection.
@@ -880,7 +890,7 @@ pub struct TcpNode<M> {
     deliveries: Arc<DeliveryLog>,
     shutdown: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
-    started: Instant,
+    clock: WallClock,
 }
 
 impl<M: Serialize + DeserializeOwned + Send + 'static> TcpNode<M> {
@@ -925,7 +935,7 @@ impl<M: Serialize + DeserializeOwned + Send + 'static> TcpNode<M> {
         let listener = TcpListener::bind(listen)?;
         listener.set_nonblocking(true)?;
 
-        let started = Instant::now();
+        let clock = WallClock::new();
         let deliveries = Arc::new(DeliveryLog::new());
         let shutdown = Arc::new(AtomicBool::new(false));
         let (env_tx, env_rx) = unbounded();
@@ -945,6 +955,7 @@ impl<M: Serialize + DeserializeOwned + Send + 'static> TcpNode<M> {
             env_tx.clone(),
             addrs,
             Arc::clone(&shutdown),
+            clock,
         )?;
         let PollerHandle {
             cmd_tx,
@@ -956,7 +967,7 @@ impl<M: Serialize + DeserializeOwned + Send + 'static> TcpNode<M> {
         {
             let deliveries = Arc::clone(&deliveries);
             threads.push(std::thread::spawn(move || {
-                run_node(node, env_rx, transport, deliveries, started);
+                run_node(node, env_rx, transport, deliveries, clock);
             }));
         }
         Ok(TcpNode {
@@ -968,7 +979,7 @@ impl<M: Serialize + DeserializeOwned + Send + 'static> TcpNode<M> {
             deliveries,
             shutdown,
             threads,
-            started,
+            clock,
         })
     }
 
@@ -1078,7 +1089,7 @@ impl<M: Serialize + DeserializeOwned + Send + 'static> TcpNode<M> {
 
     /// Time since the node was spawned.
     pub fn uptime(&self) -> Duration {
-        self.started.elapsed()
+        self.clock.now()
     }
 
     /// Stops the node and its poller thread and waits for them to exit. The
@@ -1098,6 +1109,7 @@ impl<M: Serialize + DeserializeOwned + Send + 'static> TcpNode<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Instant;
     use wbam_core::{ClientConfig, MulticastClient, ReplicaConfig, WhiteBoxMsg, WhiteBoxReplica};
     use wbam_types::{ClusterConfig, Destination, GroupId, MsgId, Payload};
 
@@ -1375,9 +1387,11 @@ mod tests {
             let l = TcpListener::bind("127.0.0.1:0").expect("bind port 0");
             l.local_addr().expect("local addr")
         };
-        let start = Instant::now();
-        let mut peer = PeerOut::new(addr, start);
+        // The backoff state machine is pure Duration math on the poller's
+        // clock, so the test drives it with explicit times.
+        let mut peer = PeerOut::new(addr);
         assert!(peer.queue(b"frame"), "empty buffer accepts a frame");
+        assert_eq!(peer.next_dial, Duration::ZERO, "first dial is due at once");
 
         // Fail enough dials to saturate the backoff at its cap. Each attempt
         // is made exactly when due, as the poller's timeout handling does.
@@ -1403,7 +1417,7 @@ mod tests {
         );
         // And losing the fresh connection re-dials after BACKOFF_INITIAL,
         // not after the previous outage's saturated 500 ms.
-        let now = Instant::now();
+        let now = due + Duration::from_secs(1);
         peer.disconnect(now);
         assert_eq!(peer.next_dial, now + BACKOFF_INITIAL);
         drop(listener);
@@ -1414,9 +1428,8 @@ mod tests {
     #[test]
     fn outbuf_overflow_drops_whole_frames_and_counts_them() {
         let addr = "127.0.0.1:9".parse().unwrap(); // never dialled here
-        let start = Instant::now();
         let mut peers = HashMap::new();
-        peers.insert(ProcessId(7), PeerOut::new(addr, start));
+        peers.insert(ProcessId(7), PeerOut::new(addr));
         let stats = TransportStats::for_peers([ProcessId(7)]);
 
         let big = Bytes::from(vec![0u8; OUTBUF_CAP - 10]);
